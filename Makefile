@@ -1,0 +1,25 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench bench-full fidelity examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+fidelity:
+	python -m repro fidelity
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

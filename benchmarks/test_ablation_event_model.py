@@ -1,0 +1,51 @@
+"""Ablation/validation: analytical HAU model vs event-driven simulation.
+
+The production HAU backend aggregates work per core; the event-driven
+backend replays the same batches task by task with real FIFO occupancy and
+packet timing.  Their makespans must agree within modeling tolerance — the
+evidence that the cheap model is trustworthy at matrix scale.
+"""
+
+from _harness import emit
+from repro.analysis.report import render_table
+from repro.datasets.profiles import get_dataset
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.events import EventDrivenHAU
+from repro.hau.simulator import HAUSimulator
+
+CELLS = (("lj", 1_000, 6), ("fb", 1_000, 6), ("patents", 1_000, 6), ("uk", 1_000, 6))
+
+
+def run_validation():
+    rows = []
+    for name, batch_size, nb in CELLS:
+        profile = get_dataset(name)
+        graph_a = AdjacencyListGraph(profile.num_vertices)
+        analytical = HAUSimulator()
+        total_a = sum(
+            analytical.simulate_batch(graph_a.apply_batch(b)).cycles
+            for b in profile.generator().batches(batch_size, nb)
+        )
+        graph_e = AdjacencyListGraph(profile.num_vertices)
+        events = EventDrivenHAU()
+        total_e = sum(
+            events.simulate_batch(graph_e.apply_batch(b)).cycles
+            for b in profile.generator().batches(batch_size, nb)
+        )
+        rows.append([f"{name}-{batch_size}", total_a, total_e, total_e / total_a])
+    return rows
+
+
+def test_ablation_event_model(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    emit(
+        "ablation_event_model",
+        render_table(
+            ["cell", "analytical cycles", "event-driven cycles", "ratio"],
+            rows,
+            title="Validation: HAU analytical model vs per-task event simulation",
+            float_format="{:.3g}",
+        ),
+    )
+    for row in rows:
+        assert 0.6 < row[3] < 1.6, row

@@ -1,0 +1,73 @@
+"""Ablation: OCA's overlap threshold (Section 5's design-choice narrative).
+
+The paper picks 0.25 by sweeping down from 0.5: most large batch sizes gain
+at 0.25, while lower thresholds start triggering aggregation for *small*
+batch sizes where the speedup is marginal (yt-10K activates at 0.15 for only
+~8%) and granularity should not be traded away.
+"""
+
+from _harness import emit
+from repro.analysis.report import render_table
+from repro.compute.oca import OCAConfig
+from repro.datasets.profiles import get_dataset
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+THRESHOLDS = (0.5, 0.4, 0.3, 0.25, 0.15, 0.08)
+CELLS = (("yt", 10_000, 8), ("yt", 100_000, 6), ("amazon", 100_000, 6))
+
+
+def _run(profile, batch_size, nb, threshold):
+    if threshold is None:
+        pipeline = StreamingPipeline(
+            profile, batch_size, "pr", UpdatePolicy.ABR_USC, pr_tolerance=1e-5
+        )
+    else:
+        pipeline = StreamingPipeline(
+            profile, batch_size, "pr", UpdatePolicy.ABR_USC,
+            use_oca=True, oca_config=OCAConfig(overlap_threshold=threshold, n=2),
+            pr_tolerance=1e-5,
+        )
+    return pipeline.run(nb)
+
+
+def run_ablation():
+    rows = []
+    for name, batch_size, nb in CELLS:
+        profile = get_dataset(name)
+        base = _run(profile, batch_size, nb, None)
+        for threshold in THRESHOLDS:
+            run = _run(profile, batch_size, nb, threshold)
+            rows.append(
+                [
+                    f"{name}-{batch_size}",
+                    threshold,
+                    sum(b.deferred for b in run.batches),
+                    base.total_compute_time / run.total_compute_time,
+                ]
+            )
+    return rows
+
+
+def test_ablation_oca_threshold(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(
+        "ablation_oca_threshold",
+        render_table(
+            ["cell", "threshold", "rounds deferred", "compute speedup"],
+            rows,
+            title="Ablation: OCA overlap-threshold sweep (Section 5)",
+        ),
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # At the chosen 0.25: large batches aggregate, the small one does not.
+    assert by_key[("yt-100000", 0.25)][2] > 0
+    assert by_key[("amazon-100000", 0.25)][2] > 0
+    assert by_key[("yt-10000", 0.25)][2] == 0
+    # Dropping the threshold far enough triggers yt-10K (the paper's 0.15
+    # example) — aggregation the latency-sensitive sizes should not get.
+    assert by_key[("yt-10000", 0.15)][2] > 0
+    # Lower thresholds never defer fewer rounds.
+    for name, batch_size, __ in CELLS:
+        deferred = [by_key[(f"{name}-{batch_size}", t)][2] for t in THRESHOLDS]
+        assert all(a <= b for a, b in zip(deferred, deferred[1:]))

@@ -1,0 +1,65 @@
+"""Extension experiment: OCA's latency/throughput trade-off, quantified.
+
+Section 5 argues OCA should only trade granularity at larger batch sizes;
+this experiment measures the trade explicitly: compute-time savings vs the
+p95/max *reaction latency* of deferred batches, across batch sizes.
+"""
+
+from _harness import emit
+from repro.analysis.report import render_table
+from repro.datasets.profiles import get_dataset
+from repro.pipeline.latency import latency_stats
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+CELLS = (("yt", 10_000, 8), ("yt", 100_000, 6), ("wiki", 100_000, 6))
+
+
+def _run(profile, batch_size, nb, use_oca):
+    return StreamingPipeline(
+        profile, batch_size, "pr", UpdatePolicy.ABR_USC,
+        use_oca=use_oca, pr_tolerance=1e-5,
+    ).run(nb)
+
+
+def run_tradeoff():
+    rows = []
+    for name, batch_size, nb in CELLS:
+        profile = get_dataset(name)
+        plain = _run(profile, batch_size, nb, use_oca=False)
+        oca = _run(profile, batch_size, nb, use_oca=True)
+        plain_stats = latency_stats(plain)
+        oca_stats = latency_stats(oca)
+        rows.append(
+            [
+                f"{name}-{batch_size}",
+                plain.total_compute_time / oca.total_compute_time,
+                oca_stats.deferred_batches,
+                oca_stats.p95 / plain_stats.p95,
+                oca_stats.maximum / plain_stats.maximum,
+            ]
+        )
+    return rows
+
+
+def test_ext_latency_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_tradeoff, rounds=1, iterations=1)
+    emit(
+        "ext_latency_tradeoff",
+        render_table(
+            ["cell", "compute speedup", "deferred", "p95 latency ratio",
+             "max latency ratio"],
+            rows,
+            title="Extension: OCA throughput gain vs reaction-latency cost",
+        ),
+    )
+    by_cell = {r[0]: r for r in rows}
+    # Where OCA deactivates (yt-10K: overlap below threshold) latency is
+    # untouched.
+    assert by_cell["yt-10000"][2] == 0
+    assert by_cell["yt-10000"][4] == 1.0
+    # Where it activates, throughput improves and worst-case latency rises —
+    # the trade Section 5 restricts to larger batch sizes.
+    for cell in ("yt-100000", "wiki-100000"):
+        assert by_cell[cell][1] > 1.05
+        assert by_cell[cell][4] > 1.0

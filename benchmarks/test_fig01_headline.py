@@ -1,0 +1,62 @@
+"""Fig. 1: the headline wiki/uk example at batch size 100K.
+
+Paper: input-oblivious RO speeds wiki up 2.7x but degrades uk to 0.69x;
+input-aware software recovers uk to 0.92x and adding HAU lifts it to 1.6x.
+"""
+
+from _harness import CellRun, emit, num_batches, record
+from repro.analysis.report import render_table
+from repro.datasets.profiles import get_dataset
+from repro.exec_model.machine import SIMULATED_MACHINE
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.simulator import HAUSimulator
+from repro.update.engine import UpdateEngine, UpdatePolicy
+
+
+def run_fig01():
+    wiki = CellRun(get_dataset("wiki"), 100_000)
+    uk = CellRun(get_dataset("uk"), 100_000)
+    # (d): uk with input-aware SW + HW, on the simulated machine (both sides).
+    uk_profile = get_dataset("uk")
+    nb = num_batches(uk_profile, 100_000)
+    graph_sw = AdjacencyListGraph(uk_profile.num_vertices)
+    sw = UpdateEngine(graph_sw, UpdatePolicy.BASELINE, machine=SIMULATED_MACHINE)
+    sw_total = sum(
+        sw.ingest(b).time for b in uk_profile.generator().batches(100_000, nb)
+    )
+    graph_hw = AdjacencyListGraph(uk_profile.num_vertices)
+    hw = UpdateEngine(
+        graph_hw, UpdatePolicy.ABR_USC_HAU, machine=SIMULATED_MACHINE,
+        hau=HAUSimulator(),
+    )
+    hw_total = sum(
+        hw.ingest(b).time for b in uk_profile.generator().batches(100_000, nb)
+    )
+    return {
+        "wiki_ro": wiki.baseline_update / wiki.ro_update,
+        "uk_ro": uk.baseline_update / uk.ro_update,
+        "uk_abr": uk.baseline_update / uk.abr_update(),
+        "uk_hw": sw_total / hw_total,
+    }
+
+
+def test_fig01_headline(benchmark):
+    result = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    record("fig01_headline", result)
+    emit(
+        "fig01_headline",
+        render_table(
+            ["bar", "paper", "measured"],
+            [
+                ["(a) wiki input-oblivious RO", "2.70x", result["wiki_ro"]],
+                ["(b) uk input-oblivious RO", "0.69x", result["uk_ro"]],
+                ["(c) uk input-aware SW (ABR)", "0.92x", result["uk_abr"]],
+                ["(d) uk input-aware SW+HW", "1.60x", result["uk_hw"]],
+            ],
+            title="Fig. 1: update speedups at batch size 100K",
+        ),
+    )
+    assert result["wiki_ro"] > 2.0              # big win on wiki
+    assert result["uk_ro"] < 1.0                # degradation on uk
+    assert result["uk_abr"] > result["uk_ro"]   # ABR recovers
+    assert result["uk_hw"] > 1.0                # HW lifts past baseline

@@ -1,0 +1,65 @@
+"""Fig. 3: RO update/overall speedup and max batch degree, full matrix.
+
+Paper: topcats/talk/berkstan/yt/superuser/wiki gain up to ~3x at 100K/500K
+(talk/yt/wiki also at 10K); everything else — and every dataset at 100/1K —
+degrades.  The right axis correlates the speedups with max in/out degree.
+"""
+
+from _harness import CellRun, emit, num_batches
+from repro.analysis.report import render_table
+from repro.datasets.profiles import BATCH_SIZES, DATASETS
+
+
+def run_fig03():
+    rows = []
+    cells = {}
+    for name, profile in DATASETS.items():
+        for batch_size in BATCH_SIZES:
+            cell = CellRun(profile, batch_size, with_compute=(batch_size >= 10_000))
+            cells[(name, batch_size)] = cell
+            overall = (
+                cell.overall(cell.baseline_update) / cell.overall(cell.ro_update)
+                if cell.compute
+                else float("nan")
+            )
+            rows.append(
+                [
+                    name,
+                    batch_size,
+                    cell.baseline_update / cell.ro_update,
+                    overall,
+                    cell.max_degree,
+                    "friendly" if profile.is_friendly(batch_size) else "adverse",
+                ]
+            )
+    return rows, cells
+
+
+def test_fig03_ro_characterization(benchmark):
+    rows, cells = benchmark.pedantic(run_fig03, rounds=1, iterations=1)
+    emit(
+        "fig03_ro_characterization",
+        render_table(
+            ["dataset", "batch size", "RO update speedup",
+             "RO overall speedup", "max in/out degree", "paper category"],
+            rows,
+            title="Fig. 3: input sensitivity of batch reordering (RO)",
+        ),
+    )
+    by_cell = {(r[0], r[1]): r for r in rows}
+    # Friendly cells gain, adverse cells lose — the paper's headline split.
+    for (name, size), row in by_cell.items():
+        if DATASETS[name].is_friendly(size):
+            assert row[2] > 1.0, (name, size)
+        elif size in (100, 1_000):
+            assert row[2] < 1.0, (name, size)
+    # Degree correlation (right axis): friendly@100K degrees dwarf adverse.
+    friendly_degrees = [
+        row[4] for (n, s), row in by_cell.items()
+        if s == 100_000 and DATASETS[n].is_friendly(s)
+    ]
+    adverse_degrees = [
+        row[4] for (n, s), row in by_cell.items()
+        if s == 100_000 and not DATASETS[n].is_friendly(s)
+    ]
+    assert min(friendly_degrees) > max(adverse_degrees)

@@ -1,0 +1,54 @@
+"""Fig. 4: input batch degree distributions of lj vs wiki at 100K.
+
+Paper: lj's representative batch is low-degree (top ten degrees 7-30, max
+30); wiki's is high-degree (top ten 401-1881, max 1881).  Our scaled wiki
+profile is calibrated hotter (max ~5-8K) because CAD at lambda=256 must stay
+above TH=465 down to 10K batches (EXPERIMENTS.md notes the deviation); the
+*separation* between the two distributions is the reproduced property.
+"""
+
+import numpy as np
+
+from _harness import emit
+from repro.analysis.report import render_series, render_table
+from repro.datasets.profiles import get_dataset
+from repro.graph.stats import degree_histogram, top_degrees
+
+
+def run_fig04():
+    out = {}
+    for name in ("lj", "wiki"):
+        batch = get_dataset(name).generator().generate_batch(3, 100_000)
+        degrees, counts = degree_histogram(batch, side="in")
+        out[name] = {
+            "histogram": (degrees, counts),
+            "top10": top_degrees(batch, 10, side="in"),
+        }
+    return out
+
+
+def test_fig04_degree_distribution(benchmark):
+    result = benchmark.pedantic(run_fig04, rounds=1, iterations=1)
+    blocks = []
+    for name in ("lj", "wiki"):
+        degrees, counts = result[name]["histogram"]
+        # Log-log bins like the figure: powers of two.
+        bins = {}
+        for d, c in zip(degrees.tolist(), counts.tolist()):
+            key = 1 << int(np.log2(d))
+            bins[key] = bins.get(key, 0) + c
+        blocks.append(
+            render_series(
+                f"{name}-100K N(k) by power-of-two degree bin",
+                list(bins), [float(v) for v in bins.values()], y_format="{:.0f}",
+            )
+        )
+        blocks.append(
+            f"{name}-100K top ten degrees: {result[name]['top10'].tolist()}"
+        )
+    emit("fig04_degree_distribution", "\n".join(blocks))
+    lj_top = result["lj"]["top10"]
+    wiki_top = result["wiki"]["top10"]
+    assert lj_top[0] <= 60                      # low-degree batch (paper: 30)
+    assert wiki_top[0] >= 1_000                 # high-degree batch
+    assert wiki_top[-1] > lj_top[0]             # distributions fully separate

@@ -1,0 +1,86 @@
+"""Fig. 13 + inset table: ABR, perfect ABR and ABR+USC speedups.
+
+Paper inset (geomeans):
+  reorder-friendly update:  RO 1.92x, ABR 1.85x, perfect 1.98x, ABR+USC 4.55x
+  reorder-adverse  update:  RO 0.37x, ABR 0.87x, perfect 1.02x, ABR+USC 0.87x
+  reorder-friendly overall: RO 1.77x, ABR 1.71x, perfect 1.81x, ABR+USC 3.49x
+  reorder-adverse  overall: RO 0.78x, ABR 0.91x, perfect 1.00x, ABR+USC 0.91x
+"""
+
+from _harness import CellRun, emit, geomean, record
+from repro.analysis.report import render_kv, render_table
+from repro.datasets.profiles import BATCH_SIZES, DATASETS
+
+SIZES = tuple(s for s in BATCH_SIZES if s <= 100_000)
+
+
+def run_fig13():
+    rows = []
+    groups = {"friendly": [], "adverse": []}
+    for name, profile in DATASETS.items():
+        for batch_size in SIZES:
+            cell = CellRun(profile, batch_size, with_compute=True)
+            base = cell.baseline_update
+            entry = {
+                "ro": base / cell.ro_update,
+                "abr": base / cell.abr_update(),
+                "perfect": base / cell.perfect_abr_update(),
+                "abr_usc": base / cell.abr_update(usc=True),
+                "ro_overall": cell.overall(base) / cell.overall(cell.ro_update),
+                "abr_overall": cell.overall(base) / cell.overall(cell.abr_update()),
+                "perfect_overall": cell.overall(base)
+                / cell.overall(cell.perfect_abr_update()),
+                "usc_overall": cell.overall(base)
+                / cell.overall(cell.abr_update(usc=True)),
+            }
+            category = "friendly" if profile.is_friendly(batch_size) else "adverse"
+            groups[category].append(entry)
+            rows.append(
+                [name, batch_size, entry["ro"], entry["abr"], entry["perfect"],
+                 entry["abr_usc"], category]
+            )
+    return rows, groups
+
+
+def test_fig13_abr_usc(benchmark):
+    rows, groups = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    inset = {}
+    for category, entries in groups.items():
+        for key in ("ro", "abr", "perfect", "abr_usc"):
+            inset[f"{category} update {key}"] = geomean(e[key] for e in entries)
+        for key in ("ro_overall", "abr_overall", "perfect_overall", "usc_overall"):
+            inset[f"{category} {key}"] = geomean(e[key] for e in entries)
+    emit(
+        "fig13_abr_usc",
+        render_table(
+            ["dataset", "batch size", "RO", "ABR", "perfect ABR", "ABR+USC",
+             "category"],
+            rows,
+            title="Fig. 13: update speedups over the baseline",
+        )
+        + "\n\n"
+        + render_kv("inset (geomeans; paper: see module docstring)", inset),
+    )
+    record(
+        "fig13_abr_usc",
+        {
+            "adverse_ro": inset["adverse update ro"],
+            "adverse_abr": inset["adverse update abr"],
+            "adverse_perfect": inset["adverse update perfect"],
+            "friendly_abr": inset["friendly update abr"],
+            "friendly_abr_usc": inset["friendly update abr_usc"],
+        },
+    )
+    # Adverse: naive RO degrades badly; ABR recovers close to baseline.
+    assert inset["adverse update ro"] < 0.8
+    assert inset["adverse update abr"] > inset["adverse update ro"]
+    assert inset["adverse update abr"] > 0.8
+    # Perfect ABR never below ABR; close to 1.0 on adverse inputs.
+    assert inset["adverse update perfect"] >= inset["adverse update abr"]
+    assert 0.9 < inset["adverse update perfect"] <= 1.05
+    # Friendly: ABR preserves the RO win; USC multiplies it.
+    assert inset["friendly update abr"] > 1.5
+    assert inset["friendly update abr_usc"] > 2 * inset["friendly update abr"]
+    # Overall effects carry the same ordering.
+    assert inset["adverse abr_overall"] > inset["adverse ro_overall"]
+    assert inset["friendly usc_overall"] > inset["friendly abr_overall"]

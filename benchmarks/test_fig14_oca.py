@@ -1,0 +1,84 @@
+"""Fig. 14: OCA compute speedup across datasets and batch sizes.
+
+Paper: OCA activates at the larger batch sizes (high inter-batch vertex
+overlap) and yields up to 2.7x compute speedup; averaged over the matrix,
+incremental PR gains 1.24x and incremental SSSP 1.26x.  Small batch sizes
+fail the 0.25 overlap threshold and stay at 1x.
+"""
+
+from _harness import caps, emit, geomean, record
+from repro.analysis.report import render_kv, render_table
+from repro.datasets.profiles import DATASETS
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+SIZES = (1_000, 10_000, 100_000)
+#: OCA needs enough batches for measure -> defer -> aggregate cycles.
+MIN_BATCHES = 6
+
+
+def _cell(profile, batch_size, algorithm, use_oca):
+    nb = max(profile.num_batches(batch_size, cap=caps()[batch_size]), 1)
+    nb = min(max(nb, MIN_BATCHES), profile.num_batches(batch_size))
+    pipeline = StreamingPipeline(
+        profile, batch_size, algorithm, UpdatePolicy.ABR_USC,
+        use_oca=use_oca, pr_tolerance=1e-5, pr_max_rounds=10,
+    )
+    return pipeline.run(nb)
+
+
+def run_fig14(algorithm="pr"):
+    rows = []
+    speedups = []
+    for name, profile in DATASETS.items():
+        for batch_size in SIZES:
+            plain = _cell(profile, batch_size, algorithm, use_oca=False)
+            oca = _cell(profile, batch_size, algorithm, use_oca=True)
+            speedup = plain.total_compute_time / oca.total_compute_time
+            overlaps = [b.overlap for b in oca.batches if b.overlap is not None]
+            rows.append(
+                [
+                    name,
+                    batch_size,
+                    speedup,
+                    sum(b.deferred for b in oca.batches),
+                    f"{max(overlaps):.2f}" if overlaps else "-",
+                ]
+            )
+            speedups.append(speedup)
+    return rows, speedups
+
+
+def test_fig14_oca(benchmark):
+    rows, speedups = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    record("fig14_oca", {"average": geomean(speedups), "max": max(speedups)})
+    emit(
+        "fig14_oca",
+        render_table(
+            ["dataset", "batch size", "OCA compute speedup",
+             "rounds deferred", "max overlap"],
+            rows,
+            title="Fig. 14: compute speedup from overlap-based aggregation (incremental PR)",
+        )
+        + "\n\n"
+        + render_kv(
+            "summary",
+            {
+                "average speedup (geomean)": geomean(speedups),
+                "max speedup": max(speedups),
+                "paper": "avg 1.24x (PR), up to 2.7x",
+            },
+        ),
+    )
+    by_cell = {(r[0], r[1]): r for r in rows}
+    # Small batches never aggregate (overlap below threshold).
+    for (name, size), row in by_cell.items():
+        if size == 1_000:
+            assert row[3] == 0, (name, size)
+            assert abs(row[2] - 1.0) < 0.02
+    # Large batches aggregate somewhere and help.
+    activated = [r for r in rows if r[1] == 100_000 and r[3] > 0]
+    assert len(activated) >= 6
+    assert max(r[2] for r in activated) > 1.1
+    # OCA never hurts compute meaningfully.
+    assert min(speedups) > 0.95

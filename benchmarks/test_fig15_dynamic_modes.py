@@ -1,0 +1,93 @@
+"""Fig. 15: input-aware SW/HW dynamic execution vs SW-only and HW-only.
+
+Paper left: enforcing RO+USC on reorder-adverse cells performs almost as
+poorly as plain RO, while ABR+USC recovers and ABR+USC+HAU wins.  Paper
+right: enforcing HAU on reorder-friendly cells degrades performance below
+the software RO+USC mode.
+"""
+
+from _harness import emit, geomean, num_batches
+from repro.analysis.report import render_kv, render_table
+from repro.datasets.profiles import get_dataset
+from repro.exec_model.machine import SIMULATED_MACHINE
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.simulator import HAUSimulator
+from repro.update.engine import UpdateEngine, UpdatePolicy
+
+ADVERSE_CELLS = [("lj", 10_000), ("patents", 10_000), ("fb", 10_000), ("flickr", 10_000)]
+#: The reorder-friendly cells Table 3 leaves in software mode, measured on a
+#: mature graph (8 batches) like the paper's mid-stream snapshots.
+FRIENDLY_CELLS = [("topcats", 100_000), ("berkstan", 100_000),
+                  ("superuser", 100_000), ("wiki", 100_000)]
+FRIENDLY_NB = 8
+
+
+def _update_total(name, batch_size, policy, hau=None, nb=None):
+    profile = get_dataset(name)
+    nb = nb if nb is not None else num_batches(profile, batch_size)
+    graph = AdjacencyListGraph(profile.num_vertices)
+    engine = UpdateEngine(graph, policy, machine=SIMULATED_MACHINE, hau=hau)
+    return sum(
+        engine.ingest(b).time for b in profile.generator().batches(batch_size, nb)
+    )
+
+
+def run_fig15():
+    left = []
+    for name, size in ADVERSE_CELLS:
+        baseline = _update_total(name, size, UpdatePolicy.BASELINE)
+        left.append(
+            {
+                "cell": f"{name}-{size}",
+                "ro": baseline / _update_total(name, size, UpdatePolicy.ALWAYS_RO),
+                "ro_usc": baseline
+                / _update_total(name, size, UpdatePolicy.ALWAYS_RO_USC),
+                "abr_usc": baseline / _update_total(name, size, UpdatePolicy.ABR_USC),
+                "dynamic": baseline
+                / _update_total(
+                    name, size, UpdatePolicy.ABR_USC_HAU, hau=HAUSimulator()
+                ),
+            }
+        )
+    right = []
+    for name, size in FRIENDLY_CELLS:
+        sw = _update_total(name, size, UpdatePolicy.ABR_USC, nb=FRIENDLY_NB)
+        hw = _update_total(
+            name, size, UpdatePolicy.ALWAYS_HAU, hau=HAUSimulator(), nb=FRIENDLY_NB
+        )
+        right.append({"cell": f"{name}-{size}", "enforced_hau_vs_sw": sw / hw})
+    return left, right
+
+
+def test_fig15_dynamic_modes(benchmark):
+    left, right = benchmark.pedantic(run_fig15, rounds=1, iterations=1)
+    left_rows = [
+        [e["cell"], e["ro"], e["ro_usc"], e["abr_usc"], e["dynamic"]] for e in left
+    ]
+    right_rows = [[e["cell"], e["enforced_hau_vs_sw"]] for e in right]
+    emit(
+        "fig15_dynamic_modes",
+        render_table(
+            ["adverse cell", "RO", "RO+USC (enforced SW)", "ABR+USC",
+             "ABR+USC+HAU (dynamic)"],
+            left_rows,
+            title="Fig. 15 left: update speedup over baseline on reorder-adverse cells",
+        )
+        + "\n\n"
+        + render_table(
+            ["friendly cell", "enforced HAU speedup vs ABR+USC"],
+            right_rows,
+            title="Fig. 15 right: enforcing HAU on reorder-friendly cells",
+        ),
+    )
+    for e in left:
+        # Enforced SW optimizations perform almost as poorly as plain RO...
+        assert e["ro_usc"] < 1.0
+        assert abs(e["ro_usc"] - e["ro"]) < 0.35
+        # ...while ABR recovers and dynamic SW/HW wins outright.
+        assert e["abr_usc"] > e["ro_usc"]
+        assert e["dynamic"] > e["abr_usc"]
+        assert e["dynamic"] > 1.0
+    for e in right:
+        # Enforced HAU degrades friendly cells (< 1x vs the SW mode).
+        assert e["enforced_hau_vs_sw"] < 1.0

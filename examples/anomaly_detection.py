@@ -1,0 +1,76 @@
+"""Streaming anomaly detection via incremental triangle counting.
+
+The paper motivates streaming graph processing with anomaly and fraud
+detection.  A classic signal is a sudden burst of *triangles*: collusion
+rings transact densely among themselves, while organic activity adds edges
+whose endpoints rarely share neighbors.  This example streams an
+interaction graph, maintains the exact triangle count incrementally, and
+flags the batch where an injected 12-vertex collusion ring appears.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import get_dataset
+from repro.compute.triangles import IncrementalTriangleCounter
+from repro.graph import AdjacencyListGraph
+
+BATCH_SIZE = 2_000
+NUM_BATCHES = 10
+RING_BATCH = 6
+RING_SIZE = 12
+
+
+def ring_edges(base_vertex: int) -> tuple[list[int], list[int]]:
+    """A fully connected collusion ring of RING_SIZE accounts."""
+    src, dst = [], []
+    for i in range(RING_SIZE):
+        for j in range(RING_SIZE):
+            if i != j:
+                src.append(base_vertex + i)
+                dst.append(base_vertex + j)
+    return src, dst
+
+
+def main() -> None:
+    profile = get_dataset("fb")
+    generator = profile.generator(seed=3)
+    graph = AdjacencyListGraph(profile.num_vertices)
+    counter = IncrementalTriangleCounter(graph)
+
+    print(f"monitoring {profile.full_name}-like stream "
+          f"({BATCH_SIZE} edges/batch); collusion ring injected at "
+          f"batch {RING_BATCH}\n")
+    print(f"{'batch':>6s}{'triangles':>11s}{'delta':>8s}{'verdict':>10s}")
+    deltas = []
+    for batch_id in range(NUM_BATCHES):
+        batch = generator.generate_batch(batch_id, BATCH_SIZE)
+        if batch_id == RING_BATCH:
+            ring_src, ring_dst = ring_edges(base_vertex=40_000)
+            batch = type(batch)(
+                batch_id=batch_id,
+                src=np.concatenate([batch.src[: -len(ring_src)],
+                                    np.array(ring_src)]),
+                dst=np.concatenate([batch.dst[: -len(ring_dst)],
+                                    np.array(ring_dst)]),
+                weight=batch.weight,
+            )
+        before = counter.count
+        counter.ingest(batch)
+        delta = counter.count - before
+        history = deltas[-4:]
+        spike = bool(history) and delta > 10 * (sum(history) / len(history) + 1)
+        deltas.append(delta)
+        verdict = "ANOMALY" if spike else ""
+        print(f"{batch_id:>6d}{counter.count:>11d}{delta:>8d}{verdict:>10s}")
+        if spike:
+            assert batch_id == RING_BATCH
+
+    print(f"\nring of {RING_SIZE} colluders creates "
+          f"{RING_SIZE * (RING_SIZE - 1) * (RING_SIZE - 2) // 6} triangles at "
+          "once — unmistakable against the organic baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Bring your own stream: define a dataset profile and characterize it.
+
+Shows the extension path a downstream user takes for their own workload:
+describe the stream's endpoint degree behaviour with ``SideProfile``s, wrap
+them in a ``DatasetProfile``, and let the library characterize whether batch
+reordering pays off — and at which batch sizes ABR will enable it.
+
+Run:  python examples/custom_dataset.py
+"""
+
+from repro import DatasetProfile, SideProfile
+from repro.analysis import characterize_cell, render_table
+
+# An IoT telemetry graph: millions of sensors (uniform sources) reporting to
+# a small set of aggregation gateways (a heavy-tailed destination side).
+iot = DatasetProfile(
+    name="iot-telemetry",
+    full_name="IoT sensor-to-gateway telemetry",
+    kind="timestamped",
+    paper_vertices=0, paper_edges=0,      # not from the paper
+    num_vertices=80_000,
+    stream_edges=1_000_000,
+    src_profile=SideProfile(hub_mass=0.0, hub_count=0, hub_alpha=0.0,
+                            tail_size=80_000),
+    dst_profile=SideProfile(hub_mass=0.30, hub_count=64, hub_alpha=1.2,
+                            tail_size=79_000),
+    hub_in_pool=4_000,
+)
+
+
+def main() -> None:
+    rows = []
+    for batch_size in (1_000, 10_000, 100_000):
+        cell = characterize_cell(
+            iot, batch_size, num_batches=min(6, iot.num_batches(batch_size))
+        )
+        rows.append([
+            batch_size,
+            cell.ro_speedup,
+            cell.usc_speedup,
+            cell.max_degree,
+            max(cell.per_batch_cads),
+            "reorder (SW mode)" if max(cell.per_batch_cads) >= 465
+            else "don't reorder (HAU candidates)",
+        ])
+    print(render_table(
+        ["batch size", "RO speedup", "RO+USC speedup", "max batch degree",
+         "CAD_256", "ABR decision at TH=465"],
+        rows,
+        title=f"RO characterization of custom dataset '{iot.name}'",
+    ))
+    print("\nGateways concentrate edges, so large batches become "
+          "reorder-friendly; pick the execution mode per batch size "
+          "accordingly (or just run ABR and let it decide online).")
+
+
+if __name__ == "__main__":
+    main()

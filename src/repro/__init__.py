@@ -1,0 +1,119 @@
+"""repro — input-aware streaming graph processing.
+
+A production-quality Python reproduction of *"Improving Streaming Graph
+Processing Performance using Input Knowledge"* (Basak et al., MICRO 2021):
+adaptive batch reordering (ABR) with the CAD_lambda metric, update search
+coalescing (USC), the HAU hardware accelerator on a simulated 16-core CMP,
+overlap-based compute aggregation (OCA), and the full input-aware SW/HW
+dynamic execution pipeline — plus every substrate they need (synthetic
+calibrated dataset streams, dynamic graph structures, incremental/static
+PageRank and SSSP, a modeled-time multicore execution model).
+
+Quickstart::
+
+    from repro import StreamingPipeline, UpdatePolicy, get_dataset
+
+    pipeline = StreamingPipeline(
+        get_dataset("wiki"), batch_size=10_000,
+        algorithm="pr", policy=UpdatePolicy.ABR_USC, use_oca=True,
+    )
+    metrics = pipeline.run(num_batches=12)
+    print(metrics.total_update_time, metrics.total_compute_time)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .costs import ComputeCostParameters, CostParameters
+from .datasets import (
+    BATCH_SIZES,
+    DATASETS,
+    Batch,
+    DatasetProfile,
+    EdgeStream,
+    SideProfile,
+    StreamGenerator,
+    dataset_names,
+    get_dataset,
+)
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    GraphError,
+    ReproError,
+    SimulationError,
+    StreamExhaustedError,
+    UnknownDatasetError,
+    VertexOutOfRangeError,
+)
+from .exec_model import HOST_MACHINE, SIMULATED_MACHINE, MachineConfig
+from .graph import (
+    AdjacencyListGraph,
+    CSRSnapshot,
+    DegreeAwareHashGraph,
+    DynamicGraph,
+    EdgeLogGraph,
+    take_snapshot,
+)
+from .compute import (
+    IncrementalPageRank,
+    IncrementalSSSP,
+    OCAConfig,
+    OCAController,
+    StaticPageRank,
+    StaticSSSP,
+)
+from .hau import HAUConfig, HAUSimulator
+from .pipeline import MODES, RunMetrics, StreamingPipeline, Workload, workload_matrix
+from .update import ABRConfig, ABRController, UpdateEngine, UpdatePolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComputeCostParameters",
+    "CostParameters",
+    "BATCH_SIZES",
+    "DATASETS",
+    "Batch",
+    "DatasetProfile",
+    "EdgeStream",
+    "SideProfile",
+    "StreamGenerator",
+    "dataset_names",
+    "get_dataset",
+    "AnalysisError",
+    "ConfigurationError",
+    "GraphError",
+    "ReproError",
+    "SimulationError",
+    "StreamExhaustedError",
+    "UnknownDatasetError",
+    "VertexOutOfRangeError",
+    "HOST_MACHINE",
+    "SIMULATED_MACHINE",
+    "MachineConfig",
+    "AdjacencyListGraph",
+    "CSRSnapshot",
+    "DegreeAwareHashGraph",
+    "DynamicGraph",
+    "EdgeLogGraph",
+    "take_snapshot",
+    "IncrementalPageRank",
+    "IncrementalSSSP",
+    "OCAConfig",
+    "OCAController",
+    "StaticPageRank",
+    "StaticSSSP",
+    "HAUConfig",
+    "HAUSimulator",
+    "MODES",
+    "RunMetrics",
+    "StreamingPipeline",
+    "Workload",
+    "workload_matrix",
+    "ABRConfig",
+    "ABRController",
+    "UpdateEngine",
+    "UpdatePolicy",
+    "__version__",
+]

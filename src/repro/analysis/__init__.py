@@ -1,0 +1,38 @@
+"""Analysis: characterization runners, ABR accuracy, report rendering."""
+
+from .accuracy import (
+    FIG18_EXCLUDED_DATASETS,
+    FIG18_GRID,
+    AccuracyPoint,
+    accuracy_grid,
+    decision_accuracy,
+)
+from .characterization import CellCharacterization, characterize_cell, geomean
+from .experiments import ExperimentStore
+from .report import render_kv, render_series, render_table
+from .visualize import bar_chart, grouped_bar_chart
+from .sensitivity import (
+    SensitivityPoint,
+    classification_robustness,
+    sweep_parameter,
+)
+
+__all__ = [
+    "bar_chart",
+    "grouped_bar_chart",
+    "ExperimentStore",
+    "SensitivityPoint",
+    "classification_robustness",
+    "sweep_parameter",
+    "FIG18_EXCLUDED_DATASETS",
+    "FIG18_GRID",
+    "AccuracyPoint",
+    "accuracy_grid",
+    "decision_accuracy",
+    "CellCharacterization",
+    "characterize_cell",
+    "geomean",
+    "render_kv",
+    "render_series",
+    "render_table",
+]

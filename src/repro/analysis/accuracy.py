@@ -1,0 +1,101 @@
+"""ABR decision accuracy over the (lambda, TH) grid — Fig. 18.
+
+Accuracy is measured exactly as the paper frames it: for every example batch,
+compare the CAD-rule decision (``CAD_lambda >= TH``) against the per-batch
+ground truth (did reordering actually beat the baseline for that batch?), and
+report the fraction of correct decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.profiles import DATASETS
+from ..errors import AnalysisError
+from .characterization import CellCharacterization
+
+__all__ = [
+    "FIG18_GRID",
+    "FIG18_EXCLUDED_DATASETS",
+    "AccuracyPoint",
+    "decision_accuracy",
+    "accuracy_grid",
+]
+
+#: The (lambda, TH) combinations Fig. 18(a) sweeps (bottom/top axis values).
+FIG18_GRID: tuple[tuple[int, float], ...] = (
+    (2, 10.0),
+    (4, 20.0),
+    (8, 35.0),
+    (16, 65.0),
+    (32, 90.0),
+    (64, 140.0),
+    (128, 240.0),
+    (256, 465.0),
+    (512, 770.0),
+)
+
+#: Fig. 18(a) leaves out yt, friendster and uk (ABR is trivially right on
+#: them at every batch size, so they would only inflate accuracy).
+FIG18_EXCLUDED_DATASETS: frozenset[str] = frozenset({"yt", "friendster", "uk"})
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """Decision accuracy of one (lambda, TH) combination."""
+
+    lam: int
+    threshold: float
+    accuracy: float
+    examples: int
+
+
+def decision_accuracy(
+    cells: list[CellCharacterization], lam: int, threshold: float
+) -> AccuracyPoint:
+    """Accuracy of the CAD rule against per-batch ground truth.
+
+    Note:
+        ``cells`` must have been characterized with ``cad_lambda == lam`` so
+        their recorded CAD values use the right cutoff.
+    """
+    correct = 0
+    total = 0
+    for cell in cells:
+        for beneficial, cad in zip(cell.per_batch_ro_beneficial, cell.per_batch_cads):
+            decision = cad >= threshold
+            correct += decision == beneficial
+            total += 1
+    if total == 0:
+        raise AnalysisError("no example batches supplied")
+    return AccuracyPoint(
+        lam=lam, threshold=threshold, accuracy=correct / total, examples=total
+    )
+
+
+def accuracy_grid(
+    characterize,  # callable: (dataset_name, batch_size, lam) -> CellCharacterization
+    batch_sizes: tuple[int, ...],
+    grid: tuple[tuple[int, float], ...] = FIG18_GRID,
+    datasets: list[str] | None = None,
+) -> list[AccuracyPoint]:
+    """Sweep the (lambda, TH) grid (Fig. 18(a)).
+
+    Args:
+        characterize: producer of per-cell characterizations at a given
+            lambda (injected so benches can control batch counts/caching).
+        batch_sizes: batch sizes to include as examples.
+        grid: the (lambda, TH) combinations to score.
+        datasets: dataset names to include; defaults to all minus the
+            Fig. 18 exclusions.
+    """
+    names = datasets or [d for d in DATASETS if d not in FIG18_EXCLUDED_DATASETS]
+    points = []
+    for lam, threshold in grid:
+        cells = [
+            characterize(name, batch_size, lam)
+            for name in names
+            for batch_size in batch_sizes
+        ]
+        points.append(decision_accuracy(cells, lam, threshold))
+    return points

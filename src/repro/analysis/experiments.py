@@ -1,0 +1,85 @@
+"""Experiment result persistence.
+
+Benchmarks and user studies record their measured rows as JSON documents so
+later runs can be diffed, aggregated into EXPERIMENTS.md, or compared against
+the paper's reported values programmatically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+
+from ..errors import AnalysisError
+
+__all__ = ["ExperimentStore"]
+
+
+def _jsonable(value):
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return value
+
+
+@dataclass(frozen=True)
+class _Record:
+    name: str
+    payload: dict
+
+
+class ExperimentStore:
+    """A directory of named JSON experiment records.
+
+    Example::
+
+        store = ExperimentStore("results")
+        store.record("table3", {"cells": rows, "geomean": 2.6})
+        later = store.load("table3")
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or name.startswith("."):
+            raise AnalysisError(f"invalid experiment name {name!r}")
+        return self.directory / f"{name}.json"
+
+    def record(self, name: str, payload: dict) -> Path:
+        """Persist one experiment's payload; returns the file written."""
+        path = self._path(name)
+        path.write_text(json.dumps(_jsonable(payload), indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> dict:
+        """Load a previously recorded experiment.
+
+        Raises:
+            AnalysisError: if the record does not exist.
+        """
+        path = self._path(name)
+        if not path.exists():
+            raise AnalysisError(f"no recorded experiment named {name!r}")
+        return json.loads(path.read_text())
+
+    def names(self) -> list[str]:
+        """All recorded experiment names, sorted."""
+        return sorted(p.stem for p in self.directory.glob("*.json"))
+
+    def compare(self, name: str, key: str, expected: float, tolerance: float) -> bool:
+        """True if a recorded scalar is within ``tolerance`` (relative) of
+        ``expected``."""
+        value = self.load(name)
+        for part in key.split("."):
+            value = value[part]
+        if expected == 0:
+            raise AnalysisError("expected value must be nonzero for relative compare")
+        return abs(value - expected) / abs(expected) <= tolerance

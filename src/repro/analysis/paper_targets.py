@@ -1,0 +1,113 @@
+"""Machine-readable paper-reported values and reproduction bands.
+
+Each target names one scalar the paper reports, the value, and the band our
+scaled reproduction is expected to land in (see EXPERIMENTS.md for the
+rationale behind each band).  Benchmarks record their measured summaries as
+JSON (``results/<name>.json``); :func:`fidelity_report` joins the two into
+the paper-vs-measured table, and ``repro fidelity`` prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from .experiments import ExperimentStore
+
+__all__ = ["PaperTarget", "PAPER_TARGETS", "fidelity_report"]
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One paper-reported scalar and its acceptance band.
+
+    Attributes:
+        experiment: results/<experiment>.json record holding the measurement.
+        key: dotted path of the measured scalar inside the record.
+        description: what the number is.
+        paper_value: the value the paper reports.
+        low / high: acceptance band for our scaled reproduction.
+    """
+
+    experiment: str
+    key: str
+    description: str
+    paper_value: float
+    low: float
+    high: float
+
+    def within(self, measured: float) -> bool:
+        return self.low <= measured <= self.high
+
+
+#: The headline scalars of every evaluation artifact.
+PAPER_TARGETS: tuple[PaperTarget, ...] = (
+    PaperTarget("fig01_headline", "wiki_ro",
+                "Fig.1(a) wiki RO update speedup @100K", 2.70, 2.0, 4.5),
+    PaperTarget("fig01_headline", "uk_ro",
+                "Fig.1(b) uk RO update speedup @100K", 0.69, 0.4, 1.0),
+    PaperTarget("fig01_headline", "uk_abr",
+                "Fig.1(c) uk input-aware SW @100K", 0.92, 0.7, 1.05),
+    PaperTarget("fig01_headline", "uk_hw",
+                "Fig.1(d) uk input-aware SW+HW @100K", 1.60, 1.0, 2.5),
+    PaperTarget("fig06_update_time_share", "baseline_share",
+                "Fig.6 geomean baseline update share", 0.19, 0.05, 0.60),
+    PaperTarget("fig06_update_time_share", "ro_minus_baseline",
+                "Fig.6 RO share minus baseline share (>0)", 0.14, 0.0, 0.5),
+    PaperTarget("fig13_abr_usc", "adverse_abr",
+                "Fig.13 adverse-update ABR geomean", 0.87, 0.8, 1.0),
+    PaperTarget("fig13_abr_usc", "adverse_perfect",
+                "Fig.13 adverse-update perfect-ABR geomean", 1.02, 0.9, 1.05),
+    PaperTarget("fig13_abr_usc", "friendly_abr",
+                "Fig.13 friendly-update ABR geomean", 1.85, 1.5, 5.0),
+    PaperTarget("fig13_abr_usc", "friendly_abr_usc",
+                "Fig.13 friendly-update ABR+USC geomean", 4.55, 3.0, 40.0),
+    PaperTarget("table3_hau", "geomean",
+                "Table 3 HAU update-speedup geomean (applied cells)", 2.6, 1.8, 4.5),
+    PaperTarget("fig14_oca", "average",
+                "Fig.14 OCA compute-speedup average", 1.24, 1.05, 1.6),
+    PaperTarget("fig16_overheads", "reordered",
+                "Fig.16(a) reordered active-batch factor", 0.90, 0.80, 1.0),
+    PaperTarget("fig16_overheads", "nonreordered",
+                "Fig.16(a) non-reordered active-batch factor", 0.54, 0.35, 0.80),
+    PaperTarget("fig18_abr_parameters", "paper_point_accuracy",
+                "Fig.18(a) accuracy at (lambda=256, TH=465)", 0.97, 0.90, 1.0),
+    PaperTarget("fig19_hau_work_distribution", "tasks_max_over_min",
+                "Fig.19 per-core task imbalance (max/min)", 1.03, 1.0, 1.15),
+    PaperTarget("fig20_hau_noc", "local_fraction",
+                "Fig.20 local-tile cacheline fraction", 0.985, 0.96, 1.0),
+    PaperTarget("fig20_hau_noc", "max_latency_increase",
+                "Fig.20 max packet-latency increase (%)", 10.0, 0.0, 10.0),
+)
+
+
+def fidelity_report(store: ExperimentStore) -> list[dict]:
+    """Join recorded measurements with the paper targets.
+
+    Returns one row per target: description, paper value, measured value
+    (None if the experiment has not been recorded), and status
+    (``"ok"`` / ``"out-of-band"`` / ``"missing"``).
+    """
+    rows = []
+    for target in PAPER_TARGETS:
+        measured = None
+        status = "missing"
+        try:
+            record = store.load(target.experiment)
+            value = record
+            for part in target.key.split("."):
+                value = value[part]
+            measured = float(value)
+            status = "ok" if target.within(measured) else "out-of-band"
+        except (AnalysisError, KeyError, TypeError, ValueError):
+            pass
+        rows.append(
+            {
+                "description": target.description,
+                "paper": target.paper_value,
+                "measured": measured,
+                "band": (target.low, target.high),
+                "status": status,
+            }
+        )
+    return rows

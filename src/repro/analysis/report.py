@@ -1,0 +1,60 @@
+"""ASCII table/series rendering for experiment output.
+
+Every benchmark prints its figure/table through these helpers so the output
+format is uniform and diffable (EXPERIMENTS.md embeds excerpts).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "render_kv"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    formatted_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, xs: Sequence[object], ys: Sequence[float], y_format: str = "{:.2f}"
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs, one per line."""
+    lines = [f"series {name}:"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x} = {y_format.format(y)}")
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: dict[str, object]) -> str:
+    """Render a key/value block (summary insets, config dumps)."""
+    width = max(len(k) for k in pairs) if pairs else 0
+    lines = [title]
+    for key, value in pairs.items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key.ljust(width)} : {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Cost-model sensitivity analysis.
+
+The modeled-time substitution (DESIGN.md §2) is only credible if the paper's
+qualitative conclusions do not hinge on the exact constants.  This module
+re-runs the RO characterization of representative cells while scaling one
+cost parameter across a grid, and reports whether the reorder-friendly /
+reorder-adverse classification survives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..costs import CostParameters
+from ..datasets.profiles import DatasetProfile
+from ..errors import AnalysisError
+from .characterization import characterize_cell
+
+__all__ = ["SensitivityPoint", "sweep_parameter", "classification_robustness"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One (parameter scale, cell) measurement."""
+
+    parameter: str
+    scale: float
+    dataset: str
+    batch_size: int
+    ro_speedup: float
+
+    @property
+    def friendly(self) -> bool:
+        return self.ro_speedup > 1.0
+
+
+def _scaled_costs(parameter: str, scale: float) -> CostParameters:
+    base = CostParameters()
+    if not hasattr(base, parameter):
+        raise AnalysisError(f"unknown cost parameter {parameter!r}")
+    value = getattr(base, parameter) * scale
+    if parameter in ("parallel_efficiency", "scan_warm_factor"):
+        value = min(value, 1.0)
+    return dataclasses.replace(base, **{parameter: value})
+
+
+def sweep_parameter(
+    parameter: str,
+    scales: tuple[float, ...],
+    cells: list[tuple[DatasetProfile, int, int]],
+) -> list[SensitivityPoint]:
+    """Characterize ``cells`` under scaled values of one cost parameter.
+
+    Args:
+        parameter: a :class:`~repro.costs.CostParameters` field name.
+        scales: multiplicative factors applied to the default value.
+        cells: (profile, batch_size, num_batches) triples.
+    """
+    points = []
+    for scale in scales:
+        costs = _scaled_costs(parameter, scale)
+        for profile, batch_size, num_batches in cells:
+            cell = characterize_cell(
+                profile, batch_size, num_batches, costs=costs
+            )
+            points.append(
+                SensitivityPoint(
+                    parameter=parameter,
+                    scale=scale,
+                    dataset=profile.name,
+                    batch_size=batch_size,
+                    ro_speedup=cell.ro_speedup,
+                )
+            )
+    return points
+
+
+def classification_robustness(
+    points: list[SensitivityPoint],
+    expected: dict[tuple[str, int], bool],
+) -> float:
+    """Fraction of sweep points whose classification matches expectation.
+
+    Args:
+        points: sweep output.
+        expected: (dataset, batch_size) -> paper-expected friendliness.
+    """
+    if not points:
+        raise AnalysisError("no sensitivity points supplied")
+    correct = sum(
+        point.friendly == expected[(point.dataset, point.batch_size)]
+        for point in points
+    )
+    return correct / len(points)

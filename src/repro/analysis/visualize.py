@@ -1,0 +1,102 @@
+"""ASCII visualization of figure series — terminal-friendly bar charts.
+
+The benchmarks print numeric tables; these helpers render the same series
+as horizontal bar charts so a terminal run of ``repro characterize`` or a
+benchmark transcript conveys the figures' shapes at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import AnalysisError
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "#"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    cells = int(round(value * scale))
+    return _FULL * max(cells, 1 if value > 0 else 0)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+    baseline: float | None = None,
+) -> str:
+    """Render one series as horizontal bars.
+
+    Args:
+        labels: bar labels.
+        values: non-negative bar values.
+        title: optional heading.
+        width: character budget for the longest bar.
+        value_format: numeric annotation format.
+        baseline: optional reference value marked with ``|`` on each row
+            (e.g. 1.0 for a speedup chart).
+    """
+    if len(labels) != len(values):
+        raise AnalysisError("labels and values must have equal length")
+    if not values:
+        raise AnalysisError("nothing to chart")
+    if any(v < 0 for v in values):
+        raise AnalysisError("bar values must be non-negative")
+    peak = max(max(values), baseline or 0.0)
+    if peak == 0:
+        peak = 1.0
+    scale = width / peak
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _bar(value, scale, width)
+        if baseline is not None:
+            marker = int(round(baseline * scale))
+            padded = list(bar.ljust(max(marker + 1, len(bar))))
+            if 0 <= marker < len(padded):
+                padded[marker] = "|"
+            bar = "".join(padded).rstrip()
+        annotation = value_format.format(value)
+        lines.append(f"{label.rjust(label_width)}  {bar} {annotation}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render several series side by side, grouped by x value.
+
+    Args:
+        groups: x-axis labels (one block per group).
+        series: series name -> values (one per group).
+    """
+    if not series:
+        raise AnalysisError("no series supplied")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise AnalysisError(
+                f"series {name!r} has {len(values)} values for {len(groups)} groups"
+            )
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        peak = 1.0
+    scale = width / peak
+    name_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            lines.append(
+                f"  {name.rjust(name_width)}  "
+                f"{_bar(value, scale, width)} {value_format.format(value)}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,364 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands:
+
+* ``datasets`` — print the Table 2 inventory (paper + scaled profiles).
+* ``run`` — run one pipeline cell and print its metrics.
+* ``characterize`` — RO trade-off study for one dataset (Fig. 3 row).
+* ``hau`` — simulate HAU on one cell and print Table 3-style numbers plus
+  the Fig. 19/20 per-core statistics.
+* ``oca`` — measure inter-batch overlap and OCA's compute speedup per
+  batch size for one dataset (Fig. 14 row).
+* ``accuracy`` — ABR decision accuracy over the Fig. 18 (lambda, TH) grid.
+* ``sensitivity`` — cost-constant robustness sweep for one parameter.
+* ``fidelity`` — paper-reported vs measured summary, joined from the JSON
+  records the benchmarks leave under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.characterization import characterize_cell
+from .analysis.report import render_kv, render_table
+from .datasets.profiles import BATCH_SIZES, DATASETS, get_dataset
+from .exec_model.machine import SIMULATED_MACHINE
+from .graph.adjacency_list import AdjacencyListGraph
+from .hau.simulator import HAUSimulator
+from .pipeline.modes import MODES, resolve_mode
+from .pipeline.runner import ALGORITHMS, StreamingPipeline
+from .update.engine import UpdateEngine, UpdatePolicy
+
+__all__ = ["main"]
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    rows = [
+        [
+            p.name,
+            p.full_name,
+            p.kind,
+            f"{p.paper_vertices:,}",
+            f"{p.paper_edges:,}",
+            f"{p.num_vertices:,}",
+            f"{p.stream_edges:,}",
+            ",".join(str(s) for s in sorted(p.friendly_sizes)) or "-",
+        ]
+        for p in DATASETS.values()
+    ]
+    print(
+        render_table(
+            ["name", "full name", "kind", "paper |V|", "paper |E|",
+             "scaled |V|", "scaled |E|", "RO-friendly sizes"],
+            rows,
+            title="Table 2: evaluated datasets (paper originals and scaled profiles)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    profile = get_dataset(args.dataset)
+    policy = resolve_mode(args.mode)
+    hau = HAUSimulator() if policy in (UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU) else None
+    machine = SIMULATED_MACHINE if hau else None
+    kwargs = {"machine": machine} if machine else {}
+    trace = None
+    if args.trace:
+        from .pipeline.tracing import TraceWriter
+
+        trace = TraceWriter(args.trace)
+    pipeline = StreamingPipeline(
+        profile,
+        args.batch_size,
+        algorithm=args.algorithm,
+        policy=policy,
+        use_oca=args.oca,
+        hau=hau,
+        trace=trace,
+        **kwargs,
+    )
+    metrics = pipeline.run(args.num_batches)
+    if trace is not None:
+        trace.close()
+        print(f"trace: {trace.events_written} events -> {trace.path}")
+    print(
+        render_kv(
+            f"{profile.name} @ {args.batch_size} [{args.algorithm}, {args.mode}"
+            f"{', oca' if args.oca else ''}]",
+            {
+                "batches": metrics.num_batches,
+                "update time (tu)": metrics.total_update_time,
+                "compute time (tu)": metrics.total_compute_time,
+                "total time (tu)": metrics.total_time,
+                "update share": metrics.update_share,
+                "strategies": str(metrics.strategies_used()),
+            },
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    profile = get_dataset(args.dataset)
+    rows = []
+    for batch_size in BATCH_SIZES:
+        num_batches = profile.num_batches(batch_size, cap=args.num_batches)
+        cell = characterize_cell(profile, batch_size, num_batches)
+        rows.append(
+            [
+                batch_size,
+                cell.ro_speedup,
+                cell.usc_speedup,
+                cell.max_degree,
+                "friendly" if cell.ro_friendly else "adverse",
+            ]
+        )
+    print(
+        render_table(
+            ["batch size", "RO speedup", "RO+USC speedup", "max degree", "category"],
+            rows,
+            title=f"RO characterization for {profile.name} (Fig. 3 row)",
+        )
+    )
+    return 0
+
+
+def _cmd_hau(args: argparse.Namespace) -> int:
+    profile = get_dataset(args.dataset)
+    graph_sw = AdjacencyListGraph(profile.num_vertices)
+    sw = UpdateEngine(graph_sw, UpdatePolicy.ABR_USC, machine=SIMULATED_MACHINE)
+    for batch in profile.generator().batches(args.batch_size, args.num_batches):
+        sw.ingest(batch)
+    graph_hw = AdjacencyListGraph(profile.num_vertices)
+    hau = HAUSimulator()
+    hw = UpdateEngine(
+        graph_hw, UpdatePolicy.ABR_USC_HAU, machine=SIMULATED_MACHINE, hau=hau
+    )
+    for batch in profile.generator().batches(args.batch_size, args.num_batches):
+        hw.ingest(batch)
+    print(
+        render_kv(
+            f"HAU on {profile.name} @ {args.batch_size} ({args.num_batches} batches)",
+            {
+                "ABR+USC update time (tu)": sw.total_time,
+                "ABR+USC+HAU update time (tu)": hw.total_time,
+                "update speedup": sw.total_time / hw.total_time,
+            },
+        )
+    )
+    if hau.results:
+        last = hau.results[-1]
+        rows = [
+            [core, last.tasks_per_core[core], last.lines_per_core[core]]
+            for core in sorted(last.tasks_per_core)
+        ]
+        print()
+        print(
+            render_table(
+                ["core", "update tasks", "edge-data cachelines"],
+                rows,
+                title="Fig. 19: per-core work distribution (last simulated batch)",
+                float_format="{:.0f}",
+            )
+        )
+        print()
+        print(
+            render_kv(
+                "Fig. 20: locality and NoC impact (last simulated batch)",
+                {
+                    "local tile hit fraction": last.local_fraction,
+                    "remote access reduction vs software": last.remote_access_reduction,
+                    "max packet latency increase (%)": max(
+                        last.packet_latency_increase.values()
+                    ),
+                },
+            )
+        )
+    return 0
+
+
+def _cmd_oca(args: argparse.Namespace) -> int:
+    profile = get_dataset(args.dataset)
+    rows = []
+    for batch_size in (1_000, 10_000, 100_000):
+        nb = max(
+            profile.num_batches(batch_size, cap=args.num_batches), 1
+        )
+        plain = StreamingPipeline(
+            profile, batch_size, "pr", UpdatePolicy.ABR_USC, pr_tolerance=1e-5
+        ).run(nb)
+        oca = StreamingPipeline(
+            profile, batch_size, "pr", UpdatePolicy.ABR_USC,
+            use_oca=True, pr_tolerance=1e-5,
+        ).run(nb)
+        overlaps = [b.overlap for b in oca.batches if b.overlap is not None]
+        rows.append(
+            [
+                batch_size,
+                f"{max(overlaps):.2f}" if overlaps else "-",
+                sum(b.deferred for b in oca.batches),
+                plain.total_compute_time / oca.total_compute_time,
+            ]
+        )
+    print(
+        render_table(
+            ["batch size", "max overlap", "rounds deferred", "compute speedup"],
+            rows,
+            title=f"OCA behaviour for {profile.name} (Fig. 14 row)",
+        )
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from .analysis.accuracy import FIG18_GRID
+    from .update.cad import cad_from_degrees
+
+    profile = get_dataset(args.dataset)
+    examples = []
+    for batch_size in (1_000, 10_000, 100_000):
+        nb = profile.num_batches(batch_size, cap=args.num_batches)
+        cell = characterize_cell(profile, batch_size, nb)
+        generator = profile.generator()
+        for index, beneficial in enumerate(cell.per_batch_ro_beneficial):
+            batch = generator.generate_batch(index, batch_size)
+            sides = (batch.in_degrees()[1], batch.out_degrees()[1])
+            examples.append((beneficial, batch.size, sides))
+    rows = []
+    for lam, threshold in FIG18_GRID:
+        correct = sum(
+            (max(cad_from_degrees(d, size, lam) for d in sides) >= threshold)
+            == truth
+            for truth, size, sides in examples
+        )
+        rows.append([lam, threshold, correct / len(examples)])
+    print(
+        render_table(
+            ["lambda", "TH", "accuracy"],
+            rows,
+            title=f"ABR decision accuracy for {profile.name} "
+            f"({len(examples)} example batches)",
+        )
+    )
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import sweep_parameter
+
+    cells = [
+        (get_dataset("lj"), 100_000, args.num_batches),
+        (get_dataset("wiki"), 100_000, args.num_batches),
+    ]
+    points = sweep_parameter(args.parameter, (0.5, 0.75, 1.0, 1.5, 2.0), cells)
+    print(
+        render_table(
+            ["scale", "dataset", "RO speedup", "classification"],
+            [
+                [p.scale, p.dataset, p.ro_speedup,
+                 "friendly" if p.friendly else "adverse"]
+                for p in points
+            ],
+            title=f"Sensitivity of the RO trade-off to '{args.parameter}'",
+        )
+    )
+    return 0
+
+
+def _cmd_fidelity(args: argparse.Namespace) -> int:
+    from .analysis.experiments import ExperimentStore
+    from .analysis.paper_targets import fidelity_report
+
+    rows = fidelity_report(ExperimentStore(args.results))
+    print(
+        render_table(
+            ["paper artifact", "paper", "measured", "band", "status"],
+            [
+                [
+                    row["description"],
+                    row["paper"],
+                    "-" if row["measured"] is None else f"{row['measured']:.3f}",
+                    f"[{row['band'][0]:g}, {row['band'][1]:g}]",
+                    row["status"],
+                ]
+                for row in rows
+            ],
+            title="Reproduction fidelity (run `pytest benchmarks/ "
+            "--benchmark-only` first to populate results/)",
+        )
+    )
+    out_of_band = sum(row["status"] == "out-of-band" for row in rows)
+    return 1 if out_of_band else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Input-aware streaming graph processing (MICRO 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the dataset inventory")
+
+    run = sub.add_parser("run", help="run one pipeline cell")
+    run.add_argument("dataset", choices=sorted(DATASETS))
+    run.add_argument("--batch-size", type=int, default=10_000)
+    run.add_argument("--num-batches", type=int, default=12)
+    run.add_argument("--algorithm", choices=ALGORITHMS, default="pr")
+    run.add_argument("--mode", choices=sorted(MODES), default="abr_usc")
+    run.add_argument("--oca", action="store_true", help="enable compute aggregation")
+    run.add_argument("--trace", help="write a per-batch JSONL trace to this file")
+
+    character = sub.add_parser("characterize", help="RO trade-off study (Fig. 3 row)")
+    character.add_argument("dataset", choices=sorted(DATASETS))
+    character.add_argument("--num-batches", type=int, default=8)
+
+    hau = sub.add_parser("hau", help="HAU vs ABR+USC on the simulated CMP")
+    hau.add_argument("dataset", choices=sorted(DATASETS))
+    hau.add_argument("--batch-size", type=int, default=1_000)
+    hau.add_argument("--num-batches", type=int, default=12)
+
+    oca = sub.add_parser("oca", help="OCA overlap/speedup study (Fig. 14 row)")
+    oca.add_argument("dataset", choices=sorted(DATASETS))
+    oca.add_argument("--num-batches", type=int, default=6)
+
+    accuracy = sub.add_parser(
+        "accuracy", help="ABR accuracy over the (lambda, TH) grid (Fig. 18)"
+    )
+    accuracy.add_argument("dataset", choices=sorted(DATASETS))
+    accuracy.add_argument("--num-batches", type=int, default=6)
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="cost-constant robustness sweep"
+    )
+    sensitivity.add_argument("parameter")
+    sensitivity.add_argument("--num-batches", type=int, default=4)
+
+    fidelity = sub.add_parser(
+        "fidelity", help="paper-reported vs measured summary"
+    )
+    fidelity.add_argument("--results", default="results")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "run": _cmd_run,
+        "characterize": _cmd_characterize,
+        "hau": _cmd_hau,
+        "oca": _cmd_oca,
+        "accuracy": _cmd_accuracy,
+        "sensitivity": _cmd_sensitivity,
+        "fidelity": _cmd_fidelity,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

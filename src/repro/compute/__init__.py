@@ -1,0 +1,29 @@
+"""Compute phase: PageRank/SSSP (static + incremental), cost model, OCA."""
+
+from .bfs import IncrementalBFS, StaticBFS
+from .components import IncrementalConnectedComponents, StaticConnectedComponents
+from .cost_model import compute_round_time
+from .oca import OCAConfig, OCAController, OCAObservation
+from .pagerank import IncrementalPageRank, StaticPageRank
+from .result import ComputeCounters, ComputeResult
+from .sssp import IncrementalSSSP, StaticSSSP
+from .triangles import IncrementalTriangleCounter, StaticTriangleCount
+
+__all__ = [
+    "IncrementalBFS",
+    "StaticBFS",
+    "IncrementalConnectedComponents",
+    "StaticConnectedComponents",
+    "compute_round_time",
+    "OCAConfig",
+    "OCAController",
+    "OCAObservation",
+    "IncrementalPageRank",
+    "StaticPageRank",
+    "ComputeCounters",
+    "ComputeResult",
+    "IncrementalSSSP",
+    "StaticSSSP",
+    "IncrementalTriangleCounter",
+    "StaticTriangleCount",
+]

@@ -1,0 +1,38 @@
+"""Compute-phase cost model.
+
+The compute engines run the real algorithms and report work counters
+(:class:`~repro.compute.result.ComputeCounters`); this module converts those
+counters into modeled time.  The fixed ``round_sched`` term is what OCA's
+aggregation amortizes (Fig. 12: ``TC_agg < TC_n + TC_n+1`` because launching
+a round has scheduling and data-access overheads of its own), alongside the
+redundant touched-region work that a single aggregated round performs once.
+"""
+
+from __future__ import annotations
+
+from ..costs import DEFAULT_COMPUTE_COSTS, ComputeCostParameters
+from ..exec_model.machine import HOST_MACHINE, MachineConfig
+from .result import ComputeCounters
+
+__all__ = ["compute_round_time"]
+
+
+def compute_round_time(
+    counters: ComputeCounters,
+    costs: ComputeCostParameters = DEFAULT_COMPUTE_COSTS,
+    machine: MachineConfig = HOST_MACHINE,
+) -> float:
+    """Modeled elapsed time of one computation round.
+
+    ``round_sched`` is paid once per scheduled round; each iteration pays a
+    barrier; vertex/edge work divides across the worker pool.
+    """
+    parallel_work = (
+        counters.touched_vertices * costs.per_vertex
+        + counters.touched_edges * costs.per_edge
+    )
+    return (
+        costs.round_sched
+        + counters.iterations * costs.iteration_overhead
+        + parallel_work / (machine.num_workers * costs.parallel_efficiency)
+    )

@@ -1,0 +1,51 @@
+"""Result types for the compute phase."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComputeCounters", "ComputeResult"]
+
+
+@dataclass(frozen=True)
+class ComputeCounters:
+    """Observed work of one computation round.
+
+    Attributes:
+        iterations: algorithm iterations (frontier rounds / power iterations).
+        touched_vertices: vertex-processing events (a vertex touched in two
+            iterations counts twice — it is processed twice).
+        touched_edges: edge traversals (gathers + scatters).
+    """
+
+    iterations: int
+    touched_vertices: int
+    touched_edges: int
+
+    def __add__(self, other: "ComputeCounters") -> "ComputeCounters":
+        return ComputeCounters(
+            iterations=self.iterations + other.iterations,
+            touched_vertices=self.touched_vertices + other.touched_vertices,
+            touched_edges=self.touched_edges + other.touched_edges,
+        )
+
+
+@dataclass(frozen=True)
+class ComputeResult:
+    """Modeled outcome of one scheduled computation round.
+
+    Attributes:
+        batch_id: id of the batch that triggered the round (for aggregated
+            rounds, the *latest* batch covered).
+        algorithm: algorithm label (e.g. ``"pr_incremental"``).
+        counters: observed work.
+        time: modeled elapsed time of the round, in time units.
+        aggregated_batches: number of input batches this round covers (1 in
+            the baseline workflow, 2 when OCA aggregates).
+    """
+
+    batch_id: int
+    algorithm: str
+    counters: ComputeCounters
+    time: float
+    aggregated_batches: int = 1

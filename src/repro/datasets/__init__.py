@@ -1,0 +1,47 @@
+"""Dataset profiles and synthetic stream generation.
+
+Public surface:
+
+* :class:`~repro.datasets.stream.Batch` / :class:`~repro.datasets.stream.EdgeStream`
+  — stream containers;
+* :class:`~repro.datasets.generators.SideProfile` /
+  :class:`~repro.datasets.generators.StreamGenerator` — calibrated synthetic
+  generators;
+* :data:`~repro.datasets.profiles.DATASETS` and helpers — the 14 evaluated
+  dataset profiles (Table 2).
+"""
+
+from .stream import Batch, EdgeStream, batches_from_arrays
+from .generators import SideProfile, StreamGenerator
+from .loaders import read_edge_list, stream_from_file, write_edge_list
+from .rmat import RMATGenerator
+from .profiles import (
+    BATCH_SIZES,
+    DATASETS,
+    TABLE3_BATCH_SIZES,
+    TABLE3_DATASETS,
+    DatasetProfile,
+    dataset_names,
+    friendly_cells,
+    get_dataset,
+)
+
+__all__ = [
+    "Batch",
+    "EdgeStream",
+    "batches_from_arrays",
+    "SideProfile",
+    "StreamGenerator",
+    "RMATGenerator",
+    "read_edge_list",
+    "stream_from_file",
+    "write_edge_list",
+    "BATCH_SIZES",
+    "DATASETS",
+    "TABLE3_BATCH_SIZES",
+    "TABLE3_DATASETS",
+    "DatasetProfile",
+    "dataset_names",
+    "friendly_cells",
+    "get_dataset",
+]

@@ -1,0 +1,292 @@
+"""The 14 evaluated datasets (Table 2), modeled as calibrated profiles.
+
+Each :class:`DatasetProfile` records the paper's reference statistics plus the
+parameters of a scaled synthetic stream generator whose *batch-level*
+properties land in the regime the paper reports:
+
+* the six reorder-friendly datasets (topcats, talk, berkstan, yt, superuser,
+  wiki) produce batches whose top degrees reach the hundreds/thousands at the
+  batch sizes where Fig. 3 shows RO winning;
+* the eight reorder-adverse datasets (lj, patents, fb, flickr, amazon, stack,
+  friendster, uk) produce low-degree batches at every batch size (e.g. lj's
+  max batch degree at 100 K is ~30, matching Fig. 4);
+* timestamped datasets get warm-up (early low-degree batches, Fig. 17) and
+  hub drift; the static ones are stationary, modeling the paper's random
+  shuffle of the input file.
+
+Stream lengths and vertex universes are scaled (~1/20 to ~1/300 of the
+originals, 1 M-2.5 M edges) so the full 260-workload matrix is tractable in
+Python; DESIGN.md Section 2 records the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, UnknownDatasetError
+from .generators import SideProfile, StreamGenerator
+
+__all__ = [
+    "DatasetProfile",
+    "DATASETS",
+    "BATCH_SIZES",
+    "TABLE3_DATASETS",
+    "TABLE3_BATCH_SIZES",
+    "get_dataset",
+    "dataset_names",
+    "friendly_cells",
+]
+
+#: The five evaluated input batch sizes (Section 6.1).
+BATCH_SIZES: tuple[int, ...] = (100, 1_000, 10_000, 100_000, 500_000)
+
+#: The HAU evaluation subset (Table 3).
+TABLE3_DATASETS: tuple[str, ...] = (
+    "lj", "patents", "topcats", "berkstan", "fb", "flickr", "amazon", "superuser",
+)
+TABLE3_BATCH_SIZES: tuple[int, ...] = (100, 1_000, 10_000, 100_000)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """One evaluated dataset.
+
+    Attributes:
+        name: short name used throughout the paper (Table 2).
+        full_name: Table 2's long name.
+        kind: ``"shuffled"`` (static dataset, input file randomly shuffled)
+            or ``"timestamped"`` (edge arrival order given by the data).
+        paper_vertices / paper_edges: the original dataset's size (Table 2),
+            reported for reference only.
+        num_vertices: scaled vertex universe of the synthetic stream.
+        stream_edges: scaled stream length.
+        src_profile / dst_profile: endpoint degree profiles.
+        warmup_edges: initial hub-free edges (timestamped only).
+        drift_period: hub churn period in edges (timestamped only).
+        hub_in_pool: per-hub bounded community size feeding each hub's
+            in-edges (see :class:`~repro.datasets.generators.StreamGenerator`).
+        hub_ramp: hub-activity saturation scale making batch top degrees grow
+            sub-linearly with batch size (see the generator docs).
+        friendly_sizes: batch sizes at which the paper's Fig. 3 finds RO
+            beneficial (used by calibration tests and perfect-ABR checks).
+    """
+
+    name: str
+    full_name: str
+    kind: str
+    paper_vertices: int
+    paper_edges: int
+    num_vertices: int
+    stream_edges: int
+    src_profile: SideProfile
+    dst_profile: SideProfile
+    warmup_edges: int = 0
+    drift_period: int = 0
+    hub_in_pool: int = 0
+    hub_ramp: int = 0
+    friendly_sizes: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("shuffled", "timestamped"):
+            raise ConfigurationError(f"kind must be shuffled|timestamped, got {self.kind!r}")
+        if self.stream_edges < 1 or self.num_vertices < 2:
+            raise ConfigurationError("stream_edges and num_vertices must be positive")
+
+    def generator(self, seed: int = 7) -> StreamGenerator:
+        """Build the deterministic stream generator for this dataset."""
+        return StreamGenerator(
+            src_profile=self.src_profile,
+            dst_profile=self.dst_profile,
+            num_vertices=self.num_vertices,
+            seed=seed + (hash(self.name) & 0xFFFF),
+            warmup_edges=self.warmup_edges,
+            drift_period=self.drift_period,
+            hub_in_pool=self.hub_in_pool,
+            hub_ramp=self.hub_ramp,
+        )
+
+    def num_batches(self, batch_size: int, cap: int | None = None) -> int:
+        """Batches available at ``batch_size`` (optionally capped)."""
+        n = max(1, self.stream_edges // batch_size)
+        return n if cap is None else min(n, cap)
+
+    def is_friendly(self, batch_size: int) -> bool:
+        """Paper-reported reorder-friendliness of this (dataset, size) cell."""
+        return batch_size in self.friendly_sizes
+
+
+def _hub(mass: float, count: int, alpha: float, tail: int) -> SideProfile:
+    return SideProfile(hub_mass=mass, hub_count=count, hub_alpha=alpha, tail_size=tail)
+
+
+def _flat(tail: int) -> SideProfile:
+    return SideProfile(hub_mass=0.0, hub_count=0, hub_alpha=0.0, tail_size=tail)
+
+
+_FRIENDLY_LARGE = frozenset({100_000, 500_000})
+_FRIENDLY_MED = frozenset({10_000, 100_000, 500_000})
+
+#: Registry of the 14 evaluated datasets.  Endpoint skew sits on the
+#: destination side (popular pages/users receiving edges) with a milder source
+#: side, matching the paper's in-degree-centric batch degree definition.
+DATASETS: dict[str, DatasetProfile] = {
+    p.name: p
+    for p in [
+        # ---- shuffled static datasets (Table 2 rows 1-7) -----------------
+        DatasetProfile(
+            name="talk", full_name="Wiki-Talk", kind="shuffled",
+            paper_vertices=2_394_385, paper_edges=5_021_410,
+            num_vertices=60_000, stream_edges=1_000_000,
+            src_profile=_hub(0.18, 3_000, 0.30, 58_000),
+            dst_profile=_hub(0.21, 200, 1.50, 58_000),
+            hub_in_pool=800, hub_ramp=6_000,
+            friendly_sizes=_FRIENDLY_MED,
+        ),
+        DatasetProfile(
+            name="berkstan", full_name="Web-BerkStan", kind="shuffled",
+            paper_vertices=685_230, paper_edges=7_600_595,
+            num_vertices=34_000, stream_edges=1_000_000,
+            src_profile=_hub(0.18, 2_500, 0.30, 32_000),
+            dst_profile=_hub(0.032, 150, 1.50, 32_000),
+            hub_in_pool=8_000, hub_ramp=15_000,
+            friendly_sizes=_FRIENDLY_LARGE,
+        ),
+        DatasetProfile(
+            name="patents", full_name="cit-Patents", kind="shuffled",
+            paper_vertices=3_774_768, paper_edges=16_518_948,
+            num_vertices=95_000, stream_edges=1_000_000,
+            src_profile=_hub(0.15, 4_000, 0.25, 90_000),
+            dst_profile=_hub(0.22, 3_500, 0.30, 90_000),
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="topcats", full_name="Wiki-Topcats", kind="shuffled",
+            paper_vertices=1_791_489, paper_edges=28_511_807,
+            num_vertices=90_000, stream_edges=1_400_000,
+            src_profile=_hub(0.18, 3_000, 0.30, 86_000),
+            dst_profile=_hub(0.030, 150, 1.50, 86_000),
+            hub_in_pool=8_000, hub_ramp=15_000,
+            friendly_sizes=_FRIENDLY_LARGE,
+        ),
+        DatasetProfile(
+            name="lj", full_name="soc-LiveJournal", kind="shuffled",
+            paper_vertices=4_847_571, paper_edges=68_993_773,
+            num_vertices=120_000, stream_edges=2_000_000,
+            src_profile=_hub(0.18, 4_500, 0.22, 114_000),
+            dst_profile=_hub(0.20, 4_000, 0.25, 114_000),
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="friendster", full_name="com-Friendster", kind="shuffled",
+            paper_vertices=65_608_366, paper_edges=1_806_067_135,
+            num_vertices=400_000, stream_edges=2_500_000,
+            src_profile=_hub(0.08, 9_000, 0.18, 390_000),
+            dst_profile=_hub(0.10, 8_000, 0.20, 390_000),
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="uk", full_name="UK-Union-2006-2007", kind="shuffled",
+            paper_vertices=133_633_040, paper_edges=5_507_679_822,
+            num_vertices=400_000, stream_edges=2_500_000,
+            src_profile=_hub(0.12, 11_000, 0.22, 388_000),
+            dst_profile=SideProfile(
+                hub_mass=0.14, hub_count=10_000, hub_alpha=0.25,
+                tail_size=388_000, hot_mass=0.007, hot_count=7,
+            ),
+            friendly_sizes=frozenset(),
+        ),
+        # ---- timestamped datasets (Table 2 rows 8-14) --------------------
+        DatasetProfile(
+            name="fb", full_name="Facebook-wall", kind="timestamped",
+            paper_vertices=46_952, paper_edges=876_993,
+            num_vertices=47_000, stream_edges=1_000_000,
+            src_profile=_hub(0.25, 3_000, 0.28, 44_000),
+            dst_profile=_hub(0.28, 2_500, 0.30, 44_000),
+            warmup_edges=20_000, drift_period=400_000,
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="flickr", full_name="Flickr-photo", kind="timestamped",
+            paper_vertices=11_730_773, paper_edges=34_734_221,
+            num_vertices=230_000, stream_edges=1_700_000,
+            src_profile=_hub(0.22, 3_200, 0.30, 225_000),
+            dst_profile=_hub(0.28, 2_800, 0.32, 225_000),
+            warmup_edges=30_000, drift_period=600_000,
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="yt", full_name="Youtube", kind="timestamped",
+            paper_vertices=3_223_589, paper_edges=12_223_774,
+            num_vertices=80_000, stream_edges=1_000_000,
+            src_profile=_hub(0.18, 3_000, 0.30, 78_000),
+            dst_profile=_hub(0.21, 200, 1.50, 78_000),
+            drift_period=500_000,
+            hub_in_pool=1_500, hub_ramp=6_000,
+            friendly_sizes=_FRIENDLY_MED,
+        ),
+        DatasetProfile(
+            name="amazon", full_name="Amazon-ratings", kind="timestamped",
+            paper_vertices=2_146_057, paper_edges=5_838_041,
+            num_vertices=54_000, stream_edges=1_000_000,
+            src_profile=_hub(0.20, 3_400, 0.25, 50_000),
+            dst_profile=_hub(0.25, 3_000, 0.28, 50_000),
+            warmup_edges=20_000, drift_period=500_000,
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="stack", full_name="Stack-overflow", kind="timestamped",
+            paper_vertices=2_601_977, paper_edges=63_497_050,
+            num_vertices=65_000, stream_edges=2_000_000,
+            src_profile=_hub(0.22, 3_600, 0.28, 62_000),
+            dst_profile=_hub(0.30, 3_200, 0.33, 62_000),
+            warmup_edges=25_000, drift_period=700_000,
+            friendly_sizes=frozenset(),
+        ),
+        DatasetProfile(
+            name="superuser", full_name="Superuser", kind="timestamped",
+            paper_vertices=194_085, paper_edges=1_443_339,
+            num_vertices=48_000, stream_edges=1_440_000,
+            src_profile=_hub(0.18, 2_500, 0.30, 46_000),
+            dst_profile=_hub(0.042, 150, 1.50, 46_000),
+            drift_period=600_000,
+            hub_in_pool=8_000, hub_ramp=15_000,
+            friendly_sizes=_FRIENDLY_LARGE,
+        ),
+        DatasetProfile(
+            name="wiki", full_name="Wiki-talk-temporal", kind="timestamped",
+            paper_vertices=1_140_149, paper_edges=7_833_140,
+            num_vertices=57_000, stream_edges=2_000_000,
+            src_profile=_hub(0.18, 3_000, 0.30, 55_000),
+            dst_profile=_hub(0.21, 200, 1.50, 55_000),
+            drift_period=800_000,
+            hub_in_pool=1_500, hub_ramp=6_000,
+            friendly_sizes=_FRIENDLY_MED,
+        ),
+    ]
+}
+
+
+def get_dataset(name: str) -> DatasetProfile:
+    """Look up a dataset profile by short name.
+
+    Raises:
+        UnknownDatasetError: if the name is not in the registry.
+    """
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise UnknownDatasetError(name, list(DATASETS)) from None
+
+
+def dataset_names() -> list[str]:
+    """All dataset short names, in Table 2 order."""
+    return list(DATASETS)
+
+
+def friendly_cells() -> list[tuple[str, int]]:
+    """All (dataset, batch size) cells the paper classifies reorder-friendly."""
+    return [
+        (profile.name, size)
+        for profile in DATASETS.values()
+        for size in sorted(profile.friendly_sizes)
+    ]

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied.
+
+    Raised eagerly at construction time (e.g. a negative batch size, an
+    unknown dataset name, a cost parameter that must be positive) so that
+    misconfiguration surfaces before any expensive work starts.
+    """
+
+
+class UnknownDatasetError(ConfigurationError):
+    """A dataset name was not found in the registry."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown dataset {name!r}; known datasets: {', '.join(sorted(known))}"
+        )
+
+
+class GraphError(ReproError):
+    """An operation on a graph data structure was invalid."""
+
+
+class VertexOutOfRangeError(GraphError):
+    """A vertex id fell outside the graph's vertex universe."""
+
+    def __init__(self, vertex: int, num_vertices: int):
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+        super().__init__(
+            f"vertex {vertex} out of range for graph with {num_vertices} vertices"
+        )
+
+
+class StreamExhaustedError(ReproError):
+    """More batches were requested than the stream can provide."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator reached an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received inputs it cannot interpret."""

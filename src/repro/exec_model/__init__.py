@@ -1,0 +1,12 @@
+"""Software execution model: machines and makespan computation."""
+
+from .machine import HOST_MACHINE, SIMULATED_MACHINE, MachineConfig
+from .parallel import PhaseTiming, makespan
+
+__all__ = [
+    "HOST_MACHINE",
+    "SIMULATED_MACHINE",
+    "MachineConfig",
+    "PhaseTiming",
+    "makespan",
+]

@@ -1,0 +1,61 @@
+"""Machine descriptions for the software execution model.
+
+Two machines matter in the paper:
+
+* the **host** — a dual-socket Skylake server (112 hardware threads) on which
+  ABR, USC and OCA are measured; and
+* the **simulated CMP** of Table 1 — a 16-core tiled chip (4x4 mesh NoC) on
+  which HAU is evaluated with Sniper.  Table 3 normalizes ABR+USC+HAU against
+  ABR+USC *running on the simulated machine*, so the software cost model must
+  be evaluated with that machine's worker count when comparing against HAU.
+
+Only the worker count and clock enter the software model; the cache/NoC
+details of the simulated machine live in :mod:`repro.hau.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["MachineConfig", "HOST_MACHINE", "SIMULATED_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A machine on which modeled software phases execute.
+
+    Attributes:
+        name: human-readable identifier used in reports.
+        num_workers: worker threads available to update/compute phases (the
+            master thread that feeds batches is not counted, matching the
+            SAGA-Bench setup where core 0 hosts the master).
+        clock_ghz: nominal clock, used only to convert HAU cycles into the
+            same time units as the software model (1 tu = 1 cycle at
+            ``clock_ghz``).
+    """
+
+    name: str
+    num_workers: int
+    clock_ghz: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigurationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.clock_ghz <= 0:
+            raise ConfigurationError(
+                f"clock_ghz must be positive, got {self.clock_ghz}"
+            )
+
+
+#: The evaluation host of Section 6.1 (dual-socket Xeon 8180).  We model one
+#: NUMA-local worker pool; the absolute count only scales all software times
+#: uniformly, so ratios are insensitive to it.
+HOST_MACHINE = MachineConfig(name="xeon-8180-host", num_workers=28)
+
+#: The Table 1 simulated architecture: 16 cores, core 0 hosts the master
+#: thread, cores 1-15 host update workers (Fig. 19 reports cores 1-15).
+SIMULATED_MACHINE = MachineConfig(name="table1-cmp", num_workers=15)

@@ -1,0 +1,80 @@
+"""Makespan model for parallel phases.
+
+A phase consists of a bag of independent work items (optionally with
+per-vertex serialized chains) executed by ``W`` workers under dynamic
+scheduling.  Dynamic scheduling balances load well, so the makespan is the
+classic greedy-scheduling bound::
+
+    makespan = serial_prefix + max(total_work / (W * efficiency), critical_path)
+
+``critical_path`` is the longest chain that cannot be split across workers —
+in the baseline update it is the longest per-vertex lock-serialized chain, in
+the reordered update the heaviest per-vertex task, in HAU the busiest core's
+queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .machine import MachineConfig
+
+__all__ = ["PhaseTiming", "makespan"]
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Timing decomposition of one modeled parallel phase.
+
+    Attributes:
+        total_work: sum of all work items (thread-seconds worth of tu).
+        critical_path: longest unsplittable chain.
+        serial_prefix: work done before the parallel region opens (e.g. the
+            reorder sort's final merge, phase spawn).
+        makespan: resulting modeled elapsed time.
+        limiter: ``"work"`` if throughput-bound, ``"chain"`` if bound by the
+            critical path — useful in reports to show *why* a configuration
+            is slow.
+    """
+
+    total_work: float
+    critical_path: float
+    serial_prefix: float
+    makespan: float
+    limiter: str
+
+
+def makespan(
+    total_work: float,
+    critical_path: float,
+    machine: MachineConfig,
+    efficiency: float,
+    serial_prefix: float = 0.0,
+) -> PhaseTiming:
+    """Compute the modeled elapsed time of a parallel phase.
+
+    Args:
+        total_work: sum of all per-item costs, in time units.
+        critical_path: longest serialized chain, in time units.
+        machine: machine providing the worker pool.
+        efficiency: parallel efficiency in (0, 1].
+        serial_prefix: additional serial time before/after the region.
+
+    Returns:
+        A :class:`PhaseTiming` with the greedy-scheduling makespan.
+    """
+    if total_work < 0 or critical_path < 0 or serial_prefix < 0:
+        raise ConfigurationError("phase times must be non-negative")
+    if not 0 < efficiency <= 1:
+        raise ConfigurationError(f"efficiency must be in (0, 1], got {efficiency!r}")
+    throughput_bound = total_work / (machine.num_workers * efficiency)
+    parallel_time = max(throughput_bound, critical_path)
+    limiter = "work" if throughput_bound >= critical_path else "chain"
+    return PhaseTiming(
+        total_work=total_work,
+        critical_path=critical_path,
+        serial_prefix=serial_prefix,
+        makespan=serial_prefix + parallel_time,
+        limiter=limiter,
+    )

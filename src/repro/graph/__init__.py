@@ -1,0 +1,32 @@
+"""Dynamic graph data structures and batch statistics."""
+
+from .base import BatchUpdateStats, DirectionStats, DynamicGraph
+from .adjacency_list import AdjacencyListGraph
+from .degree_aware_hash import DegreeAwareHashGraph
+from .edge_log import EdgeLogGraph
+from .snapshot import CSRSnapshot, take_snapshot
+from .stats import (
+    FIG5_BUCKETS,
+    DegreeMix,
+    degree_counts,
+    degree_histogram,
+    degree_mix,
+    top_degrees,
+)
+
+__all__ = [
+    "BatchUpdateStats",
+    "DirectionStats",
+    "DynamicGraph",
+    "AdjacencyListGraph",
+    "DegreeAwareHashGraph",
+    "EdgeLogGraph",
+    "CSRSnapshot",
+    "take_snapshot",
+    "FIG5_BUCKETS",
+    "DegreeMix",
+    "degree_counts",
+    "degree_histogram",
+    "degree_mix",
+    "top_degrees",
+]

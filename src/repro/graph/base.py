@@ -1,0 +1,170 @@
+"""Dynamic graph interface shared by the evaluated data structures.
+
+The paper evaluates the SAGA-Bench *adjacency list* structure (used by
+multiple streaming systems) and discusses *degree-aware hashing* (DAH) as an
+alternative (Section 6.2.3).  Both implement this interface: batched edge
+ingestion with duplicate checking, plus the per-vertex statistics the update
+cost models need (batch degree, pre-update adjacency length, new-vs-duplicate
+split per direction).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.stream import Batch
+from ..errors import VertexOutOfRangeError
+
+__all__ = ["DirectionStats", "BatchUpdateStats", "DynamicGraph"]
+
+
+@dataclass(frozen=True)
+class DirectionStats:
+    """Per-vertex update statistics for one direction of one batch.
+
+    For the *out* direction, ``vertices`` are the batch's unique sources and
+    each source's entries describe updates to its out-adjacency; for the *in*
+    direction, destinations and in-adjacency.
+
+    Attributes:
+        vertices: unique vertex ids updated in this direction (sorted).
+        batch_degree: number of batch edges per vertex (``k_v``).
+        length_before: adjacency length before the batch (``L_v``).
+        new_edges: entries actually inserted (non-duplicates).
+        duplicates: entries that only refreshed an existing edge's weight.
+    """
+
+    vertices: np.ndarray
+    batch_degree: np.ndarray
+    length_before: np.ndarray
+    new_edges: np.ndarray
+
+    @property
+    def duplicates(self) -> np.ndarray:
+        return self.batch_degree - self.new_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.batch_degree.sum()) if len(self.batch_degree) else 0
+
+
+@dataclass(frozen=True)
+class BatchUpdateStats:
+    """Statistics of applying one batch (both directions).
+
+    The update engines derive *all* modeled-time figures from this object, so
+    a batch is applied to the structure exactly once no matter how many
+    execution strategies are being compared.
+    """
+
+    batch_id: int
+    batch_size: int
+    out: DirectionStats
+    inn: DirectionStats
+    deleted_edges: int = 0
+
+    @property
+    def directions(self) -> tuple[DirectionStats, DirectionStats]:
+        return (self.out, self.inn)
+
+
+class DynamicGraph(abc.ABC):
+    """A dynamic graph ingesting batched edge updates.
+
+    Both directions are maintained (out- and in-adjacency), since batch
+    reordering must sort by source *and* destination (Section 3.2).
+    """
+
+    def __init__(self, num_vertices: int):
+        if num_vertices < 1:
+            raise VertexOutOfRangeError(num_vertices, num_vertices)
+        self.num_vertices = num_vertices
+        self.num_edges = 0
+        self.batches_applied = 0
+
+    # -- structure-specific operations ------------------------------------
+    @abc.abstractmethod
+    def apply_batch(self, batch: Batch) -> BatchUpdateStats:
+        """Ingest a batch (insertions, then deletions) and return stats.
+
+        Deletion-after-insertion ordering follows Section 4.4.3 ("software
+        triggers HAU to perform all insertions first before performing
+        deletions").
+        """
+
+    @abc.abstractmethod
+    def out_neighbors(self, v: int) -> dict[int, float]:
+        """Out-adjacency of ``v`` as a target -> weight mapping."""
+
+    @abc.abstractmethod
+    def in_neighbors(self, v: int) -> dict[int, float]:
+        """In-adjacency of ``v`` as a source -> weight mapping."""
+
+    @abc.abstractmethod
+    def sum_search_cost(
+        self,
+        batch_degree: np.ndarray,
+        length_before: np.ndarray,
+        new_edges: np.ndarray,
+        per_element: float,
+    ) -> np.ndarray:
+        """Modeled per-vertex cost of the batch's duplicate-check searches.
+
+        For each vertex, ``batch_degree`` searches run against an adjacency
+        that starts at ``length_before`` entries and grows by ``new_edges``
+        over the batch.  The plain adjacency list pays a linear scan per
+        search; structures with cheaper membership tests (DAH) override this.
+
+        Args:
+            batch_degree: searches per vertex (``k_v``).
+            length_before: adjacency length before the batch (``L_v``).
+            new_edges: inserts that grow the adjacency during the batch.
+            per_element: modeled cost of touching one adjacency element
+                (already adjusted for cache warmth by the caller).
+
+        Returns:
+            Array of per-vertex total search costs.
+        """
+
+    @abc.abstractmethod
+    def adjacency_views(
+        self,
+    ) -> tuple[dict[int, dict[int, float]], dict[int, dict[int, float]]]:
+        """Direct (out, in) adjacency mappings for read-heavy algorithms.
+
+        The compute engines iterate millions of adjacency entries per round;
+        this accessor exposes the underlying vertex -> {neighbor: weight}
+        mappings so those loops avoid per-neighbor method dispatch.  Callers
+        must treat the returned mappings as read-only.
+        """
+
+    def consume_phase_overhead(self) -> float:
+        """Structure-specific maintenance time accrued by the last batch.
+
+        Structures with background work (e.g. the edge log's archiving)
+        report it here; the update engine charges it to the batch regardless
+        of strategy, then the accumulator resets.  The plain structures have
+        none.
+        """
+        return 0.0
+
+    # -- shared helpers ----------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        return len(self.out_neighbors(v))
+
+    def in_degree(self, v: int) -> int:
+        return len(self.in_neighbors(v))
+
+    def check_vertices(self, *arrays: np.ndarray) -> None:
+        """Validate vertex ids against the universe."""
+        for arr in arrays:
+            if len(arr) and (int(arr.max()) >= self.num_vertices or int(arr.min()) < 0):
+                bad = int(arr.max()) if int(arr.max()) >= self.num_vertices else int(arr.min())
+                raise VertexOutOfRangeError(bad, self.num_vertices)

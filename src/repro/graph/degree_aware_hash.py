@@ -1,0 +1,93 @@
+"""Degree-aware hashing (DAH) — the alternative structure of Section 6.2.3.
+
+DAH keeps low-degree vertices in small flat arrays (cheap to scan, cache
+friendly) and promotes high-degree vertices to hash sets once their adjacency
+exceeds a threshold, making duplicate checks O(1) for exactly the vertices
+where the adjacency list's linear scan hurts.  The paper observes that DAH
+beats the plain adjacency list's *baseline* on reorder-friendly inputs, but
+the adjacency list *with batch reordering* is on par with DAH, and RO+USC
+beats it — motivating keeping one structure plus ABR instead of switching
+structures.
+
+Functionally the storage is identical to :class:`AdjacencyListGraph`; only
+the modeled duplicate-check cost differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .adjacency_list import AdjacencyListGraph
+
+__all__ = ["DegreeAwareHashGraph"]
+
+
+class DegreeAwareHashGraph(AdjacencyListGraph):
+    """Adjacency storage with hash-based duplicate checks above a threshold.
+
+    Args:
+        num_vertices: vertex id universe.
+        promote_threshold: adjacency length at which a vertex's array is
+            promoted to a hash set.
+        hash_probe_cost: modeled cost of one hash probe.  For a promoted
+            (high-degree) vertex the hash set spans many cachelines, so a
+            probe is two dependent random accesses (bucket, then entry) that
+            both miss — far costlier than one element comparison, but O(1).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        promote_threshold: int = 16,
+        hash_probe_cost: float = 60.0,
+    ):
+        super().__init__(num_vertices)
+        if promote_threshold < 1:
+            raise ConfigurationError(
+                f"promote_threshold must be >= 1, got {promote_threshold}"
+            )
+        if hash_probe_cost <= 0:
+            raise ConfigurationError(
+                f"hash_probe_cost must be positive, got {hash_probe_cost}"
+            )
+        self.promote_threshold = promote_threshold
+        self.hash_probe_cost = hash_probe_cost
+
+    def sum_search_cost(
+        self,
+        batch_degree: np.ndarray,
+        length_before: np.ndarray,
+        new_edges: np.ndarray,
+        per_element: float,
+    ) -> np.ndarray:
+        """Linear scans while the vertex is flat, hash probes once promoted.
+
+        A vertex whose adjacency already exceeds the promote threshold pays a
+        constant probe per search.  A vertex that stays below the threshold
+        for the whole batch pays the adjacency list's linear cost.  A vertex
+        that crosses the threshold mid-batch pays linear scans until the
+        crossing, probes afterwards (approximated by splitting the searches
+        at the crossing point).
+        """
+        k = batch_degree.astype(np.float64)
+        length = length_before.astype(np.float64)
+        new = new_edges.astype(np.float64)
+        thr = float(self.promote_threshold)
+        probes = self.hash_probe_cost * k
+        linear = per_element * (k * length + np.maximum(k - 1.0, 0.0) * new / 2.0)
+        # Searches performed while still flat for the crossing case: the
+        # adjacency grows ~linearly with the new inserts, so the fraction of
+        # searches before the crossing is (thr - L) / new.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            flat_fraction = np.clip(
+                np.where(new > 0, (thr - length) / new, 1.0), 0.0, 1.0
+            )
+        k_flat = k * flat_fraction
+        mixed = (
+            per_element * k_flat * (length + thr) / 2.0
+            + self.hash_probe_cost * (k - k_flat)
+        )
+        promoted_before = length > thr
+        stays_flat = length + new <= thr
+        return np.where(promoted_before, probes, np.where(stays_flat, linear, mixed))

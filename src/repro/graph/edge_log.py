@@ -1,0 +1,98 @@
+"""GraphOne-style edge-log structure (Section 6.2.3's framework discussion).
+
+GraphOne ingests updates into a global circular *edge log* and periodically
+*archives* the logged edges into per-vertex adjacency lists ("edge
+sharding", which is the batch-reordering operation the paper isolates).
+Between archives, a duplicate check must consult the indexed adjacency *and*
+filter the unarchived log tail.
+
+We model that cost structure on top of the adjacency list's functional
+behaviour (state is merged eagerly so snapshots stay exact; only the modeled
+costs differ):
+
+* each duplicate-check search pays an extra tail-filter term proportional to
+  the current unarchived log length (cheap per element — the log is scanned
+  sequentially and SIMD-filterable — but charged per search);
+* when the log reaches ``archive_threshold`` edges, an archiving pass runs
+  (per-edge shard-and-append cost), reported through
+  :meth:`consume_phase_overhead` and charged to the triggering batch.
+
+The trade-off this exposes: a large threshold amortizes archiving but makes
+every search pay a long tail filter — the knob GraphOne tunes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.stream import Batch
+from ..errors import ConfigurationError
+from .adjacency_list import AdjacencyListGraph
+from .base import BatchUpdateStats
+
+__all__ = ["EdgeLogGraph"]
+
+
+class EdgeLogGraph(AdjacencyListGraph):
+    """Adjacency storage fed through a GraphOne-style edge log.
+
+    Args:
+        num_vertices: vertex id universe.
+        archive_threshold: logged edges that trigger an archiving pass.
+        tail_filter_cost: per-logged-edge cost added to each duplicate-check
+            search (sequential SIMD filter, so far below the adjacency scan's
+            per-element cost).
+        archive_per_edge: per-edge cost of the archiving pass (sort into
+            shards + append to adjacencies).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        archive_threshold: int = 65_536,
+        tail_filter_cost: float = 0.05,
+        archive_per_edge: float = 8.0,
+    ):
+        super().__init__(num_vertices)
+        if archive_threshold < 1:
+            raise ConfigurationError(
+                f"archive_threshold must be >= 1, got {archive_threshold}"
+            )
+        if tail_filter_cost <= 0 or archive_per_edge <= 0:
+            raise ConfigurationError(
+                "tail_filter_cost and archive_per_edge must be positive"
+            )
+        self.archive_threshold = archive_threshold
+        self.tail_filter_cost = tail_filter_cost
+        self.archive_per_edge = archive_per_edge
+        self.log_length = 0
+        self.archives_performed = 0
+        self._pending_overhead = 0.0
+
+    def apply_batch(self, batch: Batch) -> BatchUpdateStats:
+        stats = super().apply_batch(batch)
+        self.log_length += batch.size
+        if self.log_length >= self.archive_threshold:
+            self._pending_overhead += self.log_length * self.archive_per_edge
+            self.archives_performed += 1
+            self.log_length = 0
+        return stats
+
+    def consume_phase_overhead(self) -> float:
+        overhead = self._pending_overhead
+        self._pending_overhead = 0.0
+        return overhead
+
+    def sum_search_cost(
+        self,
+        batch_degree: np.ndarray,
+        length_before: np.ndarray,
+        new_edges: np.ndarray,
+        per_element: float,
+    ) -> np.ndarray:
+        base = super().sum_search_cost(
+            batch_degree, length_before, new_edges, per_element
+        )
+        # Every search additionally filters the unarchived log tail.
+        tail = self.log_length * self.tail_filter_cost
+        return base + batch_degree.astype(np.float64) * tail

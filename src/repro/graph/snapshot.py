@@ -1,0 +1,102 @@
+"""Immutable CSR snapshot of a dynamic graph for the compute phase.
+
+The static algorithms (GAP-style PageRank / SSSP) iterate over the whole
+graph; a CSR layout makes those sweeps cheap in numpy.  Incremental
+algorithms read the dynamic structure directly and do not need a snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import DynamicGraph
+
+__all__ = ["CSRSnapshot", "take_snapshot"]
+
+
+@dataclass(frozen=True)
+class CSRSnapshot:
+    """CSR views of one graph snapshot (both directions).
+
+    Attributes:
+        num_vertices: vertex universe size.
+        out_offsets/out_targets/out_weights: CSR of the out-adjacency.
+        in_offsets/in_sources/in_weights: CSR of the in-adjacency.
+    """
+
+    num_vertices: int
+    out_offsets: np.ndarray
+    out_targets: np.ndarray
+    out_weights: np.ndarray
+    in_offsets: np.ndarray
+    in_sources: np.ndarray
+    in_weights: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.out_targets)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.out_offsets)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex."""
+        return np.diff(self.in_offsets)
+
+    def out_slice(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(targets, weights) of v's out-edges."""
+        a, b = self.out_offsets[v], self.out_offsets[v + 1]
+        return self.out_targets[a:b], self.out_weights[a:b]
+
+    def in_slice(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """(sources, weights) of v's in-edges."""
+        a, b = self.in_offsets[v], self.in_offsets[v + 1]
+        return self.in_sources[a:b], self.in_weights[a:b]
+
+
+def _direction_csr(
+    adjacency_of,  # callable: vertex -> dict[int, float]
+    num_vertices: int,
+    touched: list[int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build CSR arrays for one direction."""
+    degrees = np.zeros(num_vertices, dtype=np.int64)
+    for v in touched:
+        degrees[v] = len(adjacency_of(v))
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    total = int(offsets[-1])
+    neighbors = np.empty(total, dtype=np.int64)
+    weights = np.empty(total, dtype=np.float64)
+    for v in touched:
+        entry = adjacency_of(v)
+        if not entry:
+            continue
+        a = offsets[v]
+        b = a + len(entry)
+        neighbors[a:b] = list(entry.keys())
+        weights[a:b] = list(entry.values())
+    return offsets, neighbors, weights
+
+
+def take_snapshot(graph: DynamicGraph) -> CSRSnapshot:
+    """Materialize the current state of ``graph`` as a CSR snapshot."""
+    touched = graph.vertices_with_edges() if hasattr(graph, "vertices_with_edges") else list(range(graph.num_vertices))
+    out_offsets, out_targets, out_weights = _direction_csr(
+        graph.out_neighbors, graph.num_vertices, touched
+    )
+    in_offsets, in_sources, in_weights = _direction_csr(
+        graph.in_neighbors, graph.num_vertices, touched
+    )
+    return CSRSnapshot(
+        num_vertices=graph.num_vertices,
+        out_offsets=out_offsets,
+        out_targets=out_targets,
+        out_weights=out_weights,
+        in_offsets=in_offsets,
+        in_sources=in_sources,
+        in_weights=in_weights,
+    )

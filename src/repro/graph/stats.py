@@ -1,0 +1,119 @@
+"""Batch degree-distribution statistics (inputs of Figs. 3, 4 and 5).
+
+The paper extends static-graph notions (vertex degree, degree distribution
+``N(k)``) to single input batches: the degree of ``v`` in a batch is the
+number of batch edges incident to ``v`` on the measured side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.stream import Batch
+from ..errors import AnalysisError
+
+__all__ = [
+    "degree_counts",
+    "degree_histogram",
+    "top_degrees",
+    "DegreeMix",
+    "degree_mix",
+    "FIG5_BUCKETS",
+]
+
+
+def degree_counts(batch: Batch, side: str = "in") -> np.ndarray:
+    """Per-vertex batch degrees on one side.
+
+    Args:
+        batch: the input batch.
+        side: ``"in"`` (degree = incoming batch edges, the paper's default),
+            ``"out"``, or ``"both"`` (sum of both endpoints' incidences).
+
+    Returns:
+        Array of degrees, one entry per unique vertex on that side.
+    """
+    if side == "in":
+        __, counts = batch.in_degrees()
+    elif side == "out":
+        __, counts = batch.out_degrees()
+    elif side == "both":
+        __, counts = np.unique(
+            np.concatenate([batch.src, batch.dst]), return_counts=True
+        )
+    else:
+        raise AnalysisError(f"side must be in|out|both, got {side!r}")
+    return counts
+
+
+def degree_histogram(batch: Batch, side: str = "in") -> tuple[np.ndarray, np.ndarray]:
+    """``N(k)``: number of vertices with batch degree k (Fig. 4's axes).
+
+    Returns:
+        ``(degrees, vertex_counts)`` sorted by degree ascending.
+    """
+    counts = degree_counts(batch, side)
+    return np.unique(counts, return_counts=True)
+
+
+def top_degrees(batch: Batch, n: int = 10, side: str = "in") -> np.ndarray:
+    """The ``n`` largest batch degrees, descending (Fig. 4's annotations)."""
+    counts = degree_counts(batch, side)
+    if len(counts) == 0:
+        return counts
+    return np.sort(counts)[::-1][:n]
+
+
+#: Degree buckets of Fig. 5's stacked distribution-over-time chart.
+FIG5_BUCKETS: tuple[tuple[int, int], ...] = (
+    (1, 1),
+    (2, 2),
+    (3, 3),
+    (4, 4),
+    (5, 10),
+    (11, 20),
+    (21, 30),
+    (31, 40),
+    (41, 50),
+)
+
+
+@dataclass(frozen=True)
+class DegreeMix:
+    """Fig. 5 row: the % of batch edges originating from each degree bucket."""
+
+    batch_id: int
+    bucket_labels: tuple[str, ...]
+    edge_percentages: tuple[float, ...]
+
+
+def degree_mix(
+    batch: Batch,
+    side: str = "out",
+    buckets: tuple[tuple[int, int], ...] = FIG5_BUCKETS,
+) -> DegreeMix:
+    """Share of edges originating from vertices of each degree bucket.
+
+    Fig. 5 plots, per batch, the percentage of edges contributed by vertices
+    of degree 1, 2, 3, ... — a stable mix over time demonstrates the temporal
+    stability ABR's inert periods rely on.
+    """
+    counts = degree_counts(batch, side)
+    total_edges = counts.sum()
+    labels = []
+    percentages = []
+    for lo, hi in buckets:
+        labels.append(str(lo) if lo == hi else f"{lo}-{hi}")
+        mask = (counts >= lo) & (counts <= hi)
+        edges = counts[mask].sum()
+        percentages.append(100.0 * edges / total_edges if total_edges else 0.0)
+    labels.append(f">{buckets[-1][1]}")
+    mask = counts > buckets[-1][1]
+    percentages.append(100.0 * counts[mask].sum() / total_edges if total_edges else 0.0)
+    return DegreeMix(
+        batch_id=batch.batch_id,
+        bucket_labels=tuple(labels),
+        edge_percentages=tuple(percentages),
+    )

@@ -1,0 +1,30 @@
+"""Hardware-accelerated update (HAU) simulator — Section 4.4."""
+
+from .cache import AccessProfile, TileCache
+from .config import DEFAULT_HAU_CONFIG, HAUConfig
+from .controller import ClusterCost, process_cluster, scan_lines_for_cluster
+from .fifo import FIFOModel
+from .mshr import MSHRModel
+from .noc import LinkLoads, MeshNoC
+from .simulator import HAUBatchResult, HAUSimulator
+from .tasks import VertexTaskCluster, clusters_from_stats, consumer_core, producer_core
+
+__all__ = [
+    "AccessProfile",
+    "TileCache",
+    "DEFAULT_HAU_CONFIG",
+    "HAUConfig",
+    "ClusterCost",
+    "process_cluster",
+    "scan_lines_for_cluster",
+    "FIFOModel",
+    "MSHRModel",
+    "LinkLoads",
+    "MeshNoC",
+    "HAUBatchResult",
+    "HAUSimulator",
+    "VertexTaskCluster",
+    "clusters_from_stats",
+    "consumer_core",
+    "producer_core",
+]

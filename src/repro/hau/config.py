@@ -1,0 +1,124 @@
+"""HAU simulator configuration — the Table 1 baseline architecture.
+
+===========  ==================================================================
+core         16 cores, 2.5 GHz, 4-issue
+L1D/I        32 KB private, 8-way, 3 cycles
+L2           256 KB private, 8-way, 8 cycles
+L3           16 MB NUCA (2 MB slices), 16-way, 8-cycle bank access
+NOC          4x4 mesh, 2-cycle hop, 256 bits/cycle per link per direction
+DRAM         4 memory controllers, 17 GB/s each, 40 ns device access
+===========  ==================================================================
+
+Plus the HAU additions of Section 4.4: ten task-reserved MSHR entries per
+core and two 32-entry FIFO buffers per core tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["HAUConfig", "DEFAULT_HAU_CONFIG"]
+
+
+@dataclass(frozen=True)
+class HAUConfig:
+    """Parameters of the simulated CMP and the HAU machinery (cycles)."""
+
+    # -- chip organization ---------------------------------------------------
+    num_cores: int = 16
+    mesh_width: int = 4
+    clock_ghz: float = 2.5
+    #: Core 0 hosts the master thread (SAGA-Bench setup); workers are 1..15.
+    master_core: int = 0
+
+    # -- memory hierarchy ------------------------------------------------------
+    cacheline_bytes: int = 64
+    #: 8-byte <neighbor, weight-packed> entries per cacheline.
+    elems_per_line: int = 8
+    l1_lines: int = 512        # 32 KB / 64 B
+    l2_lines: int = 4096       # 256 KB / 64 B
+    l3_lines_per_slice: int = 32768  # 2 MB / 64 B
+    l1_latency: int = 3
+    l2_latency: int = 8
+    l3_latency: int = 12       # bank access + tag path
+    dram_latency: int = 100    # 40 ns at 2.5 GHz
+    #: Effective per-line cycles when the controller *streams* consecutive
+    #: lines with multiple fills in flight (the dedicated scan logic of
+    #: Fig. 11 overlaps fetch and compare, so throughput — not load-to-use
+    #: latency — governs): private-cache resident, L3-resident, and DRAM
+    #: streaming rates.
+    l2_stream_cycles: float = 3.0
+    l3_stream_cycles: float = 5.0
+    dram_stream_cycles: float = 15.0
+
+    # -- NoC ----------------------------------------------------------------
+    hop_latency: int = 2
+    #: Flits per task packet (three 64-bit fields on a 256-bit link).
+    task_packet_flits: int = 1
+    #: Flits per cacheline transfer packet (64 B on a 256-bit link).
+    data_packet_flits: int = 2
+
+    # -- HAU machinery (Section 4.4) ------------------------------------------
+    task_mshr_entries: int = 10
+    fifo_entries: int = 32
+    #: supply_task instruction on the producing core.
+    supply_task_cycles: int = 2
+    #: fetch_task instruction + FIFO pop on the consuming core.
+    fetch_task_cycles: int = 2
+    #: Cache-controller engage/disengage per task (MSHR allocate/free,
+    #: FSM transitions of Fig. 10/11).
+    controller_overhead_cycles: int = 2
+    #: Dedicated scan logic: per-cacheline compare cost (overlapped with the
+    #: next line's fetch, so this is the *additional* cost per line).
+    scan_per_line_cycles: int = 0
+    #: Insert handed back to the core (Fig. 11 step 6): the controller has
+    #: already located the slot, the core commits the entry (and rarely
+    #: allocates), per inserted edge.
+    core_insert_cycles: int = 8
+    #: Weight refresh for duplicate edges, per edge.
+    core_weight_cycles: int = 4
+    #: Probability that a vertex's edge array shares a boundary cacheline
+    #: with a neighboring vertex homed on another core (the source of the
+    #: paper's residual 1-2% remote accesses).
+    boundary_share_probability: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.num_cores != self.mesh_width ** 2:
+            raise ConfigurationError(
+                f"num_cores ({self.num_cores}) must equal mesh_width^2 "
+                f"({self.mesh_width ** 2})"
+            )
+        if not 0 <= self.boundary_share_probability <= 1:
+            raise ConfigurationError(
+                "boundary_share_probability must be in [0,1], got "
+                f"{self.boundary_share_probability}"
+            )
+        if self.master_core < 0 or self.master_core >= self.num_cores:
+            raise ConfigurationError(
+                f"master_core {self.master_core} out of range"
+            )
+
+    @property
+    def num_workers(self) -> int:
+        """Task-consuming cores (all but the master)."""
+        return self.num_cores - 1
+
+    @property
+    def worker_cores(self) -> list[int]:
+        """Core ids hosting update workers (Fig. 19 reports these)."""
+        return [c for c in range(self.num_cores) if c != self.master_core]
+
+    def core_coords(self, core: int) -> tuple[int, int]:
+        """(x, y) tile coordinates of a core on the mesh."""
+        return core % self.mesh_width, core // self.mesh_width
+
+    def hops(self, src_core: int, dst_core: int) -> int:
+        """XY-routed hop count between two tiles."""
+        sx, sy = self.core_coords(src_core)
+        dx, dy = self.core_coords(dst_core)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+DEFAULT_HAU_CONFIG = HAUConfig()

@@ -1,0 +1,87 @@
+"""Cache-controller scan logic (Fig. 10/11 workflow).
+
+Per update task the controller: receives the TaskReq from the message
+receive unit (MSHR allocate, FIFO push, MSHR free), fetches the vertex's
+edge-data cachelines, scans each returning line with dedicated compare logic
+(no CPU search instructions), stops on a hit, and otherwise hands the write
+operation back to the core through the FIFO.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cache import AccessProfile, TileCache
+from .config import HAUConfig
+from .tasks import VertexTaskCluster
+
+__all__ = ["ClusterCost", "scan_lines_for_cluster", "process_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterCost:
+    """Modeled consumer-side cost of one vertex's task cluster.
+
+    Attributes:
+        cycles: total consumer-core + controller cycles.
+        access: classified cacheline accesses.
+        tasks: tasks in the cluster.
+    """
+
+    cycles: float
+    access: AccessProfile
+    tasks: int
+
+
+def scan_lines_for_cluster(cluster: VertexTaskCluster, config: HAUConfig) -> float:
+    """Edge-data cachelines the cluster's searches touch.
+
+    Each of the ``k`` searches scans the current adjacency (stopping early on
+    duplicate hits — modeled at half the array — and running to the end for
+    inserts, which then grow the array).  Mirrors the software engines' scan
+    accounting at cacheline granularity.
+    """
+    k = cluster.tasks
+    length = cluster.length_before
+    new = cluster.new_edges
+    dup = k - new
+    elements = (
+        new * (length + max(new - 1, 0) / 2.0)  # misses scan everything
+        + dup * (length + new) / 2.0            # hits stop halfway on average
+    )
+    lines = elements / config.elems_per_line + k  # >=1 line per search
+    return lines
+
+
+def process_cluster(
+    cluster: VertexTaskCluster,
+    cache: TileCache,
+    config: HAUConfig,
+    l3_hit_probability: float,
+    remote_hops_cycles: float,
+    home_is_local: bool = True,
+) -> ClusterCost:
+    """Model the consumer core executing one vertex's task cluster."""
+    scan_lines = scan_lines_for_cluster(cluster, config)
+    footprint = math.ceil(
+        max(cluster.length_before + cluster.new_edges, 1) / config.elems_per_line
+    )
+    access = cache.access_vertex(
+        vertex=cluster.vertex,
+        scan_lines=scan_lines,
+        footprint_lines=footprint,
+        l3_hit_probability=l3_hit_probability,
+        remote_hops_cycles=remote_hops_cycles,
+        home_is_local=home_is_local,
+    )
+    per_task = (
+        config.fetch_task_cycles
+        + config.controller_overhead_cycles
+    )
+    insert_cycles = (
+        cluster.new_edges * config.core_insert_cycles
+        + (cluster.tasks - cluster.new_edges) * config.core_weight_cycles
+    )
+    cycles = cluster.tasks * per_task + access.cycles + insert_cycles
+    return ClusterCost(cycles=cycles, access=access, tasks=cluster.tasks)

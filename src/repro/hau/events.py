@@ -1,0 +1,142 @@
+"""Event-driven HAU simulation — a cross-check for the analytical model.
+
+The production :class:`~repro.hau.simulator.HAUSimulator` aggregates work
+per core deterministically.  This module simulates the same batch at
+*per-task event* granularity: producers issue ``supply_task`` instructions
+serially, TaskReq packets transit the mesh with their routed latency,
+consumer FIFOs fill and drain with real occupancy, and each core's cache
+controller is busy for the task's modeled cycles.  It is O(tasks log tasks)
+and meant for small batches; ``tests/test_hau_events.py`` and the
+``test_ablation_event_model`` benchmark cross-validate the two backends.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..graph.base import BatchUpdateStats
+from .cache import TileCache
+from .config import DEFAULT_HAU_CONFIG, HAUConfig
+from .controller import process_cluster
+from .noc import MeshNoC
+from .tasks import clusters_from_stats, producer_core
+
+__all__ = ["EventDrivenResult", "EventDrivenHAU"]
+
+
+@dataclass(frozen=True)
+class EventDrivenResult:
+    """Outcome of one event-driven batch simulation.
+
+    Attributes:
+        cycles: makespan (last task completion).
+        tasks_per_core: tasks consumed per worker core.
+        fifo_peak_per_core: maximum FIFO occupancy observed per core.
+        backpressured_tasks: arrivals that found the FIFO full and stalled
+            in the network until space drained.
+    """
+
+    cycles: float
+    tasks_per_core: dict[int, int]
+    fifo_peak_per_core: dict[int, int]
+    backpressured_tasks: int
+
+
+@dataclass
+class _CoreState:
+    """Mutable per-core simulation state."""
+
+    fifo: list = field(default_factory=list)  # (ready_time, cost) min-heap
+    busy_until: float = 0.0
+    fifo_peak: int = 0
+    tasks_done: int = 0
+
+
+class EventDrivenHAU:
+    """Per-task event simulator for one or more batches.
+
+    Keeps persistent per-tile caches like the analytical backend so the two
+    can be compared batch for batch.
+    """
+
+    def __init__(self, config: HAUConfig | None = None, trigger_cycles: float = 1500.0):
+        self.config = config or DEFAULT_HAU_CONFIG
+        self.noc = MeshNoC(self.config)
+        self.caches = {
+            core: TileCache(self.config) for core in self.config.worker_cores
+        }
+        self.trigger_cycles = trigger_cycles
+
+    def simulate_batch(self, stats: BatchUpdateStats) -> EventDrivenResult:
+        """Run one batch task by task; returns the observed makespan."""
+        config = self.config
+        clusters = clusters_from_stats(stats, config)
+        if not clusters:
+            return EventDrivenResult(
+                cycles=self.trigger_cycles,
+                tasks_per_core={c: 0 for c in config.worker_cores},
+                fifo_peak_per_core={c: 0 for c in config.worker_cores},
+                backpressured_tasks=0,
+            )
+
+        # Per-task costs: a cluster's modeled cycles split evenly over its
+        # tasks (residency is charged once per cluster, as in the
+        # analytical backend).
+        per_task_cost: list[tuple[int, int, float]] = []  # (producer, consumer, cost)
+        for index, cluster in enumerate(clusters):
+            cost = process_cluster(
+                cluster,
+                self.caches[cluster.consumer],
+                config,
+                l3_hit_probability=1.0,
+                remote_hops_cycles=2.0 * config.hop_latency,
+            )
+            share = cost.cycles / cluster.tasks
+            producer = producer_core(index, config)
+            per_task_cost.extend(
+                (producer, cluster.consumer, share) for __ in range(cluster.tasks)
+            )
+
+        # Producers issue their tasks serially from t = trigger.
+        producer_clock = {core: self.trigger_cycles for core in config.worker_cores}
+        events: list[tuple[float, int, int, float]] = []  # (arrival, seq, consumer, cost)
+        for seq, (producer, consumer, cost) in enumerate(per_task_cost):
+            producer_clock[producer] += config.supply_task_cycles
+            arrival = producer_clock[producer] + self.noc.base_latency(
+                producer, consumer
+            )
+            heapq.heappush(events, (arrival, seq, consumer, cost))
+
+        cores = {core: _CoreState() for core in config.worker_cores}
+        backpressured = 0
+        makespan = self.trigger_cycles
+        while events:
+            arrival, seq, consumer, cost = heapq.heappop(events)
+            state = cores[consumer]
+            # Drain completed work from the FIFO model: tasks whose start
+            # time has passed are no longer queued.
+            queued = [t for t in state.fifo if t > arrival]
+            state.fifo = queued
+            if len(queued) >= config.fifo_entries:
+                # FIFO full: the packet waits in the network until the
+                # earliest queued task starts.
+                backpressured += 1
+                retry = min(queued) + 1.0
+                if retry <= arrival:
+                    raise SimulationError("backpressure retry does not advance")
+                heapq.heappush(events, (retry, seq, consumer, cost))
+                continue
+            start = max(arrival, state.busy_until)
+            state.fifo.append(start)
+            state.fifo_peak = max(state.fifo_peak, len(state.fifo))
+            state.busy_until = start + cost
+            state.tasks_done += 1
+            makespan = max(makespan, state.busy_until)
+        return EventDrivenResult(
+            cycles=makespan,
+            tasks_per_core={c: cores[c].tasks_done for c in config.worker_cores},
+            fifo_peak_per_core={c: cores[c].fifo_peak for c in config.worker_cores},
+            backpressured_tasks=backpressured,
+        )

@@ -1,0 +1,301 @@
+"""The HAU accelerator simulator (Section 4.4, Figs. 9-11, 19-20).
+
+Simulates one batch's hardware-accelerated update on the Table 1 CMP:
+
+1. worker cores *produce* update tasks from the input batch
+   (``supply_task`` per edge) and inject TaskReq packets into the mesh;
+2. each task routes to its consumer core (``vertex mod N``), transits the
+   task MSHR and the 32-entry FIFO;
+3. the consumer's cache controller fetches and scans the vertex's edge-data
+   cachelines with dedicated logic and hands inserts back to the core.
+
+The simulator keeps per-tile cache state *across batches* (vertex pinning is
+what makes edge data settle locally) and reports the per-core work
+distribution (Fig. 19), local/remote access mix and packet-latency impact
+(Fig. 20) alongside the batch's cycle count.
+
+Cycle accounting is deterministic (work aggregation per core plus queueing
+estimates) rather than event-by-event — see DESIGN.md §2 on why a
+Sniper-fidelity simulation is substituted with this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..exec_model.parallel import PhaseTiming
+from ..graph.base import BatchUpdateStats
+from .cache import AccessProfile, TileCache
+from .config import DEFAULT_HAU_CONFIG, HAUConfig
+from .controller import process_cluster
+from .fifo import FIFOModel
+from .mshr import MSHRModel
+from .noc import MeshNoC
+from .tasks import clusters_from_stats, producer_core
+
+__all__ = ["HAUBatchResult", "HAUSimulator"]
+
+#: Tiles hosting the four memory controllers (mesh corners).
+_MEMORY_CONTROLLER_TILES = (0, 3, 12, 15)
+
+
+@dataclass(frozen=True)
+class HAUBatchResult:
+    """Outcome of simulating one batch on HAU.
+
+    Attributes:
+        batch_id: the simulated batch.
+        cycles: modeled makespan in core cycles.
+        time: same value in the software model's time units (1 tu = 1 cycle
+            at the shared 2.5 GHz clock).
+        timing: makespan decomposition compatible with the software engines.
+        tasks_per_core: update tasks consumed per worker core (Fig. 19).
+        lines_per_core: edge-data cachelines accessed per core (Fig. 19).
+        local_fraction: fraction of edge-data lines served by the local tile
+            (Fig. 20; the paper reports 98-99%).
+        remote_lines: boundary lines forwarded from other tiles.
+        software_remote_lines: lines the software baseline would have
+            fetched remotely for the same batch (every scan hits data last
+            touched by a random other core).
+        packet_latency_increase: per-core % increase in average packet
+            latency caused by task traffic (Fig. 20; within ~10%).
+        mshr_peak_occupancy: worst per-core task-MSHR occupancy observed.
+        fifo_peak_fill: worst per-core FIFO fill observed.
+    """
+
+    batch_id: int
+    cycles: float
+    time: float
+    timing: PhaseTiming
+    tasks_per_core: dict[int, int]
+    lines_per_core: dict[int, float]
+    local_fraction: float
+    remote_lines: float
+    software_remote_lines: float
+    packet_latency_increase: dict[int, float]
+    mshr_peak_occupancy: float
+    fifo_peak_fill: float
+
+    @property
+    def remote_access_reduction(self) -> float:
+        """Fractional reduction in remote cache accesses vs software."""
+        if self.software_remote_lines == 0:
+            return 0.0
+        return 1.0 - self.remote_lines / self.software_remote_lines
+
+
+@dataclass
+class HAUSimulator:
+    """Persistent accelerator simulator driven batch by batch.
+
+    Pass one instance to an :class:`~repro.update.engine.UpdateEngine` (or a
+    pipeline) so tile-cache state accumulates across batches, as on real
+    hardware.
+    """
+
+    config: HAUConfig = field(default_factory=lambda: DEFAULT_HAU_CONFIG)
+    #: Task-to-core assignment policy (see
+    #: :func:`~repro.hau.tasks.clusters_from_stats`); "scatter" exists for
+    #: the locality ablation only.
+    assignment: str = "vertex_mod"
+    #: Software-side cost of triggering the accelerator for a batch (cycles).
+    #: Far below the software phase-spawn cost: triggering HAU is a stream of
+    #: supply_task instructions from already-running threads, not an OpenMP
+    #: team fork/join — which is why HAU's advantage is largest on small
+    #: batches (Table 3's 100/1K columns).
+    trigger_cycles: float = 1500.0
+
+    def __post_init__(self) -> None:
+        self.noc = MeshNoC(self.config)
+        self.caches = {core: TileCache(self.config) for core in self.config.worker_cores}
+        self.mshrs = {core: MSHRModel(self.config) for core in self.config.worker_cores}
+        self.fifos = {core: FIFOModel(self.config) for core in self.config.worker_cores}
+        self._graph_lines = 0.0
+        self.results: list[HAUBatchResult] = []
+
+    # -- helpers --------------------------------------------------------------
+    def _l3_hit_probability(self) -> float:
+        l3_lines = self.config.l3_lines_per_slice * self.config.num_cores
+        if self._graph_lines <= l3_lines:
+            return 1.0
+        return l3_lines / self._graph_lines
+
+    # -- main entry ---------------------------------------------------------
+    def simulate_batch(self, stats: BatchUpdateStats) -> HAUBatchResult:
+        """Simulate one batch; returns cycles and per-core statistics."""
+        config = self.config
+        clusters = clusters_from_stats(stats, config, assignment=self.assignment)
+        if not clusters:
+            timing = PhaseTiming(0.0, 0.0, self.trigger_cycles, self.trigger_cycles, "work")
+            result = HAUBatchResult(
+                batch_id=stats.batch_id,
+                cycles=self.trigger_cycles,
+                time=self.trigger_cycles,
+                timing=timing,
+                tasks_per_core={c: 0 for c in config.worker_cores},
+                lines_per_core={c: 0.0 for c in config.worker_cores},
+                local_fraction=1.0,
+                remote_lines=0.0,
+                software_remote_lines=0.0,
+                packet_latency_increase={c: 0.0 for c in config.worker_cores},
+                mshr_peak_occupancy=0.0,
+                fifo_peak_fill=0.0,
+            )
+            self.results.append(result)
+            return result
+        l3_prob = self._l3_hit_probability()
+
+        consumer_cycles = {core: 0.0 for core in config.worker_cores}
+        producer_cycles = {core: 0.0 for core in config.worker_cores}
+        tasks_per_core = {core: 0 for core in config.worker_cores}
+        lines_per_core = {core: 0.0 for core in config.worker_cores}
+        access_total = AccessProfile()
+        pair_tasks: dict[tuple[int, int], float] = {}
+        mean_hop_cycles = 2.0 * config.hop_latency  # typical one-way boundary forward
+
+        workers = config.worker_cores
+        for index, cluster in enumerate(clusters):
+            producer = producer_core(index, config)
+            # The vertex's pages are NUCA-homed at its pinned tile; under the
+            # scatter ablation the consumer usually is not that tile.
+            home = workers[cluster.vertex % len(workers)]
+            cost = process_cluster(
+                cluster,
+                self.caches[cluster.consumer],
+                config,
+                l3_prob,
+                remote_hops_cycles=mean_hop_cycles,
+                home_is_local=(home == cluster.consumer),
+            )
+            consumer_cycles[cluster.consumer] += cost.cycles
+            tasks_per_core[cluster.consumer] += cluster.tasks
+            lines_per_core[cluster.consumer] += cost.access.lines
+            access_total.merge(cost.access)
+            producer_cycles[producer] += cluster.tasks * config.supply_task_cycles
+            key = (producer, cluster.consumer)
+            pair_tasks[key] = pair_tasks.get(key, 0.0) + cluster.tasks
+
+        # Deletion tasks run after all insertions (§4.4.3): one task per
+        # direction per deleted edge, a short locate-and-unlink at the home
+        # core.  Without per-vertex deletion stats they spread round-robin.
+        if stats.deleted_edges:
+            per_delete = (
+                config.fetch_task_cycles
+                + config.controller_overhead_cycles
+                + config.l2_stream_cycles
+                + config.core_insert_cycles
+            )
+            share = stats.deleted_edges * 2.0 / len(config.worker_cores)
+            for core in config.worker_cores:
+                consumer_cycles[core] += share * per_delete
+                tasks_per_core[core] += int(round(share))
+                producer_cycles[core] += share * config.supply_task_cycles
+
+        busy = {
+            core: consumer_cycles[core] + producer_cycles[core]
+            for core in config.worker_cores
+        }
+        duration = max(busy.values())
+        if duration <= 0:
+            raise SimulationError("batch produced no work")
+
+        # MSHR / FIFO accounting against the batch duration.
+        mshr_peak = 0.0
+        fifo_peak = 0.0
+        stall_overhead = 0.0
+        for core in config.worker_cores:
+            tasks = float(tasks_per_core[core])
+            if tasks == 0:
+                continue
+            drain = consumer_cycles[core] / tasks
+            stall_overhead = max(
+                stall_overhead,
+                self.mshrs[core].account(tasks, duration),
+            )
+            stall_overhead = max(
+                stall_overhead,
+                self.fifos[core].account(tasks, drain, duration),
+            )
+            mshr_peak = max(mshr_peak, self.mshrs[core].peak_occupancy)
+            fifo_peak = max(fifo_peak, self.fifos[core].peak_fill)
+
+        # NoC traffic: tasks (producer -> consumer), DRAM fills (controller
+        # tile -> consumer), boundary forwards (neighbor tile -> consumer).
+        task_loads = self.noc.new_loads()
+        data_loads = self.noc.new_loads()
+        for (producer, consumer), tasks in pair_tasks.items():
+            self.noc.add_traffic(
+                task_loads, producer, consumer, tasks, config.task_packet_flits
+            )
+        dram_lines_per_core = access_total.dram / len(config.worker_cores)
+        remote_lines_per_core = access_total.remote / len(config.worker_cores)
+        for core in config.worker_cores:
+            controller_tile = _MEMORY_CONTROLLER_TILES[
+                core % len(_MEMORY_CONTROLLER_TILES)
+            ]
+            self.noc.add_traffic(
+                data_loads, controller_tile, core,
+                dram_lines_per_core, config.data_packet_flits,
+            )
+            neighbor = config.worker_cores[(core + 1) % len(config.worker_cores)]
+            self.noc.add_traffic(
+                data_loads, neighbor, core,
+                remote_lines_per_core, config.data_packet_flits,
+            )
+
+        combined = self.noc.new_loads()
+        combined.flits = task_loads.flits + data_loads.flits
+        packet_increase: dict[int, float] = {}
+        for core in config.worker_cores:
+            weights = 0.0
+            with_tasks = 0.0
+            data_only = 0.0
+            for (producer, consumer), tasks in pair_tasks.items():
+                if consumer != core:
+                    continue
+                with_tasks += tasks * self.noc.average_packet_latency(
+                    combined, duration, producer, consumer, config.data_packet_flits
+                )
+                data_only += tasks * self.noc.average_packet_latency(
+                    data_loads, duration, producer, consumer, config.data_packet_flits
+                )
+                weights += tasks
+            if weights > 0 and data_only > 0:
+                packet_increase[core] = 100.0 * (with_tasks - data_only) / data_only
+            else:
+                packet_increase[core] = 0.0
+
+        cycles = self.trigger_cycles + duration + stall_overhead
+        timing = PhaseTiming(
+            total_work=sum(busy.values()),
+            critical_path=duration,
+            serial_prefix=self.trigger_cycles + stall_overhead,
+            makespan=cycles,
+            limiter="chain",
+        )
+        new_edges = sum(
+            int(direction.new_edges.sum()) for direction in stats.directions
+            if direction.num_vertices
+        )
+        self._graph_lines += new_edges / config.elems_per_line
+        result = HAUBatchResult(
+            batch_id=stats.batch_id,
+            cycles=cycles,
+            time=cycles,
+            timing=timing,
+            tasks_per_core=tasks_per_core,
+            lines_per_core=lines_per_core,
+            local_fraction=access_total.local_fraction,
+            remote_lines=access_total.remote,
+            software_remote_lines=access_total.lines
+            * (config.num_workers - 1)
+            / config.num_workers,
+            packet_latency_increase=packet_increase,
+            mshr_peak_occupancy=mshr_peak,
+            fifo_peak_fill=fifo_peak,
+        )
+        self.results.append(result)
+        return result

@@ -1,0 +1,116 @@
+"""Update tasks and their production/assignment (Section 4.4).
+
+An update task for an incoming edge ``<src, target>`` is
+``<src's edge-data start address, src's current degree, target[, weight]>``.
+Tasks route to core ``vertex mod N`` (N = task-consuming cores), so all of a
+vertex's updates land on one core — race-safety by construction, which is
+what lets HAU drop software locks.
+
+The simulator works at vertex-cluster granularity: a
+:class:`VertexTaskCluster` carries one vertex's ``k`` tasks for one batch
+direction, with the statistics the controller model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.base import BatchUpdateStats, DirectionStats
+from .config import HAUConfig
+
+__all__ = ["VertexTaskCluster", "clusters_from_stats", "consumer_core", "producer_core"]
+
+
+@dataclass(frozen=True)
+class VertexTaskCluster:
+    """All of one vertex's update tasks for one direction of one batch.
+
+    Attributes:
+        vertex: the vertex whose adjacency is updated.
+        tasks: number of update tasks (the vertex's batch degree).
+        length_before: adjacency length before the batch.
+        new_edges: inserts performed (the rest are weight refreshes).
+        consumer: core executing the tasks (``vertex mod N`` mapping).
+    """
+
+    vertex: int
+    tasks: int
+    length_before: int
+    new_edges: int
+    consumer: int
+
+
+def consumer_core(vertex: int, config: HAUConfig) -> int:
+    """The task-consuming core for ``vertex`` (hash assignment, §4.4.3)."""
+    workers = config.worker_cores
+    return workers[vertex % len(workers)]
+
+
+def producer_core(index: int, config: HAUConfig) -> int:
+    """Task-producing core for the ``index``-th cluster (round-robin).
+
+    Worker threads walking the input batch produce tasks; clusters are
+    scattered round-robin across the worker cores.
+    """
+    workers = config.worker_cores
+    return workers[index % len(workers)]
+
+
+def clusters_from_stats(
+    stats: BatchUpdateStats,
+    config: HAUConfig,
+    assignment: str = "vertex_mod",
+) -> list[VertexTaskCluster]:
+    """Build the batch's task clusters (both directions) from update stats.
+
+    Args:
+        assignment: ``"vertex_mod"`` is the paper's hash assignment (same
+            vertex -> same core forever: race-safe and locality-preserving).
+            ``"scatter"`` re-randomizes the vertex-to-core mapping every
+            batch — an *ablation only*: it destroys cross-batch cache
+            residency, and real hardware would additionally need locks
+            (clusters still serialize within a batch here, so the modeled
+            cost is a lower bound on the real penalty).
+    """
+    clusters: list[VertexTaskCluster] = []
+    for direction in stats.directions:
+        clusters.extend(
+            _direction_clusters(direction, config, assignment, stats.batch_id)
+        )
+    return clusters
+
+
+def _direction_clusters(
+    direction: DirectionStats,
+    config: HAUConfig,
+    assignment: str,
+    batch_id: int,
+) -> list[VertexTaskCluster]:
+    if direction.num_vertices == 0:
+        return []
+    workers = np.asarray(config.worker_cores, dtype=np.int64)
+    if assignment == "vertex_mod":
+        consumers = workers[direction.vertices % len(workers)]
+    elif assignment == "scatter":
+        mixed = (direction.vertices * 2654435761 + batch_id * 7919) % 2**31
+        consumers = workers[mixed % len(workers)]
+    else:
+        raise ValueError(f"unknown assignment {assignment!r}")
+    return [
+        VertexTaskCluster(
+            vertex=int(v),
+            tasks=int(k),
+            length_before=int(length),
+            new_edges=int(new),
+            consumer=int(core),
+        )
+        for v, k, length, new, core in zip(
+            direction.vertices.tolist(),
+            direction.batch_degree.tolist(),
+            direction.length_before.tolist(),
+            direction.new_edges.tolist(),
+            consumers.tolist(),
+        )
+    ]

@@ -1,0 +1,26 @@
+"""Streaming pipeline: modes, metrics, runner and the workload matrix."""
+
+from .latency import LatencyStats, latency_stats, reaction_latencies
+from .metrics import BatchMetrics, RunMetrics
+from .modes import MODES, resolve_mode
+from .runner import ALGORITHMS, StreamingPipeline
+from .tracing import TraceEvent, TraceWriter, read_trace
+from .workloads import DEFAULT_BATCH_CAPS, Workload, workload_matrix
+
+__all__ = [
+    "LatencyStats",
+    "latency_stats",
+    "reaction_latencies",
+    "BatchMetrics",
+    "RunMetrics",
+    "MODES",
+    "resolve_mode",
+    "ALGORITHMS",
+    "StreamingPipeline",
+    "TraceEvent",
+    "TraceWriter",
+    "read_trace",
+    "DEFAULT_BATCH_CAPS",
+    "Workload",
+    "workload_matrix",
+]

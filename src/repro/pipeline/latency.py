@@ -1,0 +1,75 @@
+"""Reaction-latency statistics over pipeline runs.
+
+The paper's Section 5 frames granularity as a latency trade-off
+("extremely latency-sensitive applications ... utilize a fine-grained
+computation granularity ... for faster reaction to graph modifications").
+These helpers quantify that: a batch's *reaction latency* is the time from
+its arrival until its modifications are reflected in analytics results —
+update time plus compute time, plus, for OCA-deferred batches, the entire
+following batch's update and (aggregated) compute round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .metrics import RunMetrics
+
+__all__ = ["LatencyStats", "reaction_latencies", "latency_stats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary of one run (time units).
+
+    Attributes:
+        p50 / p95 / maximum / mean: reaction-latency statistics.
+        deferred_batches: batches whose analytics were postponed by OCA.
+    """
+
+    p50: float
+    p95: float
+    maximum: float
+    mean: float
+    deferred_batches: int
+
+
+def reaction_latencies(metrics: RunMetrics) -> list[float]:
+    """Per-batch reaction latency (see module docstring).
+
+    A deferred batch's modifications only become visible after the *next*
+    batch's aggregated round, so its latency also includes that batch's
+    update and compute times.
+    """
+    latencies: list[float] = []
+    batches = metrics.batches
+    for index, batch in enumerate(batches):
+        latency = batch.update_time + batch.compute_time
+        if batch.deferred:
+            cursor = index + 1
+            while cursor < len(batches):
+                follower = batches[cursor]
+                latency += follower.update_time + follower.compute_time
+                if not follower.deferred:
+                    break
+                cursor += 1
+        latencies.append(latency)
+    return latencies
+
+
+def latency_stats(metrics: RunMetrics) -> LatencyStats:
+    """Summarize a run's reaction-latency distribution."""
+    latencies = reaction_latencies(metrics)
+    if not latencies:
+        raise AnalysisError("run has no batches")
+    array = np.asarray(latencies)
+    return LatencyStats(
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+        mean=float(array.mean()),
+        deferred_batches=sum(b.deferred for b in metrics.batches),
+    )

@@ -1,0 +1,85 @@
+"""Per-batch and per-run metric collection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BatchMetrics", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class BatchMetrics:
+    """Everything measured for one input batch.
+
+    Attributes:
+        batch_id: position in the stream.
+        update_time: modeled update-phase time (includes instrumentation).
+        compute_time: modeled compute-round time; 0.0 when the round was
+            deferred by OCA (its work is folded into the next batch's round).
+        strategy: update strategy that executed.
+        deferred: True if OCA deferred this batch's computation.
+        aggregated_batches: batches covered by this batch's compute round
+            (0 when deferred, 1 normally, 2 for an OCA-aggregated round).
+        cad: CAD value measured on this batch, if any.
+        overlap: OCA inter-batch locality measured on this batch, if any.
+    """
+
+    batch_id: int
+    update_time: float
+    compute_time: float
+    strategy: str
+    deferred: bool = False
+    aggregated_batches: int = 1
+    cad: float | None = None
+    overlap: float | None = None
+
+    @property
+    def total_time(self) -> float:
+        return self.update_time + self.compute_time
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate metrics of one pipeline run.
+
+    The paper's per-workload speedups are ratios of these totals between a
+    baseline run and a technique run (Section 6.1).
+    """
+
+    dataset: str
+    batch_size: int
+    algorithm: str
+    mode: str
+    batches: list[BatchMetrics] = field(default_factory=list)
+
+    def add(self, metrics: BatchMetrics) -> None:
+        self.batches.append(metrics)
+
+    @property
+    def total_update_time(self) -> float:
+        return sum(b.update_time for b in self.batches)
+
+    @property
+    def total_compute_time(self) -> float:
+        return sum(b.compute_time for b in self.batches)
+
+    @property
+    def total_time(self) -> float:
+        return self.total_update_time + self.total_compute_time
+
+    @property
+    def update_share(self) -> float:
+        """Fraction of total time spent in updates (Fig. 6's percentage)."""
+        total = self.total_time
+        return self.total_update_time / total if total else 0.0
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    def strategies_used(self) -> dict[str, int]:
+        """Histogram of executed update strategies."""
+        histogram: dict[str, int] = {}
+        for b in self.batches:
+            histogram[b.strategy] = histogram.get(b.strategy, 0) + 1
+        return histogram

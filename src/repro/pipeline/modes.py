@@ -1,0 +1,41 @@
+"""Named execution modes used across experiments and the CLI.
+
+A mode names an update policy; OCA is orthogonal and toggled separately on
+the pipeline (the paper evaluates OCA on top of ABR+USC).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..update.engine import UpdatePolicy
+
+__all__ = ["MODES", "resolve_mode"]
+
+#: Mode name -> update policy.  Names follow the paper's terminology:
+#: ``dynamic`` is the full input-aware SW/HW proposal, ``sw_only`` and
+#: ``hw_only`` are Fig. 15's input-oblivious comparison points.
+MODES: dict[str, UpdatePolicy] = {
+    "baseline": UpdatePolicy.BASELINE,
+    "always_ro": UpdatePolicy.ALWAYS_RO,
+    "abr": UpdatePolicy.ABR,
+    "abr_usc": UpdatePolicy.ABR_USC,
+    "perfect_abr": UpdatePolicy.PERFECT_ABR,
+    "perfect_abr_usc": UpdatePolicy.PERFECT_ABR_USC,
+    "sw_only": UpdatePolicy.ALWAYS_RO_USC,
+    "hw_only": UpdatePolicy.ALWAYS_HAU,
+    "dynamic": UpdatePolicy.ABR_USC_HAU,
+}
+
+
+def resolve_mode(name: str) -> UpdatePolicy:
+    """Map a mode name to its update policy.
+
+    Raises:
+        ConfigurationError: for unknown mode names.
+    """
+    try:
+        return MODES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution mode {name!r}; known: {', '.join(sorted(MODES))}"
+        ) from None

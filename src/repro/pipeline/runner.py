@@ -1,0 +1,243 @@
+"""The streaming pipeline: interleaved update and compute (Section 3.1).
+
+A :class:`StreamingPipeline` owns a dynamic graph, an update engine, a
+compute engine and (optionally) an OCA controller, and drives them batch by
+batch: ingest the batch (update phase), then run the algorithm on the latest
+snapshot (compute phase), unless OCA defers the round to aggregate it with
+the next batch's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compute.bfs import IncrementalBFS
+from ..compute.components import IncrementalConnectedComponents
+from ..compute.cost_model import compute_round_time
+from ..compute.oca import OCAConfig, OCAController
+from ..compute.pagerank import IncrementalPageRank, StaticPageRank
+from ..compute.sssp import IncrementalSSSP, StaticSSSP
+from ..costs import (
+    DEFAULT_COMPUTE_COSTS,
+    DEFAULT_COSTS,
+    ComputeCostParameters,
+    CostParameters,
+)
+from ..datasets.profiles import DatasetProfile
+from ..datasets.stream import Batch
+from ..errors import ConfigurationError
+from ..exec_model.machine import HOST_MACHINE, MachineConfig
+from ..graph.adjacency_list import AdjacencyListGraph
+from ..graph.base import DynamicGraph
+from ..graph.snapshot import take_snapshot
+from ..update.abr import ABRConfig
+from ..update.engine import UpdateEngine, UpdatePolicy
+from .metrics import BatchMetrics, RunMetrics
+
+__all__ = ["ALGORITHMS", "StreamingPipeline"]
+
+#: Supported algorithm labels: Section 6.1's four algorithms plus the
+#: extension algorithms ("bfs" and "cc", incremental) and "none"
+#: (update-phase-only runs).
+ALGORITHMS = ("pr", "sssp", "pr_static", "sssp_static", "bfs", "cc", "none")
+
+
+
+class StreamingPipeline:
+    """Drives repeated update+compute over a dataset's stream.
+
+    Args:
+        profile: the dataset to stream.
+        batch_size: edges per input batch.
+        algorithm: one of :data:`ALGORITHMS` (``"pr"``/``"sssp"`` are the
+            incremental variants; ``"none"`` runs updates only).
+        policy: update strategy policy.
+        use_oca: enable overlap-based compute aggregation.
+        machine: machine for the software cost models.
+        costs / compute_costs: cost model parameters.
+        abr_config: ABR parameters.
+        oca_config: OCA parameters.
+        hau: accelerator simulator (required for HAU policies).
+        graph: pre-built graph to reuse; defaults to a fresh adjacency list.
+        seed: stream generator seed.
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        batch_size: int,
+        algorithm: str = "pr",
+        policy: UpdatePolicy = UpdatePolicy.ABR_USC,
+        use_oca: bool = False,
+        machine: MachineConfig = HOST_MACHINE,
+        costs: CostParameters = DEFAULT_COSTS,
+        compute_costs: ComputeCostParameters = DEFAULT_COMPUTE_COSTS,
+        abr_config: ABRConfig | None = None,
+        oca_config: OCAConfig | None = None,
+        hau=None,
+        graph: DynamicGraph | None = None,
+        seed: int = 7,
+        pr_tolerance: float = 1e-7,
+        pr_max_rounds: int = 100,
+        sssp_source: int | None = None,
+        trace=None,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}"
+            )
+        self.profile = profile
+        self.batch_size = batch_size
+        self.algorithm = algorithm
+        self.machine = machine
+        self.costs = costs
+        self.compute_costs = compute_costs
+        self.graph = graph or AdjacencyListGraph(profile.num_vertices)
+        self.engine = UpdateEngine(
+            self.graph,
+            policy=policy,
+            machine=machine,
+            costs=costs,
+            abr_config=abr_config,
+            hau=hau,
+        )
+        self.oca = (
+            OCAController(
+                profile.num_vertices,
+                config=oca_config,
+                costs=costs,
+                num_workers=machine.num_workers,
+            )
+            if use_oca
+            else None
+        )
+        self.generator = profile.generator(seed=seed)
+        self.pr_tolerance = pr_tolerance
+        self.pr_max_rounds = pr_max_rounds
+        #: Optional TraceWriter receiving one event per batch.
+        self.trace = trace
+        self._sssp_source: int | None = sssp_source
+        self._incremental_pr: IncrementalPageRank | None = None
+        self._incremental_sssp: IncrementalSSSP | None = None
+        self._incremental_bfs: IncrementalBFS | None = None
+        self._incremental_cc: IncrementalConnectedComponents | None = None
+        self._pending_affected: np.ndarray | None = None
+        self._pending_batches: list[Batch] = []
+
+    # -- compute dispatch -----------------------------------------------------
+    def _ensure_compute_engine(self, first_batch: Batch) -> None:
+        if self.algorithm == "pr" and self._incremental_pr is None:
+            self._incremental_pr = IncrementalPageRank(
+                self.graph,
+                tolerance=self.pr_tolerance,
+                max_rounds=self.pr_max_rounds,
+            )
+        elif self.algorithm == "sssp" and self._incremental_sssp is None:
+            if self._sssp_source is None:
+                self._sssp_source = int(first_batch.src[0])
+            self._incremental_sssp = IncrementalSSSP(self.graph, self._sssp_source)
+        elif self.algorithm == "sssp_static" and self._sssp_source is None:
+            self._sssp_source = int(first_batch.src[0])
+        elif self.algorithm == "bfs" and self._incremental_bfs is None:
+            if self._sssp_source is None:
+                self._sssp_source = int(first_batch.src[0])
+            self._incremental_bfs = IncrementalBFS(self.graph, self._sssp_source)
+        elif self.algorithm == "cc" and self._incremental_cc is None:
+            self._incremental_cc = IncrementalConnectedComponents(self.graph)
+
+    def _run_compute(
+        self, batch: Batch, affected: np.ndarray, covered: list[Batch]
+    ) -> float:
+        """Execute one compute round; returns its modeled time."""
+        if self.algorithm == "none":
+            return 0.0
+        if self.algorithm == "pr":
+            counters = self._incremental_pr.on_batch(affected)
+        elif self.algorithm == "sssp":
+            counters = self._incremental_sssp.on_batches(covered)
+        elif self.algorithm == "bfs":
+            counters = self._incremental_bfs.on_batches(covered)
+        elif self.algorithm == "cc":
+            counters = None
+            for b in covered:
+                c = self._incremental_cc.on_batch(b)
+                counters = c if counters is None else counters + c
+        elif self.algorithm == "pr_static":
+            __, counters = StaticPageRank(tolerance=1e-7, max_iterations=50).run(
+                take_snapshot(self.graph)
+            )
+        else:  # sssp_static
+            __, counters = StaticSSSP(self._sssp_source).run(
+                take_snapshot(self.graph)
+            )
+        return compute_round_time(counters, self.compute_costs, self.machine)
+
+    # -- main loop --------------------------------------------------------------
+    def run(self, num_batches: int | None = None, seed_offset: int = 0) -> RunMetrics:
+        """Stream ``num_batches`` batches through the pipeline.
+
+        Args:
+            num_batches: batches to process (defaults to all the profile's
+                stream provides at this batch size).
+            seed_offset: shift the stream start (used to resume streams).
+
+        Returns:
+            The run's :class:`~repro.pipeline.metrics.RunMetrics`.
+        """
+        if num_batches is None:
+            num_batches = self.profile.num_batches(self.batch_size)
+        metrics = RunMetrics(
+            dataset=self.profile.name,
+            batch_size=self.batch_size,
+            algorithm=self.algorithm,
+            mode=self.engine.policy.value,
+        )
+        for index in range(num_batches):
+            batch = self.generator.generate_batch(index + seed_offset, self.batch_size)
+            self._ensure_compute_engine(batch)
+            update = self.engine.ingest(batch)
+            update_time = update.time
+            overlap = None
+            deferred = False
+            if self.oca is not None:
+                observation = self.oca.observe(batch)
+                update_time += observation.instrumentation
+                overlap = observation.overlap
+                deferred = observation.defer_compute and index < num_batches - 1
+            affected = batch.unique_vertices()
+            if self._pending_affected is not None:
+                affected = np.union1d(affected, self._pending_affected)
+            covered = self._pending_batches + [batch]
+            if deferred:
+                self._pending_affected = affected
+                self._pending_batches = covered
+                compute_time = 0.0
+            else:
+                compute_time = self._run_compute(batch, affected, covered)
+                self._pending_affected = None
+                self._pending_batches = []
+            batch_metrics = BatchMetrics(
+                batch_id=batch.batch_id,
+                update_time=update_time,
+                compute_time=compute_time,
+                strategy=update.strategy,
+                deferred=deferred,
+                aggregated_batches=0 if deferred else len(covered),
+                cad=update.cad,
+                overlap=overlap,
+            )
+            metrics.add(batch_metrics)
+            if self.trace is not None:
+                from .tracing import TraceEvent
+
+                self.trace.write(
+                    TraceEvent.from_metrics(
+                        batch_metrics,
+                        dataset=self.profile.name,
+                        batch_size=self.batch_size,
+                        algorithm=self.algorithm,
+                        mode=self.engine.policy.value,
+                        abr_active=update.abr_active,
+                    )
+                )
+        return metrics

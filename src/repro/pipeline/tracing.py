@@ -1,0 +1,117 @@
+"""Per-batch execution traces (JSONL).
+
+A trace records, for every batch of a pipeline run, what the input-aware
+machinery observed and decided — the CAD measured, the strategy executed,
+the OCA overlap and deferral, and the modeled times.  Traces make runs
+debuggable and comparable offline (`read_trace` + any JSONL tooling), and
+the CLI exposes them via ``repro run --trace FILE``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .metrics import BatchMetrics
+
+__all__ = ["TraceEvent", "TraceWriter", "read_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One batch's trace record."""
+
+    dataset: str
+    batch_size: int
+    algorithm: str
+    mode: str
+    batch_id: int
+    strategy: str
+    update_time: float
+    compute_time: float
+    abr_active: bool
+    cad: float | None
+    overlap: float | None
+    deferred: bool
+    aggregated_batches: int
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: BatchMetrics,
+        dataset: str,
+        batch_size: int,
+        algorithm: str,
+        mode: str,
+        abr_active: bool,
+    ) -> "TraceEvent":
+        return cls(
+            dataset=dataset,
+            batch_size=batch_size,
+            algorithm=algorithm,
+            mode=mode,
+            batch_id=metrics.batch_id,
+            strategy=metrics.strategy,
+            update_time=metrics.update_time,
+            compute_time=metrics.compute_time,
+            abr_active=abr_active,
+            cad=metrics.cad,
+            overlap=metrics.overlap,
+            deferred=metrics.deferred,
+            aggregated_batches=metrics.aggregated_batches,
+        )
+
+
+class TraceWriter:
+    """Appends trace events to a JSONL file.
+
+    Usable as a context manager::
+
+        with TraceWriter("run.jsonl") as trace:
+            StreamingPipeline(..., trace=trace).run(10)
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle = open(self.path, "w")
+        self.events_written = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(asdict(event)) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace back into events.
+
+    Raises:
+        AnalysisError: for missing files or malformed lines.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no trace file at {path}")
+    events = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent(**json.loads(line)))
+            except (json.JSONDecodeError, TypeError) as exc:
+                raise AnalysisError(
+                    f"{path}:{line_number}: malformed trace line ({exc})"
+                ) from exc
+    return events

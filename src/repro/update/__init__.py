@@ -1,0 +1,40 @@
+"""Update phase: baseline, RO, USC, CAD/ABR and the strategy engine."""
+
+from .abr import ABRConfig, ABRController, ABRDecision
+from .baseline import baseline_update_timing
+from .cad import CADResult, cad_from_degrees, cad_from_stats, instrumentation_time
+from .engine import UpdateEngine, UpdatePolicy
+from .feedback import FeedbackABRController, FeedbackConfig
+from .reorder import reorder_update_timing, sort_time
+from .result import (
+    STRATEGY_BASELINE,
+    STRATEGY_HAU,
+    STRATEGY_RO,
+    STRATEGY_RO_USC,
+    UpdateResult,
+)
+from .usc import usc_search_savings, usc_update_timing
+
+__all__ = [
+    "ABRConfig",
+    "ABRController",
+    "ABRDecision",
+    "baseline_update_timing",
+    "CADResult",
+    "cad_from_degrees",
+    "cad_from_stats",
+    "instrumentation_time",
+    "UpdateEngine",
+    "UpdatePolicy",
+    "FeedbackABRController",
+    "FeedbackConfig",
+    "reorder_update_timing",
+    "sort_time",
+    "STRATEGY_BASELINE",
+    "STRATEGY_HAU",
+    "STRATEGY_RO",
+    "STRATEGY_RO_USC",
+    "UpdateResult",
+    "usc_search_savings",
+    "usc_update_timing",
+]

@@ -1,0 +1,119 @@
+"""Adaptive batch reordering (ABR) — Section 4.2, Fig. 7.
+
+ABR instruments every ``n``-th input batch (the *ABR-active* batch) to
+collect the batch's CAD_lambda, then applies the resulting reorder/don't-
+reorder decision to the following ``n`` *ABR-inert* batches.  Per the paper's
+pseudocode the controller starts in reordering mode ("default RO"), and the
+active batch itself executes under the *previous* decision (instrumentation
+is overlapped with its update).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..costs import CostParameters
+from ..errors import ConfigurationError
+from ..graph.base import BatchUpdateStats
+from .cad import CADResult, cad_from_stats, instrumentation_time
+
+__all__ = ["ABRConfig", "ABRDecision", "ABRController"]
+
+
+@dataclass(frozen=True)
+class ABRConfig:
+    """ABR design parameters (Section 6.2.3 defaults: n=10, lambda=256, TH=465).
+
+    Attributes:
+        n: instrumentation period — one ABR-active batch every ``n`` batches.
+        lam: the lambda cutoff locating an individual batch's top degrees.
+        threshold: the TH cutoff distinguishing high from low CAD values.
+        default_reorder: initial mode before the first measurement.
+    """
+
+    n: int = 10
+    lam: int = 256
+    threshold: float = 465.0
+    default_reorder: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"ABR n must be >= 1, got {self.n}")
+        if self.lam < 1:
+            raise ConfigurationError(f"ABR lambda must be >= 1, got {self.lam}")
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"ABR threshold must be positive, got {self.threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class ABRDecision:
+    """Outcome of ABR's per-batch step.
+
+    Attributes:
+        reorder: whether *this* batch is updated via reordering.
+        active: True if this batch was ABR-active (instrumented).
+        cad: the CAD measured on this batch (None on inert batches).
+        instrumentation: modeled instrumentation time added to this batch's
+            update (0 on inert batches).
+    """
+
+    reorder: bool
+    active: bool
+    cad: CADResult | None
+    instrumentation: float
+
+
+class ABRController:
+    """Stateful ABR decision maker driven once per batch.
+
+    Args:
+        config: ABR parameters.
+        costs: cost model used for the instrumentation overhead.
+        num_workers: worker pool size the instrumentation divides across.
+    """
+
+    def __init__(self, config: ABRConfig, costs: CostParameters, num_workers: int):
+        self.config = config
+        self.costs = costs
+        self.num_workers = num_workers
+        self.reordering = config.default_reorder
+        #: Live decision threshold; starts at the configured TH and may be
+        #: retuned by feedback-enabled subclasses.
+        self.threshold = float(config.threshold)
+        self.decisions_made = 0
+        self.active_batches = 0
+
+    def step(self, stats: BatchUpdateStats) -> ABRDecision:
+        """Advance the controller by one batch and return its decision.
+
+        The batch is ABR-active when its position is a multiple of ``n``
+        (batch 0 is active, seeding the first real decision).  Active batches
+        run under the pre-existing mode while being instrumented; the fresh
+        decision governs the next ``n`` batches.
+        """
+        active = stats.batch_id % self.config.n == 0
+        mode_for_this_batch = self.reordering
+        if not active:
+            return ABRDecision(
+                reorder=mode_for_this_batch, active=False, cad=None, instrumentation=0.0
+            )
+        instrumentation = instrumentation_time(
+            stats.batch_size, mode_for_this_batch, self.costs, self.num_workers
+        )
+        cad = cad_from_stats(stats, self.config.lam)
+        self.reordering = cad.value >= self.threshold
+        self.decisions_made += 1
+        self.active_batches += 1
+        return ABRDecision(
+            reorder=mode_for_this_batch,
+            active=True,
+            cad=cad,
+            instrumentation=instrumentation,
+        )
+
+    def observe_times(
+        self, stats: BatchUpdateStats, baseline_time: float, reorder_time: float
+    ) -> None:
+        """Hook for feedback-enabled subclasses; the base controller is static."""

@@ -1,0 +1,208 @@
+"""Update engine: per-batch strategy dispatch (Fig. 2's decision diagram).
+
+The engine applies each batch to the graph exactly once (real mutation), then
+charges modeled time according to the configured policy:
+
+* input-oblivious policies always run one strategy (baseline, RO, RO+USC,
+  or HAU);
+* ABR policies consult the :class:`~repro.update.abr.ABRController` —
+  reorder-friendly batches run the software fast path (RO, or RO+USC),
+  reorder-adverse batches fall back to the baseline (ABR/ABR_USC) or are
+  offloaded to the HAU accelerator (ABR_USC_HAU, the paper's full
+  input-aware SW/HW dynamic execution);
+* PERFECT policies model the zero-overhead oracle of Fig. 13's
+  "perfect ABR" bars.
+
+Each :class:`~repro.update.result.UpdateResult` also carries the modeled
+times of the non-executed software strategies, so characterization studies
+never need to re-apply a batch.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..costs import DEFAULT_COSTS, CostParameters
+from ..datasets.stream import Batch
+from ..errors import ConfigurationError
+from ..exec_model.machine import HOST_MACHINE, MachineConfig
+from ..graph.base import BatchUpdateStats, DynamicGraph
+from .abr import ABRConfig, ABRController, ABRDecision
+from .baseline import baseline_update_timing
+from .reorder import reorder_update_timing
+from .result import (
+    STRATEGY_BASELINE,
+    STRATEGY_HAU,
+    STRATEGY_RO,
+    STRATEGY_RO_USC,
+    UpdateResult,
+)
+from .usc import usc_update_timing
+
+__all__ = ["UpdatePolicy", "UpdateEngine"]
+
+
+class UpdatePolicy(enum.Enum):
+    """How the engine chooses an update strategy per batch."""
+
+    #: Input-oblivious: always locked edge-centric updates.
+    BASELINE = "baseline"
+    #: Input-oblivious: always reorder (the naive always-RO of Fig. 3).
+    ALWAYS_RO = "always_ro"
+    #: Input-oblivious SW-only: always reorder with search coalescing
+    #: (Fig. 15 left's enforced RO+USC).
+    ALWAYS_RO_USC = "always_ro_usc"
+    #: Input-oblivious HW-only: every batch on the accelerator
+    #: (Fig. 15 right's enforced HAU).
+    ALWAYS_HAU = "always_hau"
+    #: Input-aware software: ABR decides reorder vs baseline.
+    ABR = "abr"
+    #: Input-aware software: ABR decides (reorder + USC) vs baseline.
+    ABR_USC = "abr_usc"
+    #: Oracle ABR with zero instrumentation overhead (Fig. 13 "perfect ABR").
+    PERFECT_ABR = "perfect_abr"
+    #: Oracle choosing between baseline and RO+USC with zero overhead.
+    PERFECT_ABR_USC = "perfect_abr_usc"
+    #: The paper's full proposal: friendly batches -> RO+USC in software,
+    #: adverse batches -> HAU in hardware (Fig. 2).
+    ABR_USC_HAU = "abr_usc_hau"
+
+
+_ABR_POLICIES = frozenset(
+    {UpdatePolicy.ABR, UpdatePolicy.ABR_USC, UpdatePolicy.ABR_USC_HAU}
+)
+_HAU_POLICIES = frozenset({UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU})
+
+
+class UpdateEngine:
+    """Ingests batches into a graph and accounts modeled update time.
+
+    Args:
+        graph: the dynamic graph structure being maintained.
+        policy: per-batch strategy selection policy.
+        machine: machine the software phases run on (use the simulated CMP
+            when comparing against HAU, per Table 3's normalization).
+        costs: software cost model parameters.
+        abr_config: ABR parameters (used by ABR policies).
+        hau: accelerator simulator exposing
+            ``simulate_batch(stats) -> result`` with ``time`` and ``timing``
+            attributes; required for HAU policies.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        policy: UpdatePolicy = UpdatePolicy.ABR_USC,
+        machine: MachineConfig = HOST_MACHINE,
+        costs: CostParameters = DEFAULT_COSTS,
+        abr_config: ABRConfig | None = None,
+        hau=None,
+        abr_controller: ABRController | None = None,
+    ):
+        if policy in _HAU_POLICIES and hau is None:
+            raise ConfigurationError(
+                f"policy {policy.value} requires a HAU simulator instance"
+            )
+        self.graph = graph
+        self.policy = policy
+        self.machine = machine
+        self.costs = costs
+        self.abr_config = abr_config or ABRConfig()
+        self.hau = hau
+        #: The decision controller; inject a FeedbackABRController for the
+        #: online-threshold-tuning extension.
+        self.abr = abr_controller or ABRController(
+            self.abr_config, costs, machine.num_workers
+        )
+        self.results: list[UpdateResult] = []
+
+    # -- internals ----------------------------------------------------------
+    def _software_times(self, stats: BatchUpdateStats) -> dict:
+        """Modeled timings of the three software strategies."""
+        return {
+            STRATEGY_BASELINE: baseline_update_timing(
+                stats, self.graph, self.costs, self.machine
+            ),
+            STRATEGY_RO: reorder_update_timing(
+                stats, self.graph, self.costs, self.machine
+            ),
+            STRATEGY_RO_USC: usc_update_timing(
+                stats, self.graph, self.costs, self.machine
+            ),
+        }
+
+    def _choose(self, stats: BatchUpdateStats, timings: dict) -> tuple[str, ABRDecision | None]:
+        """Pick the executed strategy label per the configured policy."""
+        policy = self.policy
+        if policy is UpdatePolicy.BASELINE:
+            return STRATEGY_BASELINE, None
+        if policy is UpdatePolicy.ALWAYS_RO:
+            return STRATEGY_RO, None
+        if policy is UpdatePolicy.ALWAYS_RO_USC:
+            return STRATEGY_RO_USC, None
+        if policy is UpdatePolicy.ALWAYS_HAU:
+            return STRATEGY_HAU, None
+        if policy is UpdatePolicy.PERFECT_ABR:
+            baseline = timings[STRATEGY_BASELINE].makespan
+            reorder = timings[STRATEGY_RO].makespan
+            return (STRATEGY_RO if reorder < baseline else STRATEGY_BASELINE), None
+        if policy is UpdatePolicy.PERFECT_ABR_USC:
+            baseline = timings[STRATEGY_BASELINE].makespan
+            usc = timings[STRATEGY_RO_USC].makespan
+            return (STRATEGY_RO_USC if usc < baseline else STRATEGY_BASELINE), None
+        decision = self.abr.step(stats)
+        if decision.reorder:
+            strategy = (
+                STRATEGY_RO if policy is UpdatePolicy.ABR else STRATEGY_RO_USC
+            )
+        elif policy is UpdatePolicy.ABR_USC_HAU:
+            strategy = STRATEGY_HAU
+        else:
+            strategy = STRATEGY_BASELINE
+        return strategy, decision
+
+    # -- public API -----------------------------------------------------------
+    def ingest(self, batch: Batch) -> UpdateResult:
+        """Apply one batch and return its modeled update result."""
+        stats = self.graph.apply_batch(batch)
+        timings = self._software_times(stats)
+        strategy, decision = self._choose(stats, timings)
+        if decision is not None:
+            # Feedback hook (no-op on the static controller): report the
+            # modeled times so a tuning controller can adjust its threshold.
+            self.abr.observe_times(
+                stats,
+                timings[STRATEGY_BASELINE].makespan,
+                timings[STRATEGY_RO].makespan,
+            )
+        if strategy == STRATEGY_HAU:
+            hau_result = self.hau.simulate_batch(stats)
+            timing = hau_result.timing
+        else:
+            timing = timings[strategy]
+        instrumentation = decision.instrumentation if decision else 0.0
+        # Structure maintenance (e.g. edge-log archiving) is paid by the
+        # batch no matter which update strategy executed.
+        maintenance = self.graph.consume_phase_overhead()
+        alternatives = {
+            label: t.makespan + maintenance
+            for label, t in timings.items()
+            if label != strategy
+        }
+        result = UpdateResult(
+            batch_id=stats.batch_id,
+            strategy=strategy,
+            time=timing.makespan + instrumentation + maintenance,
+            timing=timing,
+            instrumentation_time=instrumentation,
+            abr_active=bool(decision and decision.active),
+            cad=decision.cad.value if decision and decision.cad else None,
+            alternatives=alternatives,
+        )
+        self.results.append(result)
+        return result
+
+    @property
+    def total_time(self) -> float:
+        """Total modeled update time across all ingested batches."""
+        return sum(r.time for r in self.results)

@@ -1,0 +1,95 @@
+"""Feedback-tuned ABR — the paper's stated future work (Section 6.2.3).
+
+The paper fixes (lambda, TH) offline from a large example suite and notes:
+"In future work, ABR could be extended with an online feedback tuning
+method."  This module implements that extension: on every ABR-active batch
+the engine reports the modeled baseline and reordered update times alongside
+the measured CAD, and the controller nudges its threshold whenever the
+CAD rule's decision disagrees with the observed ground truth:
+
+* rule said *reorder* but reordering was slower  -> raise TH just above the
+  batch's CAD;
+* rule said *don't* but reordering would have won -> lower TH just below it.
+
+Geometric nudging keeps the threshold stable under noise while converging in
+a handful of active batches when the initial TH is badly calibrated for the
+deployment's input distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..costs import CostParameters
+from ..errors import ConfigurationError
+from ..graph.base import BatchUpdateStats
+from .abr import ABRConfig, ABRController
+
+__all__ = ["FeedbackConfig", "FeedbackABRController"]
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """Tuning parameters for the feedback loop.
+
+    Attributes:
+        margin: relative step placed between the observed CAD and the new
+            threshold (0.1 = 10% above/below the misclassified CAD).
+        min_threshold / max_threshold: clamp range for TH.
+    """
+
+    margin: float = 0.10
+    min_threshold: float = 10.0
+    max_threshold: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.margin < 1:
+            raise ConfigurationError(f"margin must be in (0,1), got {self.margin}")
+        if not 0 < self.min_threshold < self.max_threshold:
+            raise ConfigurationError("threshold clamp range is invalid")
+
+
+class FeedbackABRController(ABRController):
+    """ABR controller that self-tunes TH from observed strategy times."""
+
+    def __init__(
+        self,
+        config: ABRConfig,
+        costs: CostParameters,
+        num_workers: int,
+        feedback: FeedbackConfig | None = None,
+    ):
+        super().__init__(config, costs, num_workers)
+        self.feedback = feedback or FeedbackConfig()
+        self._last_active_cad: float | None = None
+        self.adjustments: list[tuple[int, float]] = []
+
+    def step(self, stats: BatchUpdateStats):
+        decision = super().step(stats)
+        if decision.active and decision.cad is not None:
+            self._last_active_cad = decision.cad.value
+        return decision
+
+    def observe_times(
+        self, stats: BatchUpdateStats, baseline_time: float, reorder_time: float
+    ) -> None:
+        """Feed back the modeled times of the batch just executed.
+
+        Only active batches adjust the threshold — they are the ones whose
+        CAD was measured.
+        """
+        if stats.batch_id % self.config.n != 0 or self._last_active_cad is None:
+            return
+        cad = self._last_active_cad
+        truth = reorder_time < baseline_time
+        decision = cad >= self.threshold
+        if decision == truth:
+            return
+        fb = self.feedback
+        if decision and not truth:
+            new_threshold = cad * (1.0 + fb.margin)
+        else:
+            new_threshold = cad * (1.0 - fb.margin)
+        self.threshold = min(max(new_threshold, fb.min_threshold), fb.max_threshold)
+        self.reordering = cad >= self.threshold
+        self.adjustments.append((stats.batch_id, self.threshold))

@@ -1,0 +1,51 @@
+"""Result types for the update phase."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exec_model.parallel import PhaseTiming
+
+__all__ = ["UpdateResult", "STRATEGY_BASELINE", "STRATEGY_RO", "STRATEGY_RO_USC", "STRATEGY_HAU"]
+
+#: Strategy labels used across engines and reports.
+STRATEGY_BASELINE = "baseline"
+STRATEGY_RO = "reorder"
+STRATEGY_RO_USC = "reorder+usc"
+STRATEGY_HAU = "hau"
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Modeled outcome of updating one batch.
+
+    Attributes:
+        batch_id: the batch's position in the stream.
+        strategy: which update strategy actually executed
+            (one of the ``STRATEGY_*`` labels).
+        time: modeled elapsed time of the update phase, in time units,
+            including any ABR instrumentation overhead on active batches.
+        timing: full makespan decomposition of the executed strategy.
+        instrumentation_time: portion of ``time`` spent on ABR/OCA
+            instrumentation (0 on inert batches).
+        abr_active: True if this was an ABR-active (instrumented) batch.
+        cad: the CAD_lambda value measured on this batch (None when not
+            measured).
+        alternatives: modeled times of the strategies *not* executed, keyed
+            by strategy label — used by characterization and perfect-ABR
+            comparisons without re-applying the batch.
+    """
+
+    batch_id: int
+    strategy: str
+    time: float
+    timing: PhaseTiming
+    instrumentation_time: float = 0.0
+    abr_active: bool = False
+    cad: float | None = None
+    alternatives: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def reordered(self) -> bool:
+        """True if the batch was updated via reordering (with or without USC)."""
+        return self.strategy in (STRATEGY_RO, STRATEGY_RO_USC)

@@ -1,0 +1,106 @@
+"""Characterization, accuracy grid and report rendering."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    FIG18_EXCLUDED_DATASETS,
+    FIG18_GRID,
+    accuracy_grid,
+    decision_accuracy,
+)
+from repro.analysis.characterization import (
+    CellCharacterization,
+    characterize_cell,
+    geomean,
+)
+from repro.analysis.report import render_kv, render_series, render_table
+from repro.errors import AnalysisError
+
+
+def test_geomean():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_characterize_cell_flat_profile_is_adverse(flat_profile):
+    cell = characterize_cell(flat_profile, batch_size=500, num_batches=4)
+    assert cell.ro_speedup < 1.0
+    assert not cell.ro_friendly
+    assert cell.num_batches == 4
+    assert all(cad == 0.0 for cad in cell.per_batch_cads)
+    assert not any(cell.per_batch_ro_beneficial)
+
+
+def test_characterize_cell_skewed_profile_becomes_friendly(skewed_profile):
+    cell = characterize_cell(skewed_profile, batch_size=5_000, num_batches=5)
+    assert cell.ro_speedup > 1.0
+    assert cell.usc_speedup > cell.ro_speedup
+    assert cell.max_degree > 100
+
+
+def test_decision_accuracy_counts_batches():
+    cell = CellCharacterization(
+        dataset="x", batch_size=10, num_batches=4,
+        baseline_update=1.0, ro_update=1.0, usc_update=1.0, max_degree=0.0,
+        per_batch_ro_beneficial=(True, True, False, False),
+        per_batch_cads=(500.0, 100.0, 500.0, 100.0),
+    )
+    point = decision_accuracy([cell], lam=256, threshold=465.0)
+    # Decisions: T, F, T, F vs truth T, T, F, F -> 2 of 4 correct.
+    assert point.accuracy == pytest.approx(0.5)
+    assert point.examples == 4
+
+
+def test_decision_accuracy_requires_examples():
+    with pytest.raises(AnalysisError):
+        decision_accuracy([], 256, 465.0)
+
+
+def test_fig18_grid_shape():
+    assert (256, 465.0) in FIG18_GRID
+    assert len(FIG18_GRID) == 9
+    assert FIG18_EXCLUDED_DATASETS == {"yt", "friendster", "uk"}
+
+
+def test_accuracy_grid_calls_characterizer(flat_profile):
+    calls = []
+
+    def fake_characterize(name, batch_size, lam):
+        calls.append((name, batch_size, lam))
+        return CellCharacterization(
+            dataset=name, batch_size=batch_size, num_batches=1,
+            baseline_update=1.0, ro_update=2.0, usc_update=2.0, max_degree=1.0,
+            per_batch_ro_beneficial=(False,), per_batch_cads=(0.0,),
+        )
+
+    points = accuracy_grid(
+        fake_characterize, batch_sizes=(100,), grid=((8, 35.0),), datasets=["a", "b"]
+    )
+    assert len(points) == 1
+    assert points[0].accuracy == 1.0  # CAD 0 < 35 and RO not beneficial
+    assert calls == [("a", 100, 8), ("b", 100, 8)]
+
+
+def test_render_table():
+    out = render_table(["a", "bb"], [[1, 2.5], ["x", 3.0]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert "2.50" in out and "3.00" in out
+
+
+def test_render_series():
+    out = render_series("s", [100, 200], [1.5, 2.0])
+    assert "series s:" in out
+    assert "100 = 1.50" in out
+
+
+def test_render_kv():
+    out = render_kv("cfg", {"alpha": 1.23456, "name": "x"})
+    assert "cfg" in out
+    assert "1.235" in out
+    assert "name" in out

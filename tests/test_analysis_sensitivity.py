@@ -1,0 +1,93 @@
+"""Cost-model sensitivity sweeps and the experiment store."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentStore
+from repro.analysis.sensitivity import (
+    classification_robustness,
+    sweep_parameter,
+)
+from repro.errors import AnalysisError
+
+
+def test_unknown_parameter_rejected(flat_profile):
+    with pytest.raises(AnalysisError):
+        sweep_parameter("warp_factor", (1.0,), [(flat_profile, 500, 2)])
+
+
+def test_sweep_produces_grid(flat_profile, skewed_profile):
+    points = sweep_parameter(
+        "lock_base", (0.5, 1.0, 2.0),
+        [(flat_profile, 500, 2), (skewed_profile, 5_000, 2)],
+    )
+    assert len(points) == 6
+    scales = {p.scale for p in points}
+    assert scales == {0.5, 1.0, 2.0}
+
+
+def test_classification_survives_moderate_scaling(flat_profile, skewed_profile):
+    """The friendly/adverse split must not hinge on exact constants."""
+    expected = {
+        (flat_profile.name, 500): False,
+        (skewed_profile.name, 5_000): True,
+    }
+    for parameter in ("lock_base", "scan_cold", "sort_per_elem_level"):
+        points = sweep_parameter(
+            parameter, (0.6, 1.0, 1.6),
+            [(flat_profile, 500, 3), (skewed_profile, 5_000, 3)],
+        )
+        assert classification_robustness(points, expected) == 1.0, parameter
+
+
+def test_extreme_sort_cost_flips_friendly_cell(skewed_profile):
+    """Sanity: the model is not insensitive — an absurd sort cost kills RO
+    even where the lock-elimination win is large."""
+    points = sweep_parameter(
+        "sort_per_elem_level", (5_000.0,), [(skewed_profile, 5_000, 3)]
+    )
+    assert not points[0].friendly
+
+
+def test_robustness_requires_points():
+    with pytest.raises(AnalysisError):
+        classification_robustness([], {})
+
+
+# -- experiment store --------------------------------------------------------
+
+
+def test_store_roundtrip(tmp_path):
+    store = ExperimentStore(tmp_path)
+    store.record("t1", {"geomean": 2.5, "rows": [[1, 2.0], [3, 4.0]]})
+    loaded = store.load("t1")
+    assert loaded["geomean"] == 2.5
+    assert loaded["rows"][1] == [3, 4.0]
+    assert store.names() == ["t1"]
+
+
+def test_store_numpy_values(tmp_path):
+    import numpy as np
+
+    store = ExperimentStore(tmp_path)
+    store.record("t2", {"value": np.float64(1.5), "arr": [np.int64(3)]})
+    assert store.load("t2") == {"value": 1.5, "arr": [3]}
+
+
+def test_store_missing_record(tmp_path):
+    with pytest.raises(AnalysisError):
+        ExperimentStore(tmp_path).load("nope")
+
+
+def test_store_rejects_bad_names(tmp_path):
+    store = ExperimentStore(tmp_path)
+    with pytest.raises(AnalysisError):
+        store.record("../escape", {})
+    with pytest.raises(AnalysisError):
+        store.record("", {})
+
+
+def test_store_compare(tmp_path):
+    store = ExperimentStore(tmp_path)
+    store.record("t3", {"summary": {"speedup": 2.5}})
+    assert store.compare("t3", "summary.speedup", expected=2.6, tolerance=0.1)
+    assert not store.compare("t3", "summary.speedup", expected=5.0, tolerance=0.1)

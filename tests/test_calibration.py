@@ -1,0 +1,111 @@
+"""Calibration tests: the model must reproduce the paper's categories.
+
+These run real (scaled) dataset streams through the cost model and assert the
+qualitative results of Section 4.1/6.2: which (dataset, batch size) cells are
+reorder-friendly, that CAD with the paper's (lambda=256, TH=465) separates
+them, and that the headline speedup bands hold.  They are the library's
+ground-truth contract — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.characterization import characterize_cell, geomean
+from repro.datasets.profiles import DATASETS, get_dataset
+from repro.update.abr import ABRConfig
+
+# Small batch counts keep this file fast while still spanning the regimes.
+CAPS = {100: 10, 1_000: 10, 10_000: 8, 100_000: 5}
+
+ADVERSE = ["lj", "patents", "fb", "flickr", "amazon", "stack", "friendster", "uk"]
+FRIENDLY_AT_100K = ["topcats", "talk", "berkstan", "yt", "superuser", "wiki"]
+FRIENDLY_AT_10K = ["talk", "yt", "wiki"]
+
+
+def _cell(name, batch_size, lam=256):
+    profile = get_dataset(name)
+    num = profile.num_batches(batch_size, cap=CAPS[batch_size])
+    return characterize_cell(profile, batch_size, num, cad_lambda=lam)
+
+
+@pytest.mark.parametrize("name", ADVERSE)
+def test_adverse_datasets_degrade_under_ro_at_100k(name):
+    cell = _cell(name, 100_000)
+    assert cell.ro_speedup < 1.0, f"{name} should be reorder-adverse at 100K"
+
+
+@pytest.mark.parametrize("name", ADVERSE)
+def test_adverse_datasets_degrade_under_ro_at_1k(name):
+    assert _cell(name, 1_000).ro_speedup < 1.0
+
+
+@pytest.mark.parametrize("name", FRIENDLY_AT_100K)
+def test_friendly_datasets_gain_under_ro_at_100k(name):
+    cell = _cell(name, 100_000)
+    assert cell.ro_speedup > 1.3, f"{name} should be reorder-friendly at 100K"
+    # USC multiplies the reordered win (Fig. 13).
+    assert cell.usc_speedup > cell.ro_speedup
+
+
+@pytest.mark.parametrize("name", FRIENDLY_AT_10K)
+def test_talk_yt_wiki_friendly_at_10k(name):
+    assert _cell(name, 10_000).ro_speedup > 1.3
+
+
+@pytest.mark.parametrize("name", FRIENDLY_AT_100K)
+def test_all_datasets_adverse_at_tiny_batches(name):
+    # Section 4.1: "small batches suffer from performance degradation".
+    assert _cell(name, 100).ro_speedup < 1.0
+
+
+def test_cad_rule_separates_categories_at_paper_parameters():
+    """CAD >= 465 at lambda=256 iff the cell is reorder-friendly (100K)."""
+    config = ABRConfig()  # n=10, lambda=256, TH=465
+    for name in FRIENDLY_AT_100K:
+        cell = _cell(name, 100_000, lam=config.lam)
+        assert max(cell.per_batch_cads) >= config.threshold, name
+    for name in ADVERSE:
+        cell = _cell(name, 100_000, lam=config.lam)
+        assert max(cell.per_batch_cads) < config.threshold, name
+
+
+def test_cad_decision_accuracy_high_at_paper_parameters():
+    """Fig. 18: the paper's (256, 465) achieves ~97% decision accuracy."""
+    correct = 0
+    total = 0
+    for name in DATASETS:
+        for batch_size in (1_000, 10_000, 100_000):
+            cell = _cell(name, batch_size)
+            for truth, cad in zip(cell.per_batch_ro_beneficial, cell.per_batch_cads):
+                correct += (cad >= 465.0) == truth
+                total += 1
+    assert correct / total > 0.9
+
+
+def test_friendly_ro_speedups_in_paper_band():
+    """Fig. 3: friendly cells reach up to ~3x; none exceeds ~4x."""
+    speedups = [_cell(name, 100_000).ro_speedup for name in FRIENDLY_AT_100K]
+    assert max(speedups) < 4.5
+    assert geomean(speedups) > 1.8  # paper geomean for friendly update: 1.92x
+
+
+def test_adverse_ro_speedups_in_paper_band():
+    """Fig. 3/13: adverse cells land near the paper's 0.37-0.8x range."""
+    speedups = [
+        _cell(name, size).ro_speedup
+        for name in ADVERSE
+        for size in (1_000, 100_000)
+    ]
+    assert all(0.3 < s < 1.0 for s in speedups)
+
+
+def test_usc_headline_band():
+    """Fig. 13: ABR+USC max ~23x (wiki-100K); ours must stay in the tens."""
+    wiki = _cell("wiki", 100_000)
+    assert 8.0 < wiki.usc_speedup < 80.0
+
+
+def test_max_degree_correlates_with_friendliness():
+    """Fig. 3's right axis: friendly cells show far higher max batch degree."""
+    friendly_degrees = [_cell(n, 100_000).max_degree for n in FRIENDLY_AT_100K]
+    adverse_degrees = [_cell(n, 100_000).max_degree for n in ADVERSE]
+    assert min(friendly_degrees) > 5 * max(adverse_degrees)

@@ -1,0 +1,33 @@
+"""CLI analysis subcommands (oca / accuracy / sensitivity)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_oca_command(capsys):
+    assert main(["oca", "amazon", "--num-batches", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "OCA behaviour" in out
+    assert "compute speedup" in out
+
+
+def test_accuracy_command(capsys):
+    assert main(["accuracy", "fb", "--num-batches", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "decision accuracy" in out
+    assert "465" in out  # the paper's TH appears in the grid
+
+
+def test_sensitivity_command(capsys):
+    assert main(["sensitivity", "lock_base", "--num-batches", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "lock_base" in out
+    assert "friendly" in out and "adverse" in out
+
+
+def test_sensitivity_unknown_parameter():
+    from repro.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        main(["sensitivity", "warp_core", "--num-batches", "2"])

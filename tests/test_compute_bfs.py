@@ -1,0 +1,90 @@
+"""BFS: static frontier sweep and incremental level maintenance."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.compute.bfs import IncrementalBFS, StaticBFS
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.snapshot import take_snapshot
+
+
+def test_source_validation():
+    with pytest.raises(ConfigurationError):
+        StaticBFS(-1)
+    with pytest.raises(ConfigurationError):
+        StaticBFS(99).run(take_snapshot(AdjacencyListGraph(4)))
+
+
+def test_static_levels_on_chain():
+    graph = AdjacencyListGraph(5)
+    graph.apply_batch(make_batch([0, 1, 2], [1, 2, 3]))
+    levels, counters = StaticBFS(0).run(take_snapshot(graph))
+    assert levels.tolist() == [0, 1, 2, 3, -1]
+    assert counters.iterations == 4
+    assert counters.touched_edges == 3
+
+
+def test_static_matches_networkx(small_generator):
+    graph = AdjacencyListGraph(500)
+    for batch in small_generator.batches(800, 2):
+        graph.apply_batch(batch)
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    levels, __ = StaticBFS(source).run(take_snapshot(graph))
+    g = nx.DiGraph()
+    for u in graph.vertices_with_edges():
+        for v in graph.out_neighbors(u):
+            g.add_edge(u, v)
+    expected = nx.single_source_shortest_path_length(g, source)
+    for v in range(500):
+        assert levels[v] == expected.get(v, -1)
+
+
+def test_incremental_matches_static(small_generator):
+    graph = AdjacencyListGraph(500)
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    bfs = IncrementalBFS(graph, source)
+    for batch in small_generator.batches(400, 4):
+        graph.apply_batch(batch)
+        bfs.on_batch(batch)
+        static, __ = StaticBFS(source).run(take_snapshot(graph))
+        assert bfs.levels() == static.tolist()
+
+
+def test_incremental_ignores_edge_weights():
+    graph = AdjacencyListGraph(4)
+    bfs = IncrementalBFS(graph, 0)
+    batch = make_batch([0, 1], [1, 2], [9.0, 9.0])
+    graph.apply_batch(batch)
+    bfs.on_batch(batch)
+    assert bfs.levels() == [0, 1, 2, -1]
+
+
+def test_incremental_deletion_repair():
+    graph = AdjacencyListGraph(4)
+    bfs = IncrementalBFS(graph, 0)
+    b0 = make_batch([0, 1, 0], [1, 2, 2], [1.0, 1.0, 1.0])
+    graph.apply_batch(b0)
+    bfs.on_batch(b0)
+    assert bfs.levels()[2] == 1  # direct edge 0->2
+    b1 = make_batch([0], [2], [1.0], batch_id=1, is_delete=[True])
+    graph.apply_batch(b1)
+    bfs.on_batch(b1)
+    assert bfs.levels()[2] == 2  # now via 0->1->2
+
+
+def test_aggregated_batches_match_sequential(small_generator):
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    graph_a = AdjacencyListGraph(500)
+    graph_b = AdjacencyListGraph(500)
+    seq = IncrementalBFS(graph_a, source)
+    agg = IncrementalBFS(graph_b, source)
+    batches = [small_generator.generate_batch(i, 300) for i in range(2)]
+    for batch in batches:
+        graph_a.apply_batch(batch)
+        seq.on_batch(batch)
+        graph_b.apply_batch(batch)
+    agg.on_batches(batches)
+    assert agg.levels() == seq.levels()

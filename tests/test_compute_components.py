@@ -1,0 +1,88 @@
+"""Connected components: union-find incremental + label propagation static."""
+
+import networkx as nx
+import numpy as np
+
+from conftest import make_batch
+from repro.compute.components import (
+    IncrementalConnectedComponents,
+    StaticConnectedComponents,
+)
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.snapshot import take_snapshot
+
+
+def test_static_labels_chain_and_isolate():
+    graph = AdjacencyListGraph(5)
+    graph.apply_batch(make_batch([0, 1], [1, 2]))
+    labels, counters = StaticConnectedComponents().run(take_snapshot(graph))
+    assert labels[0] == labels[1] == labels[2] == 0
+    assert labels[3] == 3 and labels[4] == 4
+    assert counters.iterations >= 1
+
+
+def test_static_matches_networkx(small_generator):
+    graph = AdjacencyListGraph(500)
+    for batch in small_generator.batches(600, 2):
+        graph.apply_batch(batch)
+    labels, __ = StaticConnectedComponents().run(take_snapshot(graph))
+    g = nx.Graph()
+    g.add_nodes_from(range(500))
+    for u in graph.vertices_with_edges():
+        for v in graph.out_neighbors(u):
+            g.add_edge(u, v)
+    for component in nx.connected_components(g):
+        expected = min(component)
+        for v in component:
+            assert labels[v] == expected
+
+
+def test_incremental_unions_on_insert():
+    graph = AdjacencyListGraph(6)
+    cc = IncrementalConnectedComponents(graph)
+    batch = make_batch([0, 2], [1, 3])
+    graph.apply_batch(batch)
+    cc.on_batch(batch)
+    assert cc.same_component(0, 1)
+    assert cc.same_component(2, 3)
+    assert not cc.same_component(0, 2)
+    bridge = make_batch([1], [2], batch_id=1)
+    graph.apply_batch(bridge)
+    cc.on_batch(bridge)
+    assert cc.same_component(0, 3)
+
+
+def test_incremental_matches_static_on_stream(small_generator):
+    graph = AdjacencyListGraph(500)
+    cc = IncrementalConnectedComponents(graph)
+    for batch in small_generator.batches(500, 3):
+        graph.apply_batch(batch)
+        cc.on_batch(batch)
+    static, __ = StaticConnectedComponents().run(take_snapshot(graph))
+    np.testing.assert_array_equal(cc.labels(), static)
+
+
+def test_deletion_triggers_rebuild_and_splits():
+    graph = AdjacencyListGraph(4)
+    cc = IncrementalConnectedComponents(graph)
+    chain = make_batch([0, 1, 2], [1, 2, 3])
+    graph.apply_batch(chain)
+    cc.on_batch(chain)
+    assert cc.same_component(0, 3)
+    cut = make_batch([1], [2], batch_id=1, is_delete=[True])
+    graph.apply_batch(cut)
+    cc.on_batch(cut)
+    assert cc.rebuilds == 1
+    assert not cc.same_component(0, 3)
+    assert cc.same_component(0, 1)
+    assert cc.same_component(2, 3)
+
+
+def test_counters_report_work():
+    graph = AdjacencyListGraph(10)
+    cc = IncrementalConnectedComponents(graph)
+    batch = make_batch([0, 1, 2], [1, 2, 3])
+    graph.apply_batch(batch)
+    counters = cc.on_batch(batch)
+    assert counters.touched_edges >= 3
+    assert counters.touched_vertices == 6  # three merges

@@ -1,0 +1,108 @@
+"""OCA controller: overlap measurement and aggregation scheduling."""
+
+import pytest
+
+from conftest import make_batch
+from repro.compute.oca import OCAConfig, OCAController
+from repro.costs import CostParameters
+from repro.errors import ConfigurationError
+
+
+def _controller(threshold=0.25, n=10, num_vertices=100):
+    return OCAController(
+        num_vertices,
+        config=OCAConfig(overlap_threshold=threshold, n=n),
+        costs=CostParameters(),
+        num_workers=8,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        OCAConfig(overlap_threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        OCAConfig(overlap_threshold=1.5)
+    with pytest.raises(ConfigurationError):
+        OCAConfig(n=0)
+
+
+def test_batch_zero_never_measures():
+    controller = _controller()
+    obs = controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    assert obs.overlap is None
+    assert not obs.defer_compute
+    assert obs.instrumentation == 0.0
+
+
+def test_full_overlap_measured_on_batch_one():
+    controller = _controller()
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    obs = controller.observe(make_batch([1, 2], [3, 4], batch_id=1))
+    assert obs.overlap == pytest.approx(1.0)
+    assert obs.aggregating
+    assert obs.defer_compute  # first batch of the aggregated pair
+    assert obs.instrumentation > 0
+
+
+def test_zero_overlap_keeps_aggregation_off():
+    controller = _controller()
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    obs = controller.observe(make_batch([10, 11], [12, 13], batch_id=1))
+    assert obs.overlap == pytest.approx(0.0)
+    assert not obs.aggregating
+    assert not obs.defer_compute
+
+
+def test_partial_overlap_against_threshold():
+    controller = _controller(threshold=0.5)
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    # Batch 1 touches {1, 2, 10, 11}: overlap = 2/4 = 0.5 >= threshold.
+    obs = controller.observe(make_batch([1, 2], [10, 11], batch_id=1))
+    assert obs.overlap == pytest.approx(0.5)
+    assert obs.aggregating
+
+
+def test_overlap_compares_against_immediately_previous_batch_only():
+    controller = _controller(n=2)
+    controller.observe(make_batch([1], [2], batch_id=0))
+    controller.observe(make_batch([5], [6], batch_id=1))
+    # Batch 2 repeats batch 0's vertices, but latest_bid for them reads 0,
+    # not 1 -> they do not count as overlap with batch 1.
+    obs = controller.observe(make_batch([1], [2], batch_id=2))
+    assert obs.overlap == pytest.approx(0.0)
+
+
+def test_defer_alternates_in_aggregation_mode():
+    controller = _controller()
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    flags = []
+    for batch_id in range(1, 6):
+        obs = controller.observe(make_batch([1, 2], [3, 4], batch_id=batch_id))
+        flags.append(obs.defer_compute)
+    # Pairs: defer, compute, defer, compute, defer.
+    assert flags == [True, False, True, False, True]
+
+
+def test_flush_reports_pending_deferral():
+    controller = _controller()
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=0))
+    controller.observe(make_batch([1, 2], [3, 4], batch_id=1))  # deferred
+    assert controller.flush() is True
+    assert controller.flush() is False
+
+
+def test_measurement_cadence_follows_n():
+    controller = _controller(n=3)
+    overlaps = []
+    for batch_id in range(7):
+        obs = controller.observe(make_batch([1, 2], [3, 4], batch_id=batch_id))
+        overlaps.append(obs.overlap is not None)
+    # Measured at 1 (seed), 3, 6.
+    assert overlaps == [False, True, False, True, False, False, True]
+
+
+def test_overlaps_recorded_for_reporting():
+    controller = _controller()
+    controller.observe(make_batch([1], [2], batch_id=0))
+    controller.observe(make_batch([1], [2], batch_id=1))
+    assert controller.overlaps == [(1, 1.0)]

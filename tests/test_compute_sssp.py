@@ -1,0 +1,156 @@
+"""SSSP: static Dijkstra and incremental insert/delete maintenance."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.compute.sssp import IncrementalSSSP, StaticSSSP
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.snapshot import take_snapshot
+
+INF = math.inf
+
+
+def _nx_distances(graph, source):
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u in graph.vertices_with_edges():
+        for v, w in graph.out_neighbors(u).items():
+            g.add_edge(u, v, weight=w)
+    lengths = nx.single_source_dijkstra_path_length(g, source)
+    return [lengths.get(v, INF) for v in range(graph.num_vertices)]
+
+
+def test_source_validation():
+    with pytest.raises(ConfigurationError):
+        StaticSSSP(-1)
+    with pytest.raises(ConfigurationError):
+        IncrementalSSSP(AdjacencyListGraph(4), source=9)
+
+
+def test_static_matches_networkx(small_generator):
+    graph = AdjacencyListGraph(500)
+    for batch in small_generator.batches(1_000, 2):
+        graph.apply_batch(batch)
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    dist, counters = StaticSSSP(source).run(take_snapshot(graph))
+    assert dist == pytest.approx(_nx_distances(graph, source))
+    assert counters.touched_vertices > 0
+
+
+def test_static_disconnected_vertices_infinite():
+    graph = AdjacencyListGraph(5)
+    graph.apply_batch(make_batch([0], [1], [2.0]))
+    dist, __ = StaticSSSP(0).run(take_snapshot(graph))
+    assert dist[0] == 0.0 and dist[1] == 2.0
+    assert dist[2] == INF
+
+
+def test_incremental_insertions_match_static(small_generator):
+    graph = AdjacencyListGraph(500)
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    incremental = IncrementalSSSP(graph, source)
+    for batch in small_generator.batches(500, 4):
+        graph.apply_batch(batch)
+        incremental.on_batch(batch)
+        static, __ = StaticSSSP(source).run(take_snapshot(graph))
+        assert incremental.dist == pytest.approx(static)
+
+
+def test_incremental_shortcut_edge_lowers_distance():
+    graph = AdjacencyListGraph(4)
+    sssp = IncrementalSSSP(graph, source=0)
+    b0 = make_batch([0, 1, 2], [1, 2, 3], [1.0, 1.0, 1.0])
+    graph.apply_batch(b0)
+    sssp.on_batch(b0)
+    assert sssp.dist[3] == pytest.approx(3.0)
+    b1 = make_batch([0], [3], [1.5], batch_id=1)
+    graph.apply_batch(b1)
+    sssp.on_batch(b1)
+    assert sssp.dist[3] == pytest.approx(1.5)
+
+
+def test_incremental_deletion_repair_exact():
+    graph = AdjacencyListGraph(5)
+    sssp = IncrementalSSSP(graph, source=0)
+    # 0->1 (1), 1->2 (1), 0->2 (5): shortest to 2 via 1 is 2.0.
+    b0 = make_batch([0, 1, 0], [1, 2, 2], [1.0, 1.0, 5.0])
+    graph.apply_batch(b0)
+    sssp.on_batch(b0)
+    assert sssp.dist[2] == pytest.approx(2.0)
+    # Delete 1->2: distance must rise to 5 via the direct edge.
+    b1 = make_batch([1], [2], [1.0], batch_id=1, is_delete=[True])
+    graph.apply_batch(b1)
+    sssp.on_batch(b1)
+    assert sssp.dist[2] == pytest.approx(5.0)
+
+
+def test_incremental_deletion_disconnects():
+    graph = AdjacencyListGraph(3)
+    sssp = IncrementalSSSP(graph, source=0)
+    b0 = make_batch([0, 1], [1, 2], [1.0, 1.0])
+    graph.apply_batch(b0)
+    sssp.on_batch(b0)
+    b1 = make_batch([0], [1], [1.0], batch_id=1, is_delete=[True])
+    graph.apply_batch(b1)
+    sssp.on_batch(b1)
+    assert sssp.dist[1] == INF
+    assert sssp.dist[2] == INF
+    assert sssp.dist[0] == 0.0
+
+
+def test_incremental_deletion_closure_repairs_downstream_chain():
+    graph = AdjacencyListGraph(6)
+    sssp = IncrementalSSSP(graph, source=0)
+    # Chain 0->1->2->3->4 plus alternate 0->5->3 costing more.
+    b0 = make_batch([0, 1, 2, 3, 0, 5], [1, 2, 3, 4, 5, 3], [1, 1, 1, 1, 4, 4])
+    graph.apply_batch(b0)
+    sssp.on_batch(b0)
+    assert sssp.dist[4] == pytest.approx(4.0)
+    # Deleting 1->2 reroutes 3 and 4 through 0->5->3.
+    b1 = make_batch([1], [2], [1.0], batch_id=1, is_delete=[True])
+    graph.apply_batch(b1)
+    sssp.on_batch(b1)
+    assert sssp.dist[3] == pytest.approx(8.0)
+    assert sssp.dist[4] == pytest.approx(9.0)
+    assert sssp.dist[2] == INF
+
+
+def test_incremental_mixed_batches_with_deletions_match_static():
+    """Randomized insert+delete stream cross-checked against recompute."""
+    rng = np.random.default_rng(5)
+    graph = AdjacencyListGraph(60)
+    sssp = IncrementalSSSP(graph, source=0)
+    for batch_id in range(6):
+        size = 40
+        src = rng.integers(0, 60, size)
+        dst = (src + rng.integers(1, 59, size)) % 60
+        weight = ((src * 2654435761) ^ (dst * 40503)) % 16 + 1
+        is_delete = rng.random(size) < 0.25 if batch_id else None
+        batch = make_batch(
+            src.tolist(), dst.tolist(), weight.astype(float).tolist(),
+            batch_id=batch_id, is_delete=is_delete,
+        )
+        graph.apply_batch(batch)
+        sssp.on_batch(batch)
+        static, __ = StaticSSSP(0).run(take_snapshot(graph))
+        assert sssp.dist == pytest.approx(static)
+
+
+def test_aggregated_on_batches_matches_sequential(small_generator):
+    graph_a = AdjacencyListGraph(500)
+    graph_b = AdjacencyListGraph(500)
+    source = int(small_generator.generate_batch(0, 10).src[0])
+    seq = IncrementalSSSP(graph_a, source)
+    agg = IncrementalSSSP(graph_b, source)
+    batches = [small_generator.generate_batch(i, 400) for i in range(2)]
+    for batch in batches:
+        graph_a.apply_batch(batch)
+        seq.on_batch(batch)
+        graph_b.apply_batch(batch)
+    agg.on_batches(batches)
+    assert agg.dist == pytest.approx(seq.dist)

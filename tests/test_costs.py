@@ -1,0 +1,56 @@
+"""Cost parameter validation and derived values."""
+
+import dataclasses
+
+import pytest
+
+from repro.costs import ComputeCostParameters, CostParameters
+from repro.errors import ConfigurationError
+
+
+def test_default_costs_are_valid():
+    costs = CostParameters()
+    assert costs.scan_warm == pytest.approx(costs.scan_cold * costs.scan_warm_factor)
+    assert costs.scan_warm < costs.scan_cold
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ConfigurationError):
+        CostParameters(lock_base=-1.0)
+
+
+def test_zero_cost_rejected():
+    with pytest.raises(ConfigurationError):
+        CostParameters(dispatch=0.0)
+
+
+def test_parallel_efficiency_bounds():
+    with pytest.raises(ConfigurationError):
+        CostParameters(parallel_efficiency=1.5)
+    # Exactly 1.0 is legal (perfect scaling).
+    assert CostParameters(parallel_efficiency=1.0).parallel_efficiency == 1.0
+
+
+def test_warm_factor_bounds():
+    with pytest.raises(ConfigurationError):
+        CostParameters(scan_warm_factor=1.2)
+
+
+def test_costs_frozen():
+    costs = CostParameters()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        costs.lock_base = 5.0
+
+
+def test_compute_costs_validation():
+    with pytest.raises(ConfigurationError):
+        ComputeCostParameters(per_edge=-2.0)
+    with pytest.raises(ConfigurationError):
+        ComputeCostParameters(parallel_efficiency=0.0)
+
+
+def test_costs_can_be_overridden():
+    costs = CostParameters(lock_base=99.0)
+    assert costs.lock_base == 99.0
+    # Other fields keep their defaults.
+    assert costs.dispatch == CostParameters().dispatch

@@ -1,0 +1,45 @@
+"""Exception hierarchy behaviour."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    GraphError,
+    ReproError,
+    SimulationError,
+    StreamExhaustedError,
+    UnknownDatasetError,
+    VertexOutOfRangeError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ConfigurationError,
+        UnknownDatasetError,
+        GraphError,
+        VertexOutOfRangeError,
+        StreamExhaustedError,
+        SimulationError,
+        AnalysisError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_unknown_dataset_error_lists_known_names():
+    err = UnknownDatasetError("nope", ["lj", "wiki"])
+    assert "nope" in str(err)
+    assert "lj" in str(err) and "wiki" in str(err)
+    assert isinstance(err, ConfigurationError)
+
+
+def test_vertex_out_of_range_message():
+    err = VertexOutOfRangeError(10, 5)
+    assert "10" in str(err) and "5" in str(err)
+    assert err.vertex == 10 and err.num_vertices == 5
+
+
+def test_errors_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise UnknownDatasetError("x", [])

@@ -1,0 +1,61 @@
+"""Machine config and makespan model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec_model.machine import HOST_MACHINE, SIMULATED_MACHINE, MachineConfig
+from repro.exec_model.parallel import makespan
+
+
+def test_machine_validation():
+    with pytest.raises(ConfigurationError):
+        MachineConfig(name="bad", num_workers=0)
+    with pytest.raises(ConfigurationError):
+        MachineConfig(name="bad", num_workers=4, clock_ghz=0)
+
+
+def test_predefined_machines():
+    assert HOST_MACHINE.num_workers > SIMULATED_MACHINE.num_workers
+    assert SIMULATED_MACHINE.num_workers == 15  # 16 cores minus the master
+
+
+def test_makespan_work_bound():
+    machine = MachineConfig(name="m", num_workers=10)
+    timing = makespan(total_work=1000.0, critical_path=10.0, machine=machine, efficiency=1.0)
+    assert timing.makespan == pytest.approx(100.0)
+    assert timing.limiter == "work"
+
+
+def test_makespan_chain_bound():
+    machine = MachineConfig(name="m", num_workers=10)
+    timing = makespan(total_work=100.0, critical_path=500.0, machine=machine, efficiency=1.0)
+    assert timing.makespan == pytest.approx(500.0)
+    assert timing.limiter == "chain"
+
+
+def test_makespan_serial_prefix_added():
+    machine = MachineConfig(name="m", num_workers=4)
+    timing = makespan(400.0, 0.0, machine, efficiency=1.0, serial_prefix=50.0)
+    assert timing.makespan == pytest.approx(150.0)
+    assert timing.serial_prefix == 50.0
+
+
+def test_makespan_efficiency_scales_throughput():
+    machine = MachineConfig(name="m", num_workers=10)
+    full = makespan(1000.0, 0.0, machine, efficiency=1.0)
+    half = makespan(1000.0, 0.0, machine, efficiency=0.5)
+    assert half.makespan == pytest.approx(2 * full.makespan)
+
+
+def test_makespan_rejects_negative_inputs():
+    machine = MachineConfig(name="m", num_workers=2)
+    with pytest.raises(ConfigurationError):
+        makespan(-1.0, 0.0, machine, efficiency=1.0)
+    with pytest.raises(ConfigurationError):
+        makespan(1.0, 0.0, machine, efficiency=0.0)
+
+
+def test_makespan_never_below_critical_path():
+    machine = MachineConfig(name="m", num_workers=100)
+    timing = makespan(10.0, 42.0, machine, efficiency=1.0)
+    assert timing.makespan >= 42.0

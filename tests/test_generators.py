@@ -1,0 +1,164 @@
+"""Synthetic stream generators: determinism, calibration knobs."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import SideProfile, StreamGenerator
+from repro.errors import ConfigurationError
+
+
+def _gen(**overrides):
+    defaults = dict(
+        src_profile=SideProfile(0.2, 20, 1.0, 480),
+        dst_profile=SideProfile(0.4, 10, 1.4, 480),
+        num_vertices=500,
+        seed=42,
+    )
+    defaults.update(overrides)
+    return StreamGenerator(**defaults)
+
+
+def test_side_profile_validation():
+    with pytest.raises(ConfigurationError):
+        SideProfile(hub_mass=1.5, hub_count=10, hub_alpha=1.0, tail_size=10)
+    with pytest.raises(ConfigurationError):
+        SideProfile(hub_mass=0.5, hub_count=0, hub_alpha=1.0, tail_size=10)
+    with pytest.raises(ConfigurationError):
+        SideProfile(hub_mass=0.0, hub_count=0, hub_alpha=0.0, tail_size=0)
+
+
+def test_hub_probabilities_sum_to_one():
+    p = SideProfile(0.5, 30, 1.2, 100)
+    probs = p.hub_probabilities()
+    assert probs.sum() == pytest.approx(1.0)
+    assert (np.diff(probs) <= 0).all()  # Zipf is monotone decreasing
+
+
+def test_flat_profile_has_no_hub_probabilities():
+    p = SideProfile(0.0, 0, 0.0, 100)
+    assert len(p.hub_probabilities()) == 0
+    assert p.num_vertices == 100
+
+
+def test_expected_top_degree_scales_linearly_without_ramp():
+    p = SideProfile(0.4, 10, 1.4, 480)
+    assert p.expected_top_degree(10_000) == pytest.approx(
+        10 * p.expected_top_degree(1_000)
+    )
+
+
+def test_generator_is_deterministic():
+    a = _gen().generate_batch(3, 1_000)
+    b = _gen().generate_batch(3, 1_000)
+    np.testing.assert_array_equal(a.src, b.src)
+    np.testing.assert_array_equal(a.dst, b.dst)
+    np.testing.assert_array_equal(a.weight, b.weight)
+
+
+def test_different_seeds_differ():
+    a = _gen(seed=1).generate_batch(0, 1_000)
+    b = _gen(seed=2).generate_batch(0, 1_000)
+    assert not np.array_equal(a.src, b.src)
+
+
+def test_no_self_loops():
+    batch = _gen().generate_batch(0, 5_000)
+    assert (batch.src != batch.dst).all()
+
+
+def test_vertices_within_universe():
+    batch = _gen().generate_batch(0, 5_000)
+    assert batch.src.max() < 500 and batch.dst.max() < 500
+    assert batch.src.min() >= 0 and batch.dst.min() >= 0
+
+
+def test_skew_produces_high_top_degree():
+    batch = _gen().generate_batch(0, 5_000)
+    __, counts = batch.in_degrees()
+    # Top hub receives ~ hub_mass * p1 * b edges.
+    assert counts.max() > 300
+
+
+def test_warmup_disables_hubs():
+    gen = _gen(warmup_edges=10_000)
+    warm = gen.generate_batch(0, 1_000)   # within warmup
+    hot = gen.generate_batch(20, 1_000)   # past warmup
+    assert warm.max_degree() < 20
+    assert hot.max_degree() > 50
+
+
+def test_hub_ramp_suppresses_small_batches():
+    with_ramp = _gen(hub_ramp=4_000)
+    without = _gen()
+    small_ramped = with_ramp.generate_batch(0, 500)
+    small_plain = without.generate_batch(0, 500)
+    assert small_ramped.max_degree() < small_plain.max_degree()
+    # At large batch sizes the ramp factor approaches 1.
+    big_ramped = with_ramp.generate_batch(0, 20_000)
+    big_plain = without.generate_batch(0, 20_000)
+    assert big_ramped.max_degree() > 0.7 * big_plain.max_degree()
+
+
+def test_hub_in_pool_bounds_unique_sources():
+    pooled = _gen(hub_in_pool=16)
+    sources = set()
+    for i in range(20):
+        batch = pooled.generate_batch(i, 2_000)
+        verts, counts = batch.in_degrees()
+        top_hub = int(verts[counts.argmax()])
+        mask = batch.dst == top_hub
+        sources.update(batch.src[mask].tolist())
+    # The top hub's lifetime in-neighborhood stays near the pool size even
+    # though it receives thousands of edges.
+    assert len(sources) <= 32
+
+
+def test_drift_changes_hub_identities():
+    gen = _gen(drift_period=5_000)
+    early = gen.generate_batch(0, 2_000)
+    late = gen.generate_batch(10, 2_000)  # 20_000 edges in -> epoch 4
+    def top_vertex(batch):
+        verts, counts = batch.in_degrees()
+        return int(verts[counts.argmax()])
+    assert top_vertex(early) != top_vertex(late)
+
+
+def test_weights_deterministic_per_pair():
+    batch = _gen().generate_batch(0, 5_000)
+    seen = {}
+    for u, v, w in zip(batch.src.tolist(), batch.dst.tolist(), batch.weight.tolist()):
+        assert seen.setdefault((u, v), w) == w
+    assert set(np.unique(batch.weight)).issubset(set(range(1, 17)))
+
+
+def test_unweighted_generator():
+    batch = _gen(weighted=False).generate_batch(0, 100)
+    assert (batch.weight == 1.0).all()
+
+
+def test_delete_fraction_marks_deletions():
+    gen = _gen(delete_fraction=0.2)
+    first = gen.generate_batch(0, 1_000)
+    later = gen.generate_batch(5, 1_000)
+    assert first.is_delete is None  # batch 0 never deletes
+    assert later.is_delete is not None
+    fraction = later.is_delete.mean()
+    assert 0.1 < fraction < 0.3
+
+
+def test_generator_validation():
+    with pytest.raises(ConfigurationError):
+        _gen(num_vertices=1)
+    with pytest.raises(ConfigurationError):
+        _gen(delete_fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        _gen(warmup_edges=-1)
+    with pytest.raises(ConfigurationError):
+        _gen().generate_batch(0, 0)
+    with pytest.raises(ConfigurationError):
+        list(_gen().batches(10, -1))
+
+
+def test_batches_iterator_ids_are_sequential():
+    ids = [b.batch_id for b in _gen().batches(100, 5)]
+    assert ids == [0, 1, 2, 3, 4]

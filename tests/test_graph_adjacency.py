@@ -1,0 +1,131 @@
+"""AdjacencyListGraph: functional batch ingestion semantics."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.errors import VertexOutOfRangeError
+from repro.graph.adjacency_list import AdjacencyListGraph
+
+
+def test_insert_single_edge_both_directions(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1], [2], [5.0]))
+    assert tiny_graph.out_neighbors(1) == {2: 5.0}
+    assert tiny_graph.in_neighbors(2) == {1: 5.0}
+    assert tiny_graph.num_edges == 1
+    assert stats.out.num_vertices == 1
+    assert stats.inn.num_vertices == 1
+
+
+def test_duplicate_within_batch_refreshes_weight(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1, 1], [2, 2], [5.0, 7.0]))
+    assert tiny_graph.edge_weight(1, 2) == 7.0  # last write wins
+    assert tiny_graph.num_edges == 1
+
+
+def test_duplicate_across_batches_refreshes_weight(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1], [2], [5.0], batch_id=0))
+    stats = tiny_graph.apply_batch(make_batch([1], [2], [9.0], batch_id=1))
+    assert tiny_graph.edge_weight(1, 2) == 9.0
+    assert tiny_graph.num_edges == 1
+    assert stats.out.new_edges.sum() == 0
+    assert stats.out.duplicates.sum() == 1
+
+
+def test_stats_length_before_and_new_edges(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1, 1], [2, 3]))
+    stats = tiny_graph.apply_batch(make_batch([1, 1, 1], [3, 4, 5], batch_id=1))
+    (v,) = [i for i, vv in enumerate(stats.out.vertices.tolist()) if vv == 1]
+    assert stats.out.length_before[v] == 2
+    assert stats.out.batch_degree[v] == 3
+    assert stats.out.new_edges[v] == 2  # 3 already present
+    assert stats.out.duplicates[v] == 1
+
+
+def test_in_direction_stats_group_by_destination(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1, 2, 3], [9, 9, 9]))
+    assert stats.inn.vertices.tolist() == [9]
+    assert stats.inn.batch_degree.tolist() == [3]
+    assert tiny_graph.in_degree(9) == 3
+
+
+def test_has_edge_and_edge_weight(tiny_graph):
+    tiny_graph.apply_batch(make_batch([4], [5], [2.5]))
+    assert tiny_graph.has_edge(4, 5)
+    assert not tiny_graph.has_edge(5, 4)
+    assert tiny_graph.edge_weight(4, 5) == 2.5
+    assert tiny_graph.edge_weight(5, 4) is None
+
+
+def test_deletion_removes_both_directions(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1, 2], [2, 3]))
+    stats = tiny_graph.apply_batch(
+        make_batch([1], [2], is_delete=[True], batch_id=1)
+    )
+    assert stats.deleted_edges == 1
+    assert not tiny_graph.has_edge(1, 2)
+    assert 1 not in tiny_graph.in_neighbors(2)
+    assert tiny_graph.num_edges == 1
+
+
+def test_deleting_missing_edge_is_noop(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1], [2], is_delete=[True]))
+    assert stats.deleted_edges == 0
+    assert tiny_graph.num_edges == 0
+
+
+def test_insert_then_delete_same_batch(tiny_graph):
+    # Insertions apply before deletions (Section 4.4.3 ordering).
+    stats = tiny_graph.apply_batch(
+        make_batch([1, 1], [2, 2], is_delete=[False, True])
+    )
+    assert not tiny_graph.has_edge(1, 2)
+    assert stats.deleted_edges == 1
+    assert tiny_graph.num_edges == 0
+
+
+def test_vertex_out_of_range_rejected(tiny_graph):
+    with pytest.raises(VertexOutOfRangeError):
+        tiny_graph.apply_batch(make_batch([1], [99]))
+    with pytest.raises(VertexOutOfRangeError):
+        tiny_graph.apply_batch(make_batch([-1], [2]))
+
+
+def test_vertices_with_edges(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1, 3], [2, 4]))
+    assert tiny_graph.vertices_with_edges() == [1, 2, 3, 4]
+
+
+def test_batches_applied_counter(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1], [2], batch_id=0))
+    tiny_graph.apply_batch(make_batch([2], [3], batch_id=1))
+    assert tiny_graph.batches_applied == 2
+
+
+def test_adjacency_views_expose_live_state(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1], [2]))
+    out, inn = tiny_graph.adjacency_views()
+    assert out[1] == {2: 1.0}
+    assert inn[2] == {1: 1.0}
+
+
+def test_sum_search_cost_linear_model(tiny_graph):
+    k = np.array([3])
+    length = np.array([10])
+    new = np.array([2])
+    cost = tiny_graph.sum_search_cost(k, length, new, per_element=2.0)
+    # 3 searches over L=10 plus the (k-1)*new/2 growth ramp.
+    assert cost[0] == pytest.approx(2.0 * (3 * 10 + 2 * 2 / 2))
+
+
+def test_large_batch_matches_reference_dict_model(small_generator):
+    """Cross-check batch application against a naive per-edge reference."""
+    graph = AdjacencyListGraph(500)
+    reference_out: dict[int, dict[int, float]] = {}
+    for batch in small_generator.batches(2_000, 4):
+        graph.apply_batch(batch)
+        for u, v, w in zip(batch.src.tolist(), batch.dst.tolist(), batch.weight.tolist()):
+            reference_out.setdefault(u, {})[v] = w
+    for v, expected in reference_out.items():
+        assert graph.out_neighbors(v) == expected
+    assert graph.num_edges == sum(len(d) for d in reference_out.values())

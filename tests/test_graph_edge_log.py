@@ -1,0 +1,102 @@
+"""EdgeLogGraph: GraphOne-style log + archiving cost model."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.edge_log import EdgeLogGraph
+from repro.update.engine import UpdateEngine, UpdatePolicy
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        EdgeLogGraph(10, archive_threshold=0)
+    with pytest.raises(ConfigurationError):
+        EdgeLogGraph(10, tail_filter_cost=0)
+    with pytest.raises(ConfigurationError):
+        EdgeLogGraph(10, archive_per_edge=-1)
+
+
+def test_functionally_identical_to_adjacency_list(small_generator):
+    log_graph = EdgeLogGraph(500, archive_threshold=1_500)
+    plain = AdjacencyListGraph(500)
+    for batch in small_generator.batches(1_000, 3):
+        log_graph.apply_batch(batch)
+        plain.apply_batch(batch)
+    assert log_graph.num_edges == plain.num_edges
+    for v in plain.vertices_with_edges():
+        assert log_graph.out_neighbors(v) == plain.out_neighbors(v)
+
+
+def test_log_accumulates_and_archives():
+    graph = EdgeLogGraph(64, archive_threshold=5)
+    graph.apply_batch(make_batch([1, 2], [3, 4], batch_id=0))
+    assert graph.log_length == 2
+    assert graph.archives_performed == 0
+    graph.apply_batch(make_batch([5, 6, 7], [8, 9, 10], batch_id=1))
+    assert graph.log_length == 0  # threshold hit -> archived
+    assert graph.archives_performed == 1
+
+
+def test_archive_overhead_reported_once():
+    graph = EdgeLogGraph(64, archive_threshold=3, archive_per_edge=10.0)
+    graph.apply_batch(make_batch([1, 2, 3], [4, 5, 6]))
+    assert graph.consume_phase_overhead() == pytest.approx(30.0)
+    assert graph.consume_phase_overhead() == 0.0
+
+
+def test_search_cost_includes_tail_filter():
+    graph = EdgeLogGraph(64, archive_threshold=1_000, tail_filter_cost=0.1)
+    graph.apply_batch(make_batch([1] * 10, list(range(2, 12))))
+    assert graph.log_length == 10
+    k = np.array([3])
+    cost_with_tail = graph.sum_search_cost(k, np.array([5]), np.array([3]), 2.0)
+    plain = AdjacencyListGraph(64).sum_search_cost(
+        k, np.array([5]), np.array([3]), 2.0
+    )
+    assert cost_with_tail[0] == pytest.approx(plain[0] + 3 * 10 * 0.1)
+
+
+def test_engine_charges_maintenance_to_all_strategies():
+    graph = EdgeLogGraph(64, archive_threshold=2, archive_per_edge=1000.0)
+    engine = UpdateEngine(graph, UpdatePolicy.BASELINE)
+    plain_engine = UpdateEngine(AdjacencyListGraph(64), UpdatePolicy.BASELINE)
+    batch = make_batch([1, 2], [3, 4])
+    result = engine.ingest(batch)
+    plain = plain_engine.ingest(batch)
+    # Archiving (2 edges x 1000) appears in the executed time and in every
+    # alternative.
+    assert result.time >= plain.time + 2000.0
+    for label, value in result.alternatives.items():
+        assert value >= plain.alternatives[label] + 2000.0
+
+
+def test_adjacency_list_has_no_maintenance(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1], [2]))
+    assert tiny_graph.consume_phase_overhead() == 0.0
+
+
+def test_threshold_tradeoff_visible():
+    """Small threshold: frequent archiving; big threshold: costly searches."""
+    def total_time(threshold):
+        graph = EdgeLogGraph(
+            2_048, archive_threshold=threshold,
+            tail_filter_cost=0.5, archive_per_edge=8.0,
+        )
+        engine = UpdateEngine(graph, UpdatePolicy.BASELINE)
+        total = 0.0
+        for i in range(8):
+            batch = make_batch(
+                [(i * 97 + j) % 2048 for j in range(200)],
+                [(i * 97 + j + 1024) % 2048 for j in range(200)],
+                batch_id=i,
+            )
+            total += engine.ingest(batch).time
+        return total
+
+    eager = total_time(threshold=100)
+    lazy = total_time(threshold=10_000)
+    balanced = total_time(threshold=800)
+    assert balanced < max(eager, lazy)

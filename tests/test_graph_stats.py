@@ -1,0 +1,80 @@
+"""Batch degree statistics (Figs. 3/4/5 inputs)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.errors import AnalysisError
+from repro.graph.stats import (
+    FIG5_BUCKETS,
+    degree_counts,
+    degree_histogram,
+    degree_mix,
+    top_degrees,
+)
+
+
+def test_degree_counts_sides():
+    b = make_batch([1, 1, 2], [5, 5, 6])
+    assert sorted(degree_counts(b, "out").tolist()) == [1, 2]
+    assert sorted(degree_counts(b, "in").tolist()) == [1, 2]
+    assert sorted(degree_counts(b, "both").tolist()) == [1, 1, 2, 2]
+
+
+def test_degree_counts_bad_side():
+    with pytest.raises(AnalysisError):
+        degree_counts(make_batch([1], [2]), "sideways")
+
+
+def test_degree_histogram():
+    b = make_batch([1, 1, 2, 3], [9, 9, 9, 9])
+    degrees, counts = degree_histogram(b, "out")
+    assert degrees.tolist() == [1, 2]
+    assert counts.tolist() == [2, 1]
+    degrees, counts = degree_histogram(b, "in")
+    assert degrees.tolist() == [4]
+    assert counts.tolist() == [1]
+
+
+def test_top_degrees_sorted_descending():
+    b = make_batch([1] * 5 + [2] * 3 + [3], [0] * 9)
+    top = top_degrees(b, n=2, side="out")
+    assert top.tolist() == [5, 3]
+
+
+def test_top_degrees_empty():
+    assert len(top_degrees(make_batch([], []), 5)) == 0
+
+
+def test_degree_mix_percentages_sum_to_100():
+    b = make_batch(list(range(10)) + [0] * 5, [20] * 15)
+    mix = degree_mix(b, side="out")
+    assert sum(mix.edge_percentages) == pytest.approx(100.0)
+    assert len(mix.bucket_labels) == len(FIG5_BUCKETS) + 1  # plus overflow
+
+
+def test_degree_mix_buckets_attribute_edges():
+    # Vertex 0 emits 6 edges (bucket 5-10), vertices 1..3 emit 1 each.
+    b = make_batch([0] * 6 + [1, 2, 3], [9] * 9)
+    mix = degree_mix(b, side="out")
+    by_label = dict(zip(mix.bucket_labels, mix.edge_percentages))
+    assert by_label["1"] == pytest.approx(100.0 * 3 / 9)
+    assert by_label["5-10"] == pytest.approx(100.0 * 6 / 9)
+
+
+def test_degree_mix_overflow_bucket():
+    b = make_batch([0] * 60, (np.arange(60) % 7 + 1).tolist())
+    mix = degree_mix(b, side="out")
+    assert mix.edge_percentages[-1] == pytest.approx(100.0)  # degree 60 > 50
+
+
+def test_degree_mix_stability_on_stationary_stream(small_generator):
+    """Fig. 5's premise: stationary streams keep a stable degree mix."""
+    mixes = [
+        degree_mix(small_generator.generate_batch(i, 2_000), side="in")
+        for i in range(6)
+    ]
+    first = np.array(mixes[0].edge_percentages)
+    for mix in mixes[1:]:
+        drift = np.abs(np.array(mix.edge_percentages) - first).max()
+        assert drift < 15.0  # percentage points

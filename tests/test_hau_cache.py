@@ -1,0 +1,77 @@
+"""Tile cache residency model."""
+
+import pytest
+
+from repro.hau.cache import TileCache
+from repro.hau.config import HAUConfig
+
+CFG = HAUConfig()
+
+
+def _cache():
+    return TileCache(CFG)
+
+
+def test_first_access_misses_to_l3():
+    cache = _cache()
+    profile = cache.access_vertex(7, scan_lines=10.0, footprint_lines=10,
+                                  l3_hit_probability=1.0, remote_hops_cycles=4.0)
+    assert profile.local_private == 0.0
+    assert profile.local_l3 > 0
+    assert profile.lines == 10.0
+
+
+def test_second_access_hits_private_cache():
+    cache = _cache()
+    cache.access_vertex(7, 10.0, 10, 1.0, 4.0)
+    profile = cache.access_vertex(7, 10.0, 10, 1.0, 4.0)
+    assert profile.local_private > 0
+    assert profile.local_l3 == 0.0
+    # Private hits stream cheaper than L3 fills.
+    assert profile.cycles < CFG.l3_stream_cycles * 10
+
+
+def test_dram_share_follows_l3_probability():
+    cache = _cache()
+    profile = cache.access_vertex(7, 100.0, 100, l3_hit_probability=0.4,
+                                  remote_hops_cycles=4.0)
+    interior = profile.lines - profile.remote
+    assert profile.local_l3 == pytest.approx(interior * 0.4)
+    assert profile.dram == pytest.approx(interior * 0.6)
+
+
+def test_boundary_lines_counted_remote():
+    cache = _cache()
+    profile = cache.access_vertex(7, 50.0, 50, 1.0, 4.0)
+    assert profile.remote == pytest.approx(CFG.boundary_share_probability)
+    assert profile.local_fraction == pytest.approx(1 - profile.remote / 50.0)
+
+
+def test_lru_eviction_respects_capacity():
+    cache = _cache()
+    capacity = CFG.l1_lines + CFG.l2_lines
+    per_vertex = 100
+    n_vertices = capacity // per_vertex + 10
+    for v in range(n_vertices):
+        cache.access_vertex(v, float(per_vertex), per_vertex, 1.0, 4.0)
+    assert cache._resident_lines <= capacity
+    # Vertex 0 (oldest) got evicted; re-access misses to L3.
+    profile = cache.access_vertex(0, float(per_vertex), per_vertex, 1.0, 4.0)
+    assert profile.local_private == 0.0
+
+
+def test_footprint_growth_updates_residency():
+    cache = _cache()
+    cache.access_vertex(7, 4.0, 4, 1.0, 4.0)
+    cache.access_vertex(7, 8.0, 8, 1.0, 4.0)
+    assert cache._resident[7] == 8
+    assert cache._resident_lines == 8
+
+
+def test_access_profile_merge():
+    cache = _cache()
+    a = cache.access_vertex(1, 10.0, 10, 1.0, 4.0)
+    b = cache.access_vertex(2, 20.0, 20, 1.0, 4.0)
+    a.merge(b)
+    assert a.lines == 30.0
+    assert a.cycles > 0

@@ -1,0 +1,52 @@
+"""Task-MSHR and FIFO occupancy models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hau.config import HAUConfig
+from repro.hau.fifo import FIFOModel
+from repro.hau.mshr import MSHRModel
+
+CFG = HAUConfig()
+
+
+def test_mshr_low_rate_no_stall():
+    model = MSHRModel(CFG)
+    stall = model.account(tasks=100, interval_cycles=100_000)
+    assert stall == 0.0
+    assert model.peak_occupancy < CFG.task_mshr_entries
+
+
+def test_mshr_saturation_stalls():
+    model = MSHRModel(CFG)
+    # 10_000 tasks in 1_000 cycles -> occupancy 60 >> 10 entries.
+    stall = model.account(tasks=10_000, interval_cycles=1_000)
+    assert stall > 0
+    assert model.peak_occupancy > CFG.task_mshr_entries
+    assert model.stall_cycles == pytest.approx(stall)
+
+
+def test_mshr_rejects_bad_interval():
+    with pytest.raises(SimulationError):
+        MSHRModel(CFG).account(1, 0)
+
+
+def test_fifo_drain_keeps_up():
+    model = FIFOModel(CFG)
+    stall = model.account(arriving_tasks=100, drain_cycles_per_task=10,
+                          interval_cycles=10_000)
+    assert stall == 0.0
+    assert model.peak_fill <= CFG.fifo_entries
+
+
+def test_fifo_overload_backpressures():
+    model = FIFOModel(CFG)
+    stall = model.account(arriving_tasks=10_000, drain_cycles_per_task=10,
+                          interval_cycles=1_000)
+    assert stall > 0
+    assert model.peak_fill == CFG.fifo_entries
+
+
+def test_fifo_rejects_bad_interval():
+    with pytest.raises(SimulationError):
+        FIFOModel(CFG).account(1, 1, -5)

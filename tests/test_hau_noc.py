@@ -1,0 +1,74 @@
+"""Mesh NoC: routing, latency, utilization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hau.config import HAUConfig
+from repro.hau.noc import MeshNoC
+
+CFG = HAUConfig()
+NOC = MeshNoC(CFG)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        HAUConfig(num_cores=15)
+    with pytest.raises(ConfigurationError):
+        HAUConfig(boundary_share_probability=2.0)
+    with pytest.raises(ConfigurationError):
+        HAUConfig(master_core=99)
+
+
+def test_coords_and_hops():
+    assert CFG.core_coords(0) == (0, 0)
+    assert CFG.core_coords(5) == (1, 1)
+    assert CFG.core_coords(15) == (3, 3)
+    assert CFG.hops(0, 15) == 6
+    assert CFG.hops(3, 3) == 0
+    assert CFG.hops(0, 3) == 3
+
+
+def test_xy_route_goes_x_then_y():
+    links = NOC.route(0, 5)  # (0,0) -> (1,1)
+    assert links == [(0, 1), (1, 5)]
+
+
+def test_route_self_is_empty():
+    assert NOC.route(7, 7) == []
+
+
+def test_route_length_matches_hops():
+    for src in range(16):
+        for dst in range(16):
+            assert len(NOC.route(src, dst)) == CFG.hops(src, dst)
+
+
+def test_base_latency():
+    assert NOC.base_latency(0, 15) == 6 * CFG.hop_latency + 1
+    assert NOC.base_latency(2, 2) == 1
+
+
+def test_traffic_accumulates_on_route_links():
+    loads = NOC.new_loads()
+    NOC.add_traffic(loads, 0, 5, packets=10, flits_per_packet=2)
+    assert loads.flits[0, 1] == 20
+    assert loads.flits[1, 5] == 20
+    assert loads.total_flits() == 40
+
+
+def test_utilization_capped():
+    loads = NOC.new_loads()
+    NOC.add_traffic(loads, 0, 1, packets=10_000, flits_per_packet=2)
+    util = NOC.link_utilization(loads, duration_cycles=100.0)
+    assert util[0, 1] == pytest.approx(0.95)
+
+
+def test_latency_grows_with_load():
+    light = NOC.new_loads()
+    heavy = NOC.new_loads()
+    NOC.add_traffic(light, 0, 15, 10, 1)
+    NOC.add_traffic(heavy, 0, 15, 10_000, 1)
+    duration = 20_000.0
+    lat_light = NOC.average_packet_latency(light, duration, 0, 15, 2)
+    lat_heavy = NOC.average_packet_latency(heavy, duration, 0, 15, 2)
+    assert lat_heavy > lat_light >= NOC.base_latency(0, 15)

@@ -1,0 +1,51 @@
+"""Task production and mod-N assignment."""
+
+from conftest import make_batch
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.config import HAUConfig
+from repro.hau.tasks import clusters_from_stats, consumer_core, producer_core
+
+CFG = HAUConfig()
+
+
+def test_consumer_core_mod_n_mapping():
+    workers = CFG.worker_cores
+    assert consumer_core(0, CFG) == workers[0]
+    assert consumer_core(15, CFG) == workers[0]  # 15 mod 15 == 0
+    assert consumer_core(16, CFG) == workers[1]
+    # Same vertex always maps to the same core (race safety).
+    assert consumer_core(7, CFG) == consumer_core(7, CFG)
+
+
+def test_master_core_never_consumes():
+    for v in range(200):
+        assert consumer_core(v, CFG) != CFG.master_core
+
+
+def test_producer_round_robin():
+    producers = {producer_core(i, CFG) for i in range(30)}
+    assert producers == set(CFG.worker_cores)
+
+
+def test_clusters_cover_both_directions(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1, 1, 2], [3, 4, 4]))
+    clusters = clusters_from_stats(stats, CFG)
+    # Out direction: vertices 1, 2. In direction: vertices 3, 4.
+    assert len(clusters) == 4
+    total_tasks = sum(c.tasks for c in clusters)
+    assert total_tasks == 6  # 3 edges x 2 directions
+
+
+def test_cluster_fields_match_stats(tiny_graph):
+    tiny_graph.apply_batch(make_batch([1], [2]))
+    stats = tiny_graph.apply_batch(make_batch([1, 1], [2, 3], batch_id=1))
+    clusters = clusters_from_stats(stats, CFG)
+    out1 = next(c for c in clusters if c.vertex == 1 and c.tasks == 2)
+    assert out1.length_before == 1
+    assert out1.new_edges == 1  # edge 1->2 is a duplicate
+    assert out1.consumer == consumer_core(1, CFG)
+
+
+def test_empty_batch_has_no_clusters(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([], []))
+    assert clusters_from_stats(stats, CFG) == []

@@ -1,0 +1,143 @@
+"""Cross-module integration: pipelines, modes and the SW/HW proposal."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import get_dataset
+from repro.exec_model.machine import SIMULATED_MACHINE
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.simulator import HAUSimulator
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdateEngine, UpdatePolicy
+
+FB = get_dataset("fb")        # reorder-adverse, timestamped
+WIKI = get_dataset("wiki")    # reorder-friendly at >= 10K
+
+
+def _run(profile, batch_size, policy, nb, algorithm="none", **kwargs):
+    return StreamingPipeline(profile, batch_size, algorithm, policy, **kwargs).run(nb)
+
+
+def test_final_graph_state_identical_across_policies():
+    """Execution strategy affects modeled time only, never graph state."""
+    graphs = []
+    for policy in (UpdatePolicy.BASELINE, UpdatePolicy.ALWAYS_RO, UpdatePolicy.ABR_USC):
+        pipeline = StreamingPipeline(FB, 1_000, "none", policy)
+        pipeline.run(5)
+        graphs.append(pipeline.graph)
+    reference = graphs[0]
+    for other in graphs[1:]:
+        assert other.num_edges == reference.num_edges
+        for v in reference.vertices_with_edges():
+            assert other.out_neighbors(v) == reference.out_neighbors(v)
+
+
+def test_hau_policy_graph_state_matches_software():
+    sw = StreamingPipeline(FB, 1_000, "none", UpdatePolicy.BASELINE)
+    sw.run(4)
+    hw = StreamingPipeline(
+        FB, 1_000, "none", UpdatePolicy.ALWAYS_HAU,
+        machine=SIMULATED_MACHINE, hau=HAUSimulator(),
+    )
+    hw.run(4)
+    assert hw.graph.num_edges == sw.graph.num_edges
+
+
+def test_abr_recovers_adverse_performance():
+    """Fig. 13: ABR pulls adverse cells back toward the baseline."""
+    nb = 8
+    baseline = _run(FB, 10_000, UpdatePolicy.BASELINE, nb).total_update_time
+    always_ro = _run(FB, 10_000, UpdatePolicy.ALWAYS_RO, nb).total_update_time
+    abr = _run(FB, 10_000, UpdatePolicy.ABR, nb).total_update_time
+    assert always_ro > baseline          # RO degrades the adverse dataset
+    assert abr < always_ro               # ABR recovers most of the loss
+    assert abr < 1.35 * baseline         # close to baseline (0.87x paper avg)
+
+
+def test_abr_keeps_friendly_gains():
+    nb = 6
+    baseline = _run(WIKI, 10_000, UpdatePolicy.BASELINE, nb).total_update_time
+    always_ro = _run(WIKI, 10_000, UpdatePolicy.ALWAYS_RO, nb).total_update_time
+    abr = _run(WIKI, 10_000, UpdatePolicy.ABR, nb).total_update_time
+    assert always_ro < baseline
+    assert abr < 1.2 * always_ro  # near the always-RO win despite overheads
+
+
+def test_perfect_abr_upper_bounds_abr():
+    nb = 8
+    perfect = _run(FB, 10_000, UpdatePolicy.PERFECT_ABR, nb).total_update_time
+    abr = _run(FB, 10_000, UpdatePolicy.ABR, nb).total_update_time
+    assert perfect <= abr * 1.001
+
+
+def test_dynamic_mode_beats_sw_only_and_hw_only_on_mixed_inputs():
+    """Section 4.5 / Fig. 15: input-aware SW/HW beats either extreme.
+
+    Adverse input: dynamic (HAU path) must beat SW-only (enforced RO+USC).
+    Friendly input: dynamic (SW path) must beat HW-only (enforced HAU).
+    """
+    nb = 6
+    machine = SIMULATED_MACHINE
+
+    dynamic_adverse = _run(
+        FB, 10_000, UpdatePolicy.ABR_USC_HAU, nb,
+        machine=machine, hau=HAUSimulator(),
+    ).total_update_time
+    sw_only_adverse = _run(
+        FB, 10_000, UpdatePolicy.ALWAYS_RO_USC, nb, machine=machine
+    ).total_update_time
+    assert dynamic_adverse < sw_only_adverse
+
+    dynamic_friendly = _run(
+        WIKI, 10_000, UpdatePolicy.ABR_USC_HAU, nb,
+        machine=machine, hau=HAUSimulator(),
+    ).total_update_time
+    hw_only_friendly = _run(
+        WIKI, 10_000, UpdatePolicy.ALWAYS_HAU, nb,
+        machine=machine, hau=HAUSimulator(),
+    ).total_update_time
+    assert dynamic_friendly < hw_only_friendly
+
+
+def test_enforced_hau_degrades_on_friendly_input():
+    """Fig. 15 (right): HW-only loses on high-degree batches because the hot
+    vertex's task queue serializes on one core without search coalescing.
+
+    Measured at 100K, where the hub clusters are large enough for the effect
+    to be decisive (at 10K the two modes are within a few percent).
+    """
+    nb = 5
+    machine = SIMULATED_MACHINE
+    sw = _run(WIKI, 100_000, UpdatePolicy.ABR_USC, nb, machine=machine)
+    hw = _run(
+        WIKI, 100_000, UpdatePolicy.ALWAYS_HAU, nb,
+        machine=machine, hau=HAUSimulator(),
+    )
+    assert hw.total_update_time > 1.3 * sw.total_update_time
+
+
+def test_pagerank_values_identical_across_update_policies():
+    """The compute phase sees identical snapshots whatever the update mode."""
+    runs = []
+    for policy in (UpdatePolicy.BASELINE, UpdatePolicy.ABR_USC):
+        pipeline = StreamingPipeline(FB, 2_000, "pr", policy)
+        pipeline.run(3)
+        runs.append(pipeline._incremental_pr.as_array())
+    np.testing.assert_allclose(runs[0], runs[1])
+
+
+def test_oca_preserves_pagerank_results():
+    plain = StreamingPipeline(WIKI, 10_000, "pr", UpdatePolicy.BASELINE)
+    plain.run(4)
+    from repro.compute.oca import OCAConfig
+
+    aggregated = StreamingPipeline(
+        WIKI, 10_000, "pr", UpdatePolicy.BASELINE,
+        use_oca=True, oca_config=OCAConfig(overlap_threshold=0.01, n=2),
+    )
+    aggregated.run(4)
+    np.testing.assert_allclose(
+        plain._incremental_pr.as_array(),
+        aggregated._incremental_pr.as_array(),
+        atol=1e-6,
+    )

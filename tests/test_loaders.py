@@ -1,0 +1,78 @@
+"""Edge-list file loading."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import read_edge_list, stream_from_file, write_edge_list
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+
+
+def test_roundtrip_unweighted(tmp_path):
+    path = tmp_path / "edges.txt"
+    src = np.array([0, 1, 2])
+    dst = np.array([1, 2, 0])
+    write_edge_list(path, src, dst)
+    rs, rd, rw = read_edge_list(path)
+    np.testing.assert_array_equal(rs, src)
+    np.testing.assert_array_equal(rd, dst)
+    assert (rw == 1.0).all()
+
+
+def test_roundtrip_weighted(tmp_path):
+    path = tmp_path / "edges.txt"
+    write_edge_list(path, np.array([5]), np.array([7]), np.array([2.5]))
+    rs, rd, rw = read_edge_list(path, weighted=True)
+    assert rs.tolist() == [5] and rd.tolist() == [7] and rw.tolist() == [2.5]
+
+
+def test_comments_and_blank_lines_skipped(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# SNAP header\n\n0 1\n# another\n1 2\n")
+    src, dst, __ = read_edge_list(path)
+    assert src.tolist() == [0, 1]
+    assert dst.tolist() == [1, 2]
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("0\n")
+    with pytest.raises(ConfigurationError, match="expected src dst"):
+        read_edge_list(path)
+
+
+def test_missing_weight_column_rejected(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("0 1\n")
+    with pytest.raises(ConfigurationError):
+        read_edge_list(path, weighted=True)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text("# only comments\n")
+    with pytest.raises(ConfigurationError, match="no edges"):
+        read_edge_list(path)
+
+
+def test_stream_from_file_batches_and_universe(tmp_path):
+    path = tmp_path / "edges.txt"
+    write_edge_list(path, np.arange(10), np.arange(10) + 5)
+    batches, num_vertices = stream_from_file(path, batch_size=4)
+    assert num_vertices == 15
+    assert [b.size for b in batches] == [4, 4, 2]
+    graph = AdjacencyListGraph(num_vertices)
+    for batch in batches:
+        graph.apply_batch(batch)
+    assert graph.num_edges == 10
+
+
+def test_stream_from_file_shuffle_is_deterministic_permutation(tmp_path):
+    path = tmp_path / "edges.txt"
+    write_edge_list(path, np.arange(50), np.arange(50) + 50)
+    plain, __ = stream_from_file(path, batch_size=50)
+    shuffled_a, __ = stream_from_file(path, batch_size=50, shuffle=True, seed=3)
+    shuffled_b, __ = stream_from_file(path, batch_size=50, shuffle=True, seed=3)
+    assert not np.array_equal(plain[0].src, shuffled_a[0].src)
+    np.testing.assert_array_equal(shuffled_a[0].src, shuffled_b[0].src)
+    assert sorted(shuffled_a[0].src.tolist()) == sorted(plain[0].src.tolist())

@@ -1,0 +1,64 @@
+"""Assorted coverage: perfect-ABR-USC policy, HAU config helpers, reports."""
+
+import pytest
+
+from conftest import make_batch
+from repro.analysis.report import render_series, render_table
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.config import HAUConfig
+from repro.update.engine import UpdateEngine, UpdatePolicy
+from repro.update.result import STRATEGY_BASELINE, STRATEGY_RO_USC
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+
+
+def test_perfect_abr_usc_policy_picks_minimum():
+    engine = UpdateEngine(
+        AdjacencyListGraph(64), UpdatePolicy.PERFECT_ABR_USC, machine=MACHINE
+    )
+    flat = engine.ingest(make_batch([1], [2]))
+    assert flat.strategy == STRATEGY_BASELINE
+    engine.ingest(make_batch([1] * 40, list(range(2, 42)), batch_id=1))
+    hot = engine.ingest(
+        make_batch([1] * 40, [(v + 42) % 64 for v in range(40)], batch_id=2)
+    )
+    assert hot.strategy == STRATEGY_RO_USC
+
+
+def test_hau_config_worker_cores_exclude_master():
+    config = HAUConfig(master_core=5)
+    assert 5 not in config.worker_cores
+    assert len(config.worker_cores) == 15
+    assert config.num_workers == 15
+
+
+def test_hau_config_hops_symmetric():
+    config = HAUConfig()
+    for a in range(16):
+        for b in range(16):
+            assert config.hops(a, b) == config.hops(b, a)
+
+
+def test_render_table_custom_float_format():
+    out = render_table(["x"], [[1.23456]], float_format="{:.4f}")
+    assert "1.2346" in out
+
+
+def test_render_series_custom_format():
+    out = render_series("s", ["a"], [0.123456], y_format="{:.4f}")
+    assert "0.1235" in out
+
+
+def test_engine_results_list_grows():
+    engine = UpdateEngine(AdjacencyListGraph(16), UpdatePolicy.BASELINE, machine=MACHINE)
+    for i in range(3):
+        engine.ingest(make_batch([i], [i + 4], batch_id=i))
+    assert len(engine.results) == 3
+    assert [r.batch_id for r in engine.results] == [0, 1, 2]
+
+
+def test_simulated_machine_matches_hau_config():
+    from repro.exec_model.machine import SIMULATED_MACHINE
+
+    assert SIMULATED_MACHINE.num_workers == HAUConfig().num_workers

@@ -1,0 +1,66 @@
+"""Paper-target registry and the fidelity report."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentStore
+from repro.analysis.paper_targets import PAPER_TARGETS, PaperTarget, fidelity_report
+from repro.cli import main
+
+
+def test_targets_cover_every_headline_artifact():
+    experiments = {t.experiment for t in PAPER_TARGETS}
+    assert {
+        "fig01_headline", "fig06_update_time_share", "fig13_abr_usc",
+        "table3_hau", "fig14_oca", "fig16_overheads",
+        "fig18_abr_parameters", "fig19_hau_work_distribution", "fig20_hau_noc",
+    } <= experiments
+
+
+def test_targets_bands_contain_direction():
+    for target in PAPER_TARGETS:
+        assert target.low < target.high, target.description
+
+
+def test_within():
+    target = PaperTarget("x", "k", "d", 1.0, 0.5, 1.5)
+    assert target.within(1.0)
+    assert not target.within(2.0)
+
+
+def test_fidelity_report_missing_and_ok(tmp_path):
+    store = ExperimentStore(tmp_path)
+    store.record("fig01_headline", {
+        "wiki_ro": 3.0, "uk_ro": 0.6, "uk_abr": 0.85, "uk_hw": 1.3,
+    })
+    rows = fidelity_report(store)
+    by_desc = {r["description"]: r for r in rows}
+    assert by_desc["Fig.1(a) wiki RO update speedup @100K"]["status"] == "ok"
+    assert by_desc["Table 3 HAU update-speedup geomean (applied cells)"]["status"] == "missing"
+
+
+def test_fidelity_report_out_of_band(tmp_path):
+    store = ExperimentStore(tmp_path)
+    store.record("fig01_headline", {
+        "wiki_ro": 99.0, "uk_ro": 0.6, "uk_abr": 0.85, "uk_hw": 1.3,
+    })
+    rows = fidelity_report(store)
+    by_desc = {r["description"]: r for r in rows}
+    assert by_desc["Fig.1(a) wiki RO update speedup @100K"]["status"] == "out-of-band"
+
+
+def test_fidelity_cli(tmp_path, capsys):
+    store = ExperimentStore(tmp_path)
+    store.record("table3_hau", {"geomean": 2.2, "max": 2.7})
+    code = main(["fidelity", "--results", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "Reproduction fidelity" in out
+    assert "Table 3" in out
+    assert code == 0  # missing records are not failures
+
+
+def test_fidelity_cli_flags_out_of_band(tmp_path, capsys):
+    store = ExperimentStore(tmp_path)
+    store.record("table3_hau", {"geomean": 99.0, "max": 100.0})
+    code = main(["fidelity", "--results", str(tmp_path)])
+    assert code == 1
+    assert "out-of-band" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""StreamingPipeline end-to-end behaviour on small profiles."""
+
+import pytest
+
+from repro.compute.oca import OCAConfig
+from repro.errors import ConfigurationError
+from repro.exec_model.machine import SIMULATED_MACHINE
+from repro.hau.simulator import HAUSimulator
+from repro.pipeline.metrics import BatchMetrics, RunMetrics
+from repro.pipeline.modes import MODES, resolve_mode
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+
+def test_resolve_mode():
+    assert resolve_mode("baseline") is UpdatePolicy.BASELINE
+    assert resolve_mode("dynamic") is UpdatePolicy.ABR_USC_HAU
+    with pytest.raises(ConfigurationError):
+        resolve_mode("warp_speed")
+    assert set(MODES) >= {"baseline", "always_ro", "abr", "abr_usc", "sw_only", "hw_only"}
+
+
+def test_rejects_unknown_algorithm(flat_profile):
+    with pytest.raises(ConfigurationError):
+        StreamingPipeline(flat_profile, 100, algorithm="triangle-count")
+
+
+def test_run_produces_metrics(flat_profile):
+    metrics = StreamingPipeline(flat_profile, 200, "pr", UpdatePolicy.BASELINE).run(4)
+    assert metrics.num_batches == 4
+    assert metrics.total_update_time > 0
+    assert metrics.total_compute_time > 0
+    assert 0 < metrics.update_share < 1
+    assert metrics.dataset == flat_profile.name
+    assert [b.batch_id for b in metrics.batches] == [0, 1, 2, 3]
+
+
+def test_update_only_mode(flat_profile):
+    metrics = StreamingPipeline(flat_profile, 200, "none", UpdatePolicy.BASELINE).run(3)
+    assert metrics.total_compute_time == 0.0
+    assert metrics.update_share == 1.0
+
+
+def test_all_algorithms_run(flat_profile):
+    for algorithm in ("pr", "sssp", "pr_static", "sssp_static"):
+        metrics = StreamingPipeline(flat_profile, 100, algorithm, UpdatePolicy.ABR).run(3)
+        assert metrics.total_compute_time > 0, algorithm
+        assert metrics.algorithm == algorithm
+
+
+def test_oca_defers_and_final_batch_always_computes(skewed_profile):
+    pipeline = StreamingPipeline(
+        skewed_profile, 1_000, "pr", UpdatePolicy.BASELINE,
+        use_oca=True, oca_config=OCAConfig(overlap_threshold=0.01, n=2),
+    )
+    metrics = pipeline.run(5)
+    deferred = [b.deferred for b in metrics.batches]
+    assert any(deferred)
+    assert not metrics.batches[-1].deferred  # stream end forces a round
+    # Every deferred batch is covered by the following aggregated round.
+    for i, b in enumerate(metrics.batches[:-1]):
+        if b.deferred:
+            assert metrics.batches[i + 1].aggregated_batches == 2
+            assert b.compute_time == 0.0
+
+
+def test_oca_off_never_defers(skewed_profile):
+    metrics = StreamingPipeline(skewed_profile, 500, "pr", UpdatePolicy.BASELINE).run(4)
+    assert not any(b.deferred for b in metrics.batches)
+    assert all(b.aggregated_batches == 1 for b in metrics.batches)
+
+
+def test_dynamic_mode_runs_with_hau(flat_profile):
+    pipeline = StreamingPipeline(
+        flat_profile, 500, "none", UpdatePolicy.ABR_USC_HAU,
+        machine=SIMULATED_MACHINE, hau=HAUSimulator(),
+    )
+    metrics = pipeline.run(4)
+    strategies = metrics.strategies_used()
+    assert "hau" in strategies  # flat profile is reorder-adverse
+
+
+def test_metrics_totals_consistent(flat_profile):
+    metrics = StreamingPipeline(flat_profile, 100, "pr", UpdatePolicy.ABR).run(3)
+    assert metrics.total_time == pytest.approx(
+        sum(b.total_time for b in metrics.batches)
+    )
+
+
+def test_run_metrics_helpers():
+    run = RunMetrics("d", 10, "pr", "baseline")
+    run.add(BatchMetrics(0, 10.0, 30.0, "baseline"))
+    run.add(BatchMetrics(1, 5.0, 15.0, "reorder"))
+    assert run.total_time == 60.0
+    assert run.update_share == pytest.approx(0.25)
+    assert run.strategies_used() == {"baseline": 1, "reorder": 1}
+
+
+def test_empty_run_metrics_share_zero():
+    run = RunMetrics("d", 10, "pr", "baseline")
+    assert run.update_share == 0.0
+    assert run.num_batches == 0
+
+
+def test_seed_offset_resumes_stream(flat_profile):
+    a = StreamingPipeline(flat_profile, 100, "none", UpdatePolicy.BASELINE)
+    a.run(2, seed_offset=2)
+    # The pipeline consumed batches 2 and 3 of the stream, not 0 and 1.
+    expected = flat_profile.generator(seed=7).generate_batch(2, 100)
+    assert expected.src.tolist()[:5] == [
+        int(v) for v in a.generator.generate_batch(2, 100).src[:5]
+    ]
+    edges_from_offset = set()
+    gen = flat_profile.generator(seed=7)
+    for bid in (2, 3):
+        batch = gen.generate_batch(bid, 100)
+        edges_from_offset.update(zip(batch.src.tolist(), batch.dst.tolist()))
+    for u, v in list(edges_from_offset)[:20]:
+        assert a.graph.has_edge(u, v)

@@ -1,0 +1,69 @@
+"""Pipeline wiring of the extension algorithms and compute options."""
+
+import pytest
+
+from repro.compute.oca import OCAConfig
+from repro.pipeline.runner import ALGORITHMS, StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+
+def test_algorithm_list_includes_extensions():
+    assert "bfs" in ALGORITHMS and "cc" in ALGORITHMS
+
+
+def test_bfs_pipeline_runs(flat_profile):
+    metrics = StreamingPipeline(flat_profile, 200, "bfs", UpdatePolicy.ABR).run(3)
+    assert metrics.total_compute_time > 0
+    assert metrics.algorithm == "bfs"
+
+
+def test_cc_pipeline_runs(flat_profile):
+    pipeline = StreamingPipeline(flat_profile, 200, "cc", UpdatePolicy.ABR)
+    metrics = pipeline.run(3)
+    assert metrics.total_compute_time > 0
+    # The CC engine tracked every applied edge's endpoints.
+    cc = pipeline._incremental_cc
+    batch = flat_profile.generator(seed=7).generate_batch(0, 200)
+    u, v = int(batch.src[0]), int(batch.dst[0])
+    assert cc.same_component(u, v)
+
+
+def test_cc_with_oca_aggregation(skewed_profile):
+    pipeline = StreamingPipeline(
+        skewed_profile, 1_000, "cc", UpdatePolicy.BASELINE,
+        use_oca=True, oca_config=OCAConfig(overlap_threshold=0.01, n=2),
+    )
+    metrics = pipeline.run(5)
+    assert any(b.deferred for b in metrics.batches)
+    assert metrics.batches[-1].compute_time > 0
+
+
+def test_pr_tolerance_forwarded(flat_profile):
+    pipeline = StreamingPipeline(
+        flat_profile, 200, "pr", UpdatePolicy.BASELINE,
+        pr_tolerance=1e-3, pr_max_rounds=7,
+    )
+    pipeline.run(1)
+    assert pipeline._incremental_pr.tolerance == 1e-3
+    assert pipeline._incremental_pr.max_rounds == 7
+
+
+def test_sssp_source_override(flat_profile):
+    pipeline = StreamingPipeline(
+        flat_profile, 200, "sssp", UpdatePolicy.BASELINE, sssp_source=5
+    )
+    pipeline.run(1)
+    assert pipeline._incremental_sssp.source == 5
+
+
+def test_bfs_levels_consistent_with_static(flat_profile):
+    from repro.compute.bfs import StaticBFS
+    from repro.graph.snapshot import take_snapshot
+
+    pipeline = StreamingPipeline(
+        flat_profile, 300, "bfs", UpdatePolicy.BASELINE
+    )
+    pipeline.run(3)
+    source = pipeline._incremental_bfs.source
+    static, __ = StaticBFS(source).run(take_snapshot(pipeline.graph))
+    assert pipeline._incremental_bfs.levels() == static.tolist()

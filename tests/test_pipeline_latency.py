@@ -1,0 +1,76 @@
+"""Reaction-latency accounting, including OCA deferral penalties."""
+
+import pytest
+
+from repro.compute.oca import OCAConfig
+from repro.errors import AnalysisError
+from repro.pipeline.latency import latency_stats, reaction_latencies
+from repro.pipeline.metrics import BatchMetrics, RunMetrics
+from repro.pipeline.runner import StreamingPipeline
+from repro.update.engine import UpdatePolicy
+
+
+def _run(batches):
+    run = RunMetrics("d", 10, "pr", "baseline")
+    for b in batches:
+        run.add(b)
+    return run
+
+
+def test_plain_batches_latency_is_own_time():
+    run = _run([
+        BatchMetrics(0, 10.0, 30.0, "baseline"),
+        BatchMetrics(1, 20.0, 40.0, "baseline"),
+    ])
+    assert reaction_latencies(run) == [40.0, 60.0]
+
+
+def test_deferred_batch_waits_for_aggregated_round():
+    run = _run([
+        BatchMetrics(0, 10.0, 0.0, "baseline", deferred=True),
+        BatchMetrics(1, 20.0, 50.0, "baseline", aggregated_batches=2),
+    ])
+    latencies = reaction_latencies(run)
+    # Batch 0's results only land after batch 1's update + aggregated round.
+    assert latencies[0] == pytest.approx(10.0 + 20.0 + 50.0)
+    assert latencies[1] == pytest.approx(70.0)
+
+
+def test_chained_deferrals_accumulate():
+    run = _run([
+        BatchMetrics(0, 10.0, 0.0, "baseline", deferred=True),
+        BatchMetrics(1, 10.0, 0.0, "baseline", deferred=True),
+        BatchMetrics(2, 10.0, 60.0, "baseline", aggregated_batches=3),
+    ])
+    latencies = reaction_latencies(run)
+    assert latencies[0] == pytest.approx(10.0 + 10.0 + 10.0 + 60.0)
+
+
+def test_stats_summary():
+    run = _run([
+        BatchMetrics(i, 10.0, float(10 * i), "baseline") for i in range(5)
+    ])
+    stats = latency_stats(run)
+    assert stats.maximum == pytest.approx(50.0)
+    assert stats.p50 == pytest.approx(30.0)
+    assert stats.mean == pytest.approx(30.0)
+    assert stats.deferred_batches == 0
+
+
+def test_stats_requires_batches():
+    with pytest.raises(AnalysisError):
+        latency_stats(_run([]))
+
+
+def test_oca_trades_latency_for_throughput(skewed_profile):
+    """The Section 5 trade-off, measured: aggregation lowers total compute
+    time but raises the p95 reaction latency of deferred batches."""
+    plain = StreamingPipeline(
+        skewed_profile, 1_000, "pr", UpdatePolicy.BASELINE
+    ).run(6)
+    aggregated = StreamingPipeline(
+        skewed_profile, 1_000, "pr", UpdatePolicy.BASELINE,
+        use_oca=True, oca_config=OCAConfig(overlap_threshold=0.01, n=2),
+    ).run(6)
+    assert aggregated.total_compute_time < plain.total_compute_time
+    assert latency_stats(aggregated).maximum > latency_stats(plain).maximum

@@ -1,0 +1,109 @@
+"""Dataset registry (Table 2) invariants."""
+
+import pytest
+
+from repro.datasets.profiles import (
+    BATCH_SIZES,
+    DATASETS,
+    TABLE3_BATCH_SIZES,
+    TABLE3_DATASETS,
+    dataset_names,
+    friendly_cells,
+    get_dataset,
+)
+from repro.errors import UnknownDatasetError
+
+PAPER_FRIENDLY = {"topcats", "talk", "berkstan", "yt", "superuser", "wiki"}
+PAPER_ADVERSE = {"lj", "patents", "fb", "flickr", "amazon", "stack", "friendster", "uk"}
+
+
+def test_registry_has_fourteen_datasets():
+    assert len(DATASETS) == 14
+    assert set(dataset_names()) == PAPER_FRIENDLY | PAPER_ADVERSE
+
+
+def test_batch_sizes_match_paper():
+    assert BATCH_SIZES == (100, 1_000, 10_000, 100_000, 500_000)
+
+
+def test_table3_subset_matches_paper():
+    assert set(TABLE3_DATASETS) == {
+        "lj", "patents", "topcats", "berkstan", "fb", "flickr", "amazon", "superuser"
+    }
+    assert TABLE3_BATCH_SIZES == (100, 1_000, 10_000, 100_000)
+
+
+def test_get_dataset_unknown_raises():
+    with pytest.raises(UnknownDatasetError):
+        get_dataset("nonexistent")
+
+
+def test_friendly_classification_matches_paper_text():
+    # Section 4.1: degradation at all batch sizes for the adverse eight.
+    for name in PAPER_ADVERSE:
+        assert not DATASETS[name].friendly_sizes, name
+    # Friendly at 100K/500K for all six; also at 10K for talk, yt, wiki.
+    for name in PAPER_FRIENDLY:
+        assert {100_000, 500_000} <= DATASETS[name].friendly_sizes, name
+    for name in ("talk", "yt", "wiki"):
+        assert 10_000 in DATASETS[name].friendly_sizes
+    for name in ("topcats", "berkstan", "superuser"):
+        assert 10_000 not in DATASETS[name].friendly_sizes
+
+
+def test_paper_sizes_recorded():
+    assert DATASETS["uk"].paper_edges == 5_507_679_822
+    assert DATASETS["fb"].paper_vertices == 46_952
+
+
+def test_kinds_match_table2():
+    shuffled = {"talk", "berkstan", "patents", "topcats", "lj", "friendster", "uk"}
+    for name, profile in DATASETS.items():
+        assert profile.kind == ("shuffled" if name in shuffled else "timestamped")
+
+
+def test_shuffled_datasets_are_stationary():
+    for name, profile in DATASETS.items():
+        if profile.kind == "shuffled":
+            assert profile.warmup_edges == 0
+            assert profile.drift_period == 0
+
+
+def test_streams_support_500k_batches():
+    for profile in DATASETS.values():
+        assert profile.stream_edges >= 1_000_000
+        assert profile.num_batches(500_000) >= 2
+
+
+def test_num_batches_cap():
+    lj = get_dataset("lj")
+    assert lj.num_batches(100_000) == 20
+    assert lj.num_batches(100_000, cap=8) == 8
+    assert lj.num_batches(10 ** 9) == 1  # never zero
+
+
+def test_friendly_cells_listing():
+    cells = friendly_cells()
+    assert ("wiki", 10_000) in cells
+    assert ("lj", 100_000) not in cells
+    assert all(size in BATCH_SIZES for __, size in cells)
+
+
+def test_generator_wires_profile_parameters():
+    wiki = get_dataset("wiki")
+    gen = wiki.generator(seed=3)
+    assert gen.hub_in_pool == wiki.hub_in_pool
+    assert gen.hub_ramp == wiki.hub_ramp
+    assert gen.num_vertices == wiki.num_vertices
+
+
+def test_generator_seed_changes_stream():
+    wiki = get_dataset("wiki")
+    a = wiki.generator(seed=1).generate_batch(0, 1000)
+    b = wiki.generator(seed=2).generate_batch(0, 1000)
+    assert not (a.src == b.src).all()
+
+
+def test_is_friendly_helper():
+    assert get_dataset("wiki").is_friendly(10_000)
+    assert not get_dataset("wiki").is_friendly(1_000)

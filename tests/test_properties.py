@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_batch
+from repro.compute.pagerank import IncrementalPageRank, StaticPageRank
+from repro.compute.sssp import IncrementalSSSP, StaticSSSP
+from repro.exec_model.machine import MachineConfig
+from repro.exec_model.parallel import makespan
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.snapshot import take_snapshot
+from repro.update.cad import cad_from_degrees
+
+# -- edge-list strategy -------------------------------------------------------
+
+N_VERTICES = 24
+
+edges = st.lists(
+    st.tuples(
+        st.integers(0, N_VERTICES - 1),
+        st.integers(0, N_VERTICES - 1),
+        st.integers(1, 9),
+    ),
+    min_size=1,
+    max_size=60,
+).map(lambda es: [(u, v, w) for u, v, w in es if u != v])
+
+
+def _apply(graph, edge_list, batch_id=0, deletes=None):
+    if not edge_list:
+        return None
+    src = [e[0] for e in edge_list]
+    dst = [e[1] for e in edge_list]
+    # Weight as a pure function of the pair, matching the generators'
+    # convention (duplicates refresh to the same value).
+    weight = [float((u * 31 + v * 7) % 9 + 1) for u, v, __ in edge_list]
+    return graph.apply_batch(
+        make_batch(src, dst, weight, batch_id=batch_id, is_delete=deletes)
+    )
+
+
+# -- graph structure ------------------------------------------------------------
+
+
+@given(edges)
+@settings(max_examples=60, deadline=None)
+def test_adjacency_matches_reference_model(edge_list):
+    graph = AdjacencyListGraph(N_VERTICES)
+    _apply(graph, edge_list)
+    reference: dict[int, dict[int, float]] = {}
+    for u, v, __ in edge_list:
+        reference.setdefault(u, {})[v] = float((u * 31 + v * 7) % 9 + 1)
+    for u, expected in reference.items():
+        assert graph.out_neighbors(u) == expected
+    assert graph.num_edges == sum(len(d) for d in reference.values())
+    # In-adjacency mirrors out-adjacency.
+    for u, nbrs in reference.items():
+        for v in nbrs:
+            assert u in graph.in_neighbors(v)
+
+
+@given(edges)
+@settings(max_examples=40, deadline=None)
+def test_direction_stats_are_consistent(edge_list):
+    graph = AdjacencyListGraph(N_VERTICES)
+    stats = _apply(graph, edge_list)
+    if stats is None:
+        return
+    for direction in stats.directions:
+        assert (direction.new_edges <= direction.batch_degree).all()
+        assert (direction.new_edges >= 0).all()
+        assert (direction.length_before >= 0).all()
+        assert direction.num_edges == len(edge_list)
+    assert int(stats.out.new_edges.sum()) == graph.num_edges
+
+
+@given(edges, edges)
+@settings(max_examples=30, deadline=None)
+def test_snapshot_roundtrip(first, second):
+    graph = AdjacencyListGraph(N_VERTICES)
+    _apply(graph, first, 0)
+    _apply(graph, second, 1)
+    snap = take_snapshot(graph)
+    for v in range(N_VERTICES):
+        targets, weights = snap.out_slice(v)
+        assert dict(zip(targets.tolist(), weights.tolist())) == graph.out_neighbors(v)
+
+
+# -- CAD ---------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(1, 1000), min_size=1, max_size=50),
+    st.integers(1, 500),
+)
+@settings(max_examples=100, deadline=None)
+def test_cad_invariants(degrees, lam):
+    degrees = np.asarray(degrees)
+    b = int(degrees.sum())
+    value = cad_from_degrees(degrees, b, lam)
+    assert value >= 0.0
+    top = degrees[degrees > lam]
+    if len(top) == 0:
+        assert value == 0.0
+    else:
+        # CAD is the average degree of the top vertices: bounded by them.
+        assert top.min() <= value <= top.max() + 1e-9
+        assert value > lam
+
+
+@given(st.lists(st.integers(1, 300), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_cad_monotone_in_lambda(degrees):
+    """Raising lambda never resurrects a zero CAD."""
+    degrees = np.asarray(degrees)
+    b = int(degrees.sum())
+    previous_zero = False
+    for lam in (1, 4, 16, 64, 256):
+        value = cad_from_degrees(degrees, b, lam)
+        if previous_zero:
+            assert value == 0.0
+        previous_zero = value == 0.0
+
+
+# -- makespan model --------------------------------------------------------------
+
+
+@given(
+    st.floats(0, 1e9),
+    st.floats(0, 1e9),
+    st.integers(1, 128),
+    st.floats(0.05, 1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_makespan_bounds(work, chain, workers, efficiency):
+    machine = MachineConfig(name="m", num_workers=workers)
+    timing = makespan(work, chain, machine, efficiency)
+    assert timing.makespan >= chain
+    assert timing.makespan >= work / (workers * efficiency) - 1e-6
+    assert timing.makespan <= chain + work / (workers * efficiency) + 1e-6
+
+
+@given(st.floats(1, 1e9), st.floats(0, 1e9), st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_makespan_monotone_in_work(work, chain, workers):
+    machine = MachineConfig(name="m", num_workers=workers)
+    lo = makespan(work, chain, machine, 0.8)
+    hi = makespan(work * 2, chain, machine, 0.8)
+    assert hi.makespan >= lo.makespan
+
+
+# -- algorithms ---------------------------------------------------------------
+
+
+@given(edges, edges)
+@settings(max_examples=25, deadline=None)
+def test_incremental_pagerank_matches_static(first, second):
+    graph = AdjacencyListGraph(N_VERTICES)
+    incremental = IncrementalPageRank(graph, tolerance=1e-13)
+    for batch_id, edge_list in enumerate((first, second)):
+        stats = _apply(graph, edge_list, batch_id)
+        if stats is None:
+            continue
+        affected = set()
+        for u, v, __ in edge_list:
+            affected.add(u)
+            affected.add(v)
+        incremental.on_batch(affected)
+    static, __ = StaticPageRank(tolerance=1e-14, max_iterations=500).run(
+        take_snapshot(graph)
+    )
+    np.testing.assert_allclose(incremental.as_array(), static, atol=1e-8)
+
+
+@given(edges, edges, st.lists(st.booleans(), min_size=60, max_size=60))
+@settings(max_examples=25, deadline=None)
+def test_incremental_sssp_matches_static_with_deletes(first, second, delete_bits):
+    graph = AdjacencyListGraph(N_VERTICES)
+    sssp = IncrementalSSSP(graph, source=0)
+    stats = _apply(graph, first, 0)
+    if stats is not None:
+        sssp.on_batch(_rebuild_batch(first, 0))
+    if second:
+        deletes = delete_bits[: len(second)]
+        batch = _rebuild_batch(second, 1, deletes)
+        graph.apply_batch(batch)
+        sssp.on_batch(batch)
+    static, __ = StaticSSSP(0).run(take_snapshot(graph))
+    for got, want in zip(sssp.dist, static):
+        if math.isinf(want):
+            assert math.isinf(got)
+        else:
+            assert got == pytest.approx(want)
+
+
+def _rebuild_batch(edge_list, batch_id, deletes=None):
+    src = [e[0] for e in edge_list]
+    dst = [e[1] for e in edge_list]
+    weight = [float((u * 31 + v * 7) % 9 + 1) for u, v, __ in edge_list]
+    return make_batch(src, dst, weight, batch_id=batch_id, is_delete=deletes)

@@ -1,0 +1,130 @@
+"""Property-based tests on engine, OCA and controller invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_batch
+from repro.compute.oca import OCAConfig, OCAController
+from repro.costs import CostParameters
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.abr import ABRConfig, ABRController
+from repro.update.engine import UpdateEngine, UpdatePolicy
+from repro.update.result import STRATEGY_BASELINE, STRATEGY_RO, STRATEGY_RO_USC
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+COSTS = CostParameters()
+
+N = 32
+
+edge_batches = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+        min_size=1,
+        max_size=25,
+    ).map(lambda es: [(u, v) for u, v in es if u != v]),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _batches(edge_lists):
+    batches = []
+    for batch_id, edges in enumerate(edge_lists):
+        if not edges:
+            edges = [(0, 1)]
+        batches.append(
+            make_batch([e[0] for e in edges], [e[1] for e in edges],
+                       batch_id=batch_id)
+        )
+    return batches
+
+
+@given(edge_batches)
+@settings(max_examples=40, deadline=None)
+def test_engine_times_positive_and_alternatives_complete(edge_lists):
+    engine = UpdateEngine(
+        AdjacencyListGraph(N), UpdatePolicy.BASELINE, machine=MACHINE, costs=COSTS
+    )
+    for batch in _batches(edge_lists):
+        result = engine.ingest(batch)
+        assert result.time > 0
+        assert set(result.alternatives) == {STRATEGY_RO, STRATEGY_RO_USC}
+        assert all(v > 0 for v in result.alternatives.values())
+
+
+@given(edge_batches)
+@settings(max_examples=40, deadline=None)
+def test_perfect_abr_lower_bounds_pure_policies(edge_lists):
+    """Per batch, the oracle's pick never exceeds either pure strategy."""
+    engine = UpdateEngine(
+        AdjacencyListGraph(N), UpdatePolicy.PERFECT_ABR, machine=MACHINE, costs=COSTS
+    )
+    for batch in _batches(edge_lists):
+        result = engine.ingest(batch)
+        all_times = dict(result.alternatives)
+        all_times[result.strategy] = result.time
+        assert result.time <= all_times[STRATEGY_BASELINE] + 1e-9
+        assert result.time <= all_times[STRATEGY_RO] + 1e-9
+
+
+@given(edge_batches)
+@settings(max_examples=40, deadline=None)
+def test_graph_state_independent_of_policy(edge_lists):
+    edges_a = AdjacencyListGraph(N)
+    edges_b = AdjacencyListGraph(N)
+    engine_a = UpdateEngine(edges_a, UpdatePolicy.BASELINE, machine=MACHINE)
+    engine_b = UpdateEngine(edges_b, UpdatePolicy.ALWAYS_RO_USC, machine=MACHINE)
+    for batch in _batches(edge_lists):
+        engine_a.ingest(batch)
+        engine_b.ingest(batch)
+    assert edges_a.num_edges == edges_b.num_edges
+    out_a, __ = edges_a.adjacency_views()
+    out_b, __ = edges_b.adjacency_views()
+    assert out_a == out_b
+
+
+@given(st.lists(st.booleans(), min_size=2, max_size=30), st.integers(2, 8))
+@settings(max_examples=60, deadline=None)
+def test_oca_never_defers_twice_in_a_row(high_overlap_flags, n):
+    controller = OCAController(
+        100, config=OCAConfig(overlap_threshold=0.5, n=n), num_workers=8
+    )
+    previous_deferred = False
+    for batch_id, high in enumerate(high_overlap_flags):
+        vertices = [1, 2, 3] if high else [batch_id * 3 % 97, batch_id * 3 % 97 + 1]
+        batch = make_batch(vertices, [(v + 50) % 100 for v in vertices],
+                           batch_id=batch_id)
+        observation = controller.observe(batch)
+        if previous_deferred:
+            assert not observation.defer_compute
+        previous_deferred = observation.defer_compute
+
+
+@given(st.integers(1, 12), st.integers(1, 40))
+@settings(max_examples=50, deadline=None)
+def test_abr_active_cadence_property(n, num_batches):
+    controller = ABRController(ABRConfig(n=n, lam=4, threshold=5.0), COSTS, 8)
+    graph = AdjacencyListGraph(N)
+    actives = []
+    for batch_id in range(num_batches):
+        stats = graph.apply_batch(
+            make_batch([batch_id % N], [(batch_id + 1) % N], batch_id=batch_id)
+        )
+        actives.append(controller.step(stats).active)
+    expected = [batch_id % n == 0 for batch_id in range(num_batches)]
+    assert actives == expected
+
+
+@given(edge_batches)
+@settings(max_examples=30, deadline=None)
+def test_usc_never_slower_than_reorder_by_much(edge_lists):
+    """USC's only extra cost over RO is hash prep: bounded overhead."""
+    engine = UpdateEngine(
+        AdjacencyListGraph(N), UpdatePolicy.BASELINE, machine=MACHINE, costs=COSTS
+    )
+    for batch in _batches(edge_lists):
+        result = engine.ingest(batch)
+        usc = result.alternatives[STRATEGY_RO_USC]
+        reorder = result.alternatives[STRATEGY_RO]
+        assert usc <= reorder * 1.25 + 1000.0

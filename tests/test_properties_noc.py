@@ -1,0 +1,62 @@
+"""Property-based tests on the mesh NoC routing model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hau.config import HAUConfig
+from repro.hau.noc import MeshNoC
+
+CFG = HAUConfig()
+NOC = MeshNoC(CFG)
+
+cores = st.integers(0, 15)
+
+
+@given(cores, cores)
+@settings(max_examples=200, deadline=None)
+def test_route_is_contiguous_and_ends_at_destination(src, dst):
+    links = NOC.route(src, dst)
+    position = src
+    for a, b in links:
+        assert a == position
+        # Adjacent tiles only.
+        assert CFG.hops(a, b) == 1
+        position = b
+    assert position == dst
+
+
+@given(cores, cores)
+@settings(max_examples=100, deadline=None)
+def test_route_is_shortest(src, dst):
+    assert len(NOC.route(src, dst)) == CFG.hops(src, dst)
+
+
+@given(cores, cores)
+@settings(max_examples=100, deadline=None)
+def test_xy_routing_goes_x_first(src, dst):
+    seen_y_move = False
+    for a, b in NOC.route(src, dst):
+        ax, ay = CFG.core_coords(a)
+        bx, by = CFG.core_coords(b)
+        if ay != by:
+            seen_y_move = True
+        else:
+            assert not seen_y_move, "X move after a Y move violates XY routing"
+
+
+@given(cores, cores, st.floats(1.0, 1e6), st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_latency_at_least_zero_load(src, dst, packets, flits):
+    loads = NOC.new_loads()
+    NOC.add_traffic(loads, src, dst, packets, flits)
+    latency = NOC.average_packet_latency(loads, 1e7, src, dst, flits)
+    assert latency >= NOC.base_latency(src, dst)
+
+
+@given(cores, cores)
+@settings(max_examples=100, deadline=None)
+def test_base_latency_triangle_inequality(src, dst):
+    # Through any midpoint the routed distance can only grow.
+    for mid in range(16):
+        assert NOC.base_latency(src, dst) <= (
+            NOC.base_latency(src, mid) + NOC.base_latency(mid, dst)
+        )

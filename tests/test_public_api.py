@@ -1,0 +1,45 @@
+"""Public API surface: imports, exports, docstrings."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_headline_symbols_present():
+    # The objects a downstream user needs, importable from the top level.
+    for name in (
+        "StreamingPipeline", "UpdatePolicy", "get_dataset", "DATASETS",
+        "ABRConfig", "ABRController", "HAUSimulator", "OCAController",
+        "AdjacencyListGraph", "IncrementalPageRank", "IncrementalSSSP",
+        "CostParameters", "workload_matrix",
+    ):
+        assert name in repro.__all__, name
+
+
+def test_public_modules_have_docstrings():
+    import importlib
+    import pkgutil
+
+    missing = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(module_info.name)
+    assert missing == []
+
+
+def test_public_classes_have_docstrings():
+    undocumented = [
+        name
+        for name in repro.__all__
+        if isinstance(getattr(repro, name), type)
+        and not (getattr(repro, name).__doc__ or "").strip()
+    ]
+    assert undocumented == []

@@ -1,0 +1,77 @@
+"""RMAT generator: validity, determinism, skew behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.rmat import RMATGenerator
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.engine import UpdateEngine, UpdatePolicy
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RMATGenerator(scale=0)
+    with pytest.raises(ConfigurationError):
+        RMATGenerator(a=0.9, b=0.2, c=0.2)  # sums past 1
+    with pytest.raises(ConfigurationError):
+        RMATGenerator().generate_batch(0, 0)
+    with pytest.raises(ConfigurationError):
+        list(RMATGenerator().batches(10, -1))
+
+
+def test_batch_validity():
+    gen = RMATGenerator(scale=10, seed=3)
+    batch = gen.generate_batch(0, 2_000)
+    assert batch.size == 2_000
+    assert (batch.src != batch.dst).all()
+    assert batch.src.max() < 1024 and batch.dst.max() < 1024
+    assert batch.src.min() >= 0
+
+
+def test_determinism():
+    a = RMATGenerator(scale=10, seed=5).generate_batch(2, 500)
+    b = RMATGenerator(scale=10, seed=5).generate_batch(2, 500)
+    np.testing.assert_array_equal(a.src, b.src)
+    np.testing.assert_array_equal(a.dst, b.dst)
+
+
+def test_graph500_parameters_are_skewed():
+    skewed = RMATGenerator(scale=12, seed=1).generate_batch(0, 20_000)
+    uniform = RMATGenerator(scale=12, a=0.25, b=0.25, c=0.25, seed=1).generate_batch(
+        0, 20_000
+    )
+    assert skewed.max_degree() > 3 * uniform.max_degree()
+
+
+def test_weights_deterministic_per_pair():
+    batch = RMATGenerator(scale=10, seed=2).generate_batch(0, 3_000)
+    seen = {}
+    for u, v, w in zip(batch.src.tolist(), batch.dst.tolist(), batch.weight.tolist()):
+        assert seen.setdefault((u, v), w) == w
+
+
+def test_unweighted():
+    batch = RMATGenerator(scale=8, weighted=False).generate_batch(0, 100)
+    assert (batch.weight == 1.0).all()
+
+
+def test_plugs_into_update_engine():
+    gen = RMATGenerator(scale=12, seed=4)
+    engine = UpdateEngine(AdjacencyListGraph(gen.num_vertices), UpdatePolicy.ABR)
+    for batch in gen.batches(2_000, 4):
+        result = engine.ingest(batch)
+        assert result.time > 0
+    assert engine.graph.num_edges > 0
+
+
+def test_skew_makes_reordering_attractive_at_scale():
+    """Graph500 RMAT produces hub vertices like the paper's friendly sets."""
+    gen = RMATGenerator(scale=12, seed=4, a=0.65, b=0.15, c=0.15)
+    engine = UpdateEngine(AdjacencyListGraph(gen.num_vertices), UpdatePolicy.BASELINE)
+    baseline = reorder = 0.0
+    for batch in gen.batches(20_000, 4):
+        result = engine.ingest(batch)
+        baseline += result.time
+        reorder += result.alternatives["reorder"]
+    assert baseline / reorder > 1.0

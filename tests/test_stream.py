@@ -1,0 +1,103 @@
+"""Batch and EdgeStream containers."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.datasets.stream import Batch, EdgeStream, batches_from_arrays
+from repro.errors import ConfigurationError
+
+
+def test_batch_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        Batch(0, np.array([1, 2]), np.array([3]), np.array([1.0, 1.0]))
+
+
+def test_batch_negative_id_rejected():
+    with pytest.raises(ConfigurationError):
+        make_batch([1], [2], batch_id=-1)
+
+
+def test_batch_size_and_len():
+    b = make_batch([1, 2, 3], [4, 5, 6])
+    assert b.size == 3
+    assert len(b) == 3
+
+
+def test_insertions_view_of_insert_only_batch_is_identity():
+    b = make_batch([1], [2])
+    assert b.insertions is b
+
+
+def test_insertions_and_deletions_split():
+    b = make_batch([1, 2, 3], [4, 5, 6], is_delete=[False, True, False])
+    ins, dels = b.insertions, b.deletions
+    assert ins.src.tolist() == [1, 3]
+    assert dels.src.tolist() == [2]
+    assert dels.dst.tolist() == [5]
+    # Views keep the original batch id.
+    assert ins.batch_id == b.batch_id == dels.batch_id
+
+
+def test_deletions_of_insert_only_batch_is_empty():
+    b = make_batch([1], [2])
+    assert b.deletions.size == 0
+
+
+def test_unique_vertices_covers_both_endpoints():
+    b = make_batch([1, 1, 2], [3, 4, 4])
+    assert b.unique_vertices().tolist() == [1, 2, 3, 4]
+
+
+def test_degrees_per_side():
+    b = make_batch([1, 1, 2], [5, 5, 5])
+    out_v, out_c = b.out_degrees()
+    assert dict(zip(out_v.tolist(), out_c.tolist())) == {1: 2, 2: 1}
+    in_v, in_c = b.in_degrees()
+    assert dict(zip(in_v.tolist(), in_c.tolist())) == {5: 3}
+    assert b.max_degree() == 3
+
+
+def test_max_degree_empty_batch():
+    b = make_batch([], [])
+    assert b.max_degree() == 0
+
+
+def test_batches_from_arrays_splits_and_pads():
+    src = np.arange(10)
+    dst = np.arange(10) + 100
+    batches = batches_from_arrays(src, dst, batch_size=4)
+    assert [b.size for b in batches] == [4, 4, 2]
+    assert [b.batch_id for b in batches] == [0, 1, 2]
+    assert batches[2].src.tolist() == [8, 9]
+    assert all((b.weight == 1.0).all() for b in batches)
+
+
+def test_batches_from_arrays_validates():
+    with pytest.raises(ConfigurationError):
+        batches_from_arrays(np.arange(3), np.arange(2), 2)
+    with pytest.raises(ConfigurationError):
+        batches_from_arrays(np.arange(3), np.arange(3), 0)
+    with pytest.raises(ConfigurationError):
+        batches_from_arrays(np.arange(3), np.arange(3), 2, weight=np.ones(2))
+
+
+def test_edge_stream_counts_and_enforces_size():
+    batches = batches_from_arrays(np.arange(6), np.arange(6), 3)
+    stream = EdgeStream(batches, batch_size=3, name="s")
+    consumed = list(stream)
+    assert len(consumed) == 2
+    assert stream.batches_emitted == 2
+    assert stream.edges_emitted == 6
+
+
+def test_edge_stream_rejects_oversized_batch():
+    big = make_batch([1, 2, 3], [4, 5, 6])
+    stream = EdgeStream([big], batch_size=2)
+    with pytest.raises(ConfigurationError):
+        list(stream)
+
+
+def test_edge_stream_rejects_bad_batch_size():
+    with pytest.raises(ConfigurationError):
+        EdgeStream([], batch_size=0)

@@ -1,0 +1,72 @@
+"""Per-batch JSONL tracing."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.pipeline.runner import StreamingPipeline
+from repro.pipeline.tracing import TraceEvent, TraceWriter, read_trace
+from repro.update.engine import UpdatePolicy
+
+
+def test_trace_roundtrip(tmp_path, flat_profile):
+    path = tmp_path / "run.jsonl"
+    with TraceWriter(path) as trace:
+        StreamingPipeline(
+            flat_profile, 200, "none", UpdatePolicy.ABR, trace=trace
+        ).run(4)
+    events = read_trace(path)
+    assert len(events) == 4
+    assert [e.batch_id for e in events] == [0, 1, 2, 3]
+    assert all(isinstance(e, TraceEvent) for e in events)
+    assert events[0].abr_active  # batch 0 is ABR-active
+    assert not events[1].abr_active
+    assert all(e.dataset == flat_profile.name for e in events)
+    assert all(e.update_time > 0 for e in events)
+
+
+def test_trace_records_oca_fields(tmp_path, skewed_profile):
+    from repro.compute.oca import OCAConfig
+
+    path = tmp_path / "run.jsonl"
+    with TraceWriter(path) as trace:
+        StreamingPipeline(
+            skewed_profile, 500, "none", UpdatePolicy.BASELINE,
+            use_oca=True, oca_config=OCAConfig(overlap_threshold=0.01, n=2),
+            trace=trace,
+        ).run(4)
+    events = read_trace(path)
+    assert any(e.deferred for e in events)
+    assert any(e.overlap is not None for e in events)
+
+
+def test_read_trace_missing_file(tmp_path):
+    with pytest.raises(AnalysisError, match="no trace file"):
+        read_trace(tmp_path / "nope.jsonl")
+
+
+def test_read_trace_malformed_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"not": "a trace event"}\n')
+    with pytest.raises(AnalysisError, match="malformed"):
+        read_trace(path)
+
+
+def test_writer_counts_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    writer = TraceWriter(path)
+    assert writer.events_written == 0
+    writer.close()
+    assert read_trace(path) == []
+
+
+def test_cli_run_with_trace(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "cli.jsonl"
+    code = main([
+        "run", "fb", "--batch-size", "300", "--num-batches", "2",
+        "--algorithm", "none", "--mode", "abr", "--trace", str(path),
+    ])
+    assert code == 0
+    assert "trace: 2 events" in capsys.readouterr().out
+    assert len(read_trace(path)) == 2

@@ -1,0 +1,89 @@
+"""ABR controller (Section 4.2, Fig. 7)."""
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.abr import ABRConfig, ABRController
+
+COSTS = CostParameters()
+
+
+def _controller(**overrides):
+    defaults = dict(n=3, lam=4, threshold=5.0)
+    defaults.update(overrides)
+    return ABRController(ABRConfig(**defaults), COSTS, num_workers=8)
+
+
+def _stats(graph, batch_id, hot=False):
+    if hot:
+        batch = make_batch([1] * 10, list(range(2, 12)), batch_id=batch_id)
+    else:
+        batch = make_batch([1, 2], [3, 4], batch_id=batch_id)
+    return graph.apply_batch(batch)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ABRConfig(n=0)
+    with pytest.raises(ConfigurationError):
+        ABRConfig(lam=0)
+    with pytest.raises(ConfigurationError):
+        ABRConfig(threshold=0)
+
+
+def test_default_mode_is_reorder():
+    controller = _controller()
+    assert controller.reordering is True
+
+
+def test_batch_zero_is_active_and_runs_under_default():
+    graph = AdjacencyListGraph(64)
+    controller = _controller()
+    decision = controller.step(_stats(graph, 0, hot=False))
+    assert decision.active
+    assert decision.reorder is True  # executed under the pre-existing default
+    assert decision.cad is not None
+    assert decision.instrumentation > 0
+
+
+def test_flat_active_batch_turns_reordering_off_for_inert_batches():
+    graph = AdjacencyListGraph(64)
+    controller = _controller()
+    controller.step(_stats(graph, 0, hot=False))
+    assert controller.reordering is False
+    inert = controller.step(_stats(graph, 1, hot=False))
+    assert not inert.active
+    assert inert.reorder is False
+    assert inert.instrumentation == 0.0
+    assert inert.cad is None
+
+
+def test_hot_active_batch_turns_reordering_on():
+    graph = AdjacencyListGraph(64)
+    controller = _controller(threshold=5.0, lam=4)
+    controller.step(_stats(graph, 0, hot=False))  # off
+    controller.step(_stats(graph, 1, hot=True))   # inert: no decision change
+    assert controller.reordering is False
+    controller.step(_stats(graph, 3, hot=True))   # active (3 % 3 == 0)
+    assert controller.reordering is True
+
+
+def test_instrumentation_mode_follows_current_state():
+    graph = AdjacencyListGraph(64)
+    controller = _controller()
+    reordered_cost = controller.step(_stats(graph, 0, hot=False)).instrumentation
+    # Now reordering == False; the next active batch instruments via the
+    # concurrent hash map, which is costlier.
+    hashmap_cost = controller.step(_stats(graph, 3, hot=False)).instrumentation
+    assert hashmap_cost > reordered_cost
+
+
+def test_active_cadence_every_n():
+    graph = AdjacencyListGraph(64)
+    controller = _controller(n=4)
+    flags = [controller.step(_stats(graph, i)).active for i in range(9)]
+    assert flags == [True, False, False, False, True, False, False, False, True]
+    assert controller.active_batches == 3

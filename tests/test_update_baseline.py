@@ -1,0 +1,77 @@
+"""Baseline (locked, edge-centric) update cost model."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.baseline import baseline_update_timing
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+COSTS = CostParameters()
+
+
+def _timing(graph, batch):
+    stats = graph.apply_batch(batch)
+    return baseline_update_timing(stats, graph, COSTS, MACHINE)
+
+
+def test_empty_batch_costs_only_spawn(tiny_graph):
+    timing = _timing(tiny_graph, make_batch([], []))
+    assert timing.makespan == pytest.approx(COSTS.phase_spawn)
+
+
+def test_more_edges_cost_more(tiny_graph):
+    small = _timing(tiny_graph, make_batch([1, 2], [3, 4]))
+    other = AdjacencyListGraph(32)
+    big = _timing(other, make_batch(list(range(10)), [v + 10 for v in range(10)]))
+    assert big.makespan > small.makespan
+
+
+def test_longer_adjacency_costs_more_scan():
+    g1 = AdjacencyListGraph(64)
+    g1.apply_batch(make_batch([1] * 30, list(range(2, 32))))
+    cold = _timing(g1, make_batch([1], [40], batch_id=1))
+    g2 = AdjacencyListGraph(64)
+    warm = _timing(g2, make_batch([1], [40]))
+    assert cold.makespan > warm.makespan
+
+
+def test_low_degree_batch_has_no_contention_chain():
+    graph = AdjacencyListGraph(4096)
+    # 512 distinct vertices, degree 1 each: holds are tiny fractions of the
+    # batch duration, so phi ~ 0 and the critical path stays near a single
+    # update's cost.
+    batch = make_batch(list(range(512)), [(v + 1) % 4096 for v in range(512)])
+    timing = _timing(graph, batch)
+    assert timing.limiter == "work"
+    assert timing.critical_path < 0.05 * timing.total_work
+
+
+def test_hot_vertex_serializes_into_chain():
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 600, [(i + 10) % 4096 for i in range(600)]))
+    # 400 more updates to the now-long vertex 7 dominate the batch: full
+    # contention, chain-bound makespan.
+    batch = make_batch([7] * 400, [(i + 700) % 4096 for i in range(400)], batch_id=1)
+    timing = _timing(graph, batch)
+    assert timing.limiter == "chain"
+    assert timing.critical_path > 0.5 * timing.total_work
+
+
+def test_contention_increases_total_work():
+    flat_graph = AdjacencyListGraph(4096)
+    flat = _timing(flat_graph, make_batch(list(range(400)), [v + 400 for v in range(400)]))
+    hot_graph = AdjacencyListGraph(4096)
+    hot = _timing(hot_graph, make_batch([7] * 400, [v + 400 for v in range(400)]))
+    # Same edge count; the hot batch burns extra handoff/spin work.
+    assert hot.total_work > flat.total_work
+
+
+def test_more_workers_reduce_work_bound_makespan(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1, 2, 3], [4, 5, 6]))
+    small = baseline_update_timing(stats, tiny_graph, COSTS, MachineConfig(name="s", num_workers=2))
+    big = baseline_update_timing(stats, tiny_graph, COSTS, MachineConfig(name="b", num_workers=32))
+    assert big.makespan <= small.makespan

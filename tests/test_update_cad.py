@@ -1,0 +1,71 @@
+"""CAD_lambda metric (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.errors import ConfigurationError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.cad import cad_from_degrees, cad_from_stats, instrumentation_time
+
+
+def test_formula_matches_paper_definition():
+    # b = 100; degrees: one vertex 60, one 30, ten of 1.
+    degrees = np.array([60, 30] + [1] * 10)
+    # lambda = 20: y = edges from deg <= 20 vertices = 10; x = 2.
+    assert cad_from_degrees(degrees, batch_size=100, lam=20) == pytest.approx(
+        (100 - 10) / 2
+    )
+
+
+def test_no_top_vertices_gives_zero():
+    degrees = np.array([3, 2, 1])
+    assert cad_from_degrees(degrees, batch_size=6, lam=10) == 0.0
+
+
+def test_empty_degrees():
+    assert cad_from_degrees(np.array([]), 100, 10) == 0.0
+
+
+def test_lambda_validation():
+    with pytest.raises(ConfigurationError):
+        cad_from_degrees(np.array([1]), 1, lam=0)
+
+
+def test_cad_is_average_degree_of_top_vertices():
+    degrees = np.array([500, 400, 1, 1])
+    value = cad_from_degrees(degrees, batch_size=902, lam=256)
+    assert value == pytest.approx((500 + 400) / 2)
+
+
+def test_cad_from_stats_takes_max_side(tiny_graph):
+    # 5 edges into vertex 9 (in-degree 5), sources distinct (out-degree 1).
+    stats = tiny_graph.apply_batch(make_batch([1, 2, 3, 4, 5], [9] * 5))
+    result = cad_from_stats(stats, lam=3)
+    assert result.value == pytest.approx(5.0)  # the in-side top vertex
+    assert result.x == 1
+    assert result.lam == 3
+
+
+def test_cad_from_stats_zero_when_flat(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([1, 2], [3, 4]))
+    assert cad_from_stats(stats, lam=3).value == 0.0
+
+
+def test_instrumentation_hashmap_costlier_than_reordered():
+    costs = CostParameters()
+    reordered = instrumentation_time(10_000, True, costs, num_workers=8)
+    hashmap = instrumentation_time(10_000, False, costs, num_workers=8)
+    assert hashmap > reordered
+    assert reordered > 0
+
+
+def test_instrumentation_scales_with_batch_and_workers():
+    costs = CostParameters()
+    assert instrumentation_time(20_000, True, costs, 8) == pytest.approx(
+        2 * instrumentation_time(10_000, True, costs, 8)
+    )
+    assert instrumentation_time(10_000, True, costs, 16) == pytest.approx(
+        instrumentation_time(10_000, True, costs, 8) / 2
+    )

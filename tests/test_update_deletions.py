@@ -1,0 +1,75 @@
+"""Deletion costs in the update engines (§4.4.3 ordering)."""
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.hau.simulator import HAUSimulator
+from repro.update.baseline import baseline_update_timing
+from repro.update.reorder import reorder_update_timing
+from repro.update.usc import usc_update_timing
+
+COSTS = CostParameters()
+MACHINE = MachineConfig(name="t", num_workers=8)
+
+
+def _graph_with_edges():
+    graph = AdjacencyListGraph(64)
+    graph.apply_batch(make_batch(list(range(10)), [v + 10 for v in range(10)]))
+    return graph
+
+
+def test_deleting_batch_costs_more_than_empty_work():
+    graph = _graph_with_edges()
+    delete_batch = make_batch(
+        [0, 1, 2], [10, 11, 12], batch_id=1, is_delete=[True] * 3
+    )
+    stats = graph.apply_batch(delete_batch)
+    assert stats.deleted_edges == 3
+    for timing_fn in (baseline_update_timing, reorder_update_timing, usc_update_timing):
+        timing = timing_fn(stats, graph, COSTS, MACHINE)
+        assert timing.total_work >= 3 * 2 * COSTS.delete_op
+
+
+def test_baseline_deletions_also_pay_locks():
+    graph_a = _graph_with_edges()
+    stats = graph_a.apply_batch(
+        make_batch([0, 1], [10, 11], batch_id=1, is_delete=[True, True])
+    )
+    baseline = baseline_update_timing(stats, graph_a, COSTS, MACHINE)
+    reorder = reorder_update_timing(stats, graph_a, COSTS, MACHINE)
+    # RO saves exactly the per-deletion locks in this delete-only batch
+    # (it still pays the sort prefix, which is not part of total_work).
+    assert baseline.total_work - reorder.total_work == pytest.approx(
+        2 * 2 * COSTS.lock_base
+    )
+
+
+def test_hau_charges_deletion_tasks():
+    graph_a = _graph_with_edges()
+    clean = HAUSimulator().simulate_batch(
+        graph_a.apply_batch(make_batch([5], [20], batch_id=1))
+    )
+    graph_b = _graph_with_edges()
+    deleting = HAUSimulator().simulate_batch(
+        graph_b.apply_batch(
+            make_batch(
+                [5] + list(range(5)),
+                [20] + [v + 10 for v in range(5)],
+                batch_id=1,
+                is_delete=[False] + [True] * 5,
+            )
+        )
+    )
+    assert deleting.timing.total_work > clean.timing.total_work
+
+
+def test_insert_only_batch_unaffected():
+    graph = _graph_with_edges()
+    stats = graph.apply_batch(make_batch([30], [31], batch_id=1))
+    assert stats.deleted_edges == 0
+    timing = baseline_update_timing(stats, graph, COSTS, MACHINE)
+    # No deletion term: work is just the one edge's two direction updates.
+    assert timing.total_work < 10 * COSTS.delete_op

@@ -1,0 +1,142 @@
+"""UpdateEngine policy dispatch."""
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.errors import ConfigurationError
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.abr import ABRConfig
+from repro.update.engine import UpdateEngine, UpdatePolicy
+from repro.update.result import (
+    STRATEGY_BASELINE,
+    STRATEGY_HAU,
+    STRATEGY_RO,
+    STRATEGY_RO_USC,
+)
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+
+
+class FakeHAU:
+    """Minimal accelerator stub returning a fixed time."""
+
+    def __init__(self, time=123.0):
+        from repro.exec_model.parallel import PhaseTiming
+
+        self.timing = PhaseTiming(time, time, 0.0, time, "chain")
+        self.calls = 0
+
+    def simulate_batch(self, stats):
+        self.calls += 1
+        return self
+
+
+def _engine(policy, **kwargs):
+    graph = AdjacencyListGraph(64)
+    return UpdateEngine(graph, policy, machine=MACHINE, **kwargs)
+
+
+def test_baseline_policy_runs_baseline():
+    engine = _engine(UpdatePolicy.BASELINE)
+    result = engine.ingest(make_batch([1], [2]))
+    assert result.strategy == STRATEGY_BASELINE
+    assert STRATEGY_RO in result.alternatives
+    assert STRATEGY_RO_USC in result.alternatives
+    assert STRATEGY_BASELINE not in result.alternatives
+
+
+def test_always_ro_and_usc_policies():
+    assert _engine(UpdatePolicy.ALWAYS_RO).ingest(make_batch([1], [2])).strategy == STRATEGY_RO
+    assert (
+        _engine(UpdatePolicy.ALWAYS_RO_USC).ingest(make_batch([1], [2])).strategy
+        == STRATEGY_RO_USC
+    )
+
+
+def test_hau_policy_requires_simulator():
+    with pytest.raises(ConfigurationError):
+        _engine(UpdatePolicy.ALWAYS_HAU)
+    with pytest.raises(ConfigurationError):
+        _engine(UpdatePolicy.ABR_USC_HAU)
+
+
+def test_always_hau_uses_simulator():
+    hau = FakeHAU()
+    engine = _engine(UpdatePolicy.ALWAYS_HAU, hau=hau)
+    result = engine.ingest(make_batch([1], [2]))
+    assert result.strategy == STRATEGY_HAU
+    assert result.time == pytest.approx(123.0)
+    assert hau.calls == 1
+
+
+def test_perfect_abr_picks_cheaper_strategy():
+    engine = _engine(UpdatePolicy.PERFECT_ABR)
+    result = engine.ingest(make_batch([1], [2]))
+    # Single-edge batch: RO's sort overhead loses, oracle picks baseline.
+    assert result.strategy == STRATEGY_BASELINE
+    assert result.instrumentation_time == 0.0
+    assert result.time <= result.alternatives[STRATEGY_RO]
+
+
+def test_perfect_abr_picks_reorder_on_hot_batch():
+    engine = _engine(UpdatePolicy.PERFECT_ABR)
+    engine.ingest(make_batch([1] * 40, list(range(2, 42))))
+    result = engine.ingest(
+        make_batch([1] * 40, [v % 64 for v in range(42, 82)], batch_id=1)
+    )
+    assert result.strategy == STRATEGY_RO
+
+
+def test_abr_policy_instruments_active_batches():
+    engine = _engine(UpdatePolicy.ABR, abr_config=ABRConfig(n=2, lam=4, threshold=5.0))
+    first = engine.ingest(make_batch([1], [2], batch_id=0))
+    assert first.abr_active
+    assert first.instrumentation_time > 0
+    assert first.cad is not None
+    second = engine.ingest(make_batch([1], [3], batch_id=1))
+    assert not second.abr_active
+    assert second.instrumentation_time == 0.0
+
+
+def test_abr_usc_hau_routes_adverse_batches_to_hau():
+    hau = FakeHAU()
+    engine = _engine(
+        UpdatePolicy.ABR_USC_HAU,
+        hau=hau,
+        abr_config=ABRConfig(n=2, lam=4, threshold=5.0),
+    )
+    # Batch 0 (flat) executes under default RO but flips the mode off.
+    first = engine.ingest(make_batch([1], [2], batch_id=0))
+    assert first.strategy == STRATEGY_RO_USC
+    second = engine.ingest(make_batch([2], [3], batch_id=1))
+    assert second.strategy == STRATEGY_HAU
+    assert hau.calls == 1
+
+
+def test_abr_usc_hau_keeps_friendly_batches_in_software():
+    hau = FakeHAU()
+    engine = _engine(
+        UpdatePolicy.ABR_USC_HAU,
+        hau=hau,
+        abr_config=ABRConfig(n=2, lam=4, threshold=5.0),
+    )
+    engine.ingest(make_batch([1] * 20, list(range(2, 22)), batch_id=0))  # hot
+    result = engine.ingest(make_batch([1] * 20, list(range(22, 42)), batch_id=1))
+    assert result.strategy == STRATEGY_RO_USC
+    assert hau.calls == 0
+
+
+def test_total_time_accumulates():
+    engine = _engine(UpdatePolicy.BASELINE)
+    t1 = engine.ingest(make_batch([1], [2], batch_id=0)).time
+    t2 = engine.ingest(make_batch([3], [4], batch_id=1)).time
+    assert engine.total_time == pytest.approx(t1 + t2)
+
+
+def test_reordered_property():
+    engine = _engine(UpdatePolicy.ALWAYS_RO)
+    assert engine.ingest(make_batch([1], [2])).reordered
+    engine2 = _engine(UpdatePolicy.BASELINE)
+    assert not engine2.ingest(make_batch([1], [2])).reordered

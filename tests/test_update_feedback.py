@@ -1,0 +1,107 @@
+"""Feedback-tuned ABR (the paper's future-work extension)."""
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.errors import ConfigurationError
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.abr import ABRConfig
+from repro.update.engine import UpdateEngine, UpdatePolicy
+from repro.update.feedback import FeedbackABRController, FeedbackConfig
+from repro.update.result import STRATEGY_BASELINE, STRATEGY_RO
+
+COSTS = CostParameters()
+MACHINE = MachineConfig(name="t", num_workers=8)
+
+
+def _hot_batch(batch_id, k=60):
+    return make_batch([1] * k, [(batch_id * k + i) % 4096 for i in range(k)],
+                      batch_id=batch_id)
+
+
+def _flat_batch(batch_id, n=40):
+    base = (batch_id * 97) % 2000
+    return make_batch(
+        [(base + i) % 4096 for i in range(n)],
+        [(base + i + 2048) % 4096 for i in range(n)],
+        batch_id=batch_id,
+    )
+
+
+def _engine(threshold, feedback=True, n=1):
+    graph = AdjacencyListGraph(4096)
+    config = ABRConfig(n=n, lam=4, threshold=threshold)
+    controller = (
+        FeedbackABRController(config, COSTS, MACHINE.num_workers)
+        if feedback
+        else None
+    )
+    return UpdateEngine(
+        graph, UpdatePolicy.ABR, machine=MACHINE, costs=COSTS,
+        abr_config=config, abr_controller=controller,
+    )
+
+
+def test_feedback_config_validation():
+    with pytest.raises(ConfigurationError):
+        FeedbackConfig(margin=0.0)
+    with pytest.raises(ConfigurationError):
+        FeedbackConfig(min_threshold=10, max_threshold=5)
+
+
+def test_feedback_lowers_overly_high_threshold():
+    """A TH calibrated far too high keeps reordering off on clearly
+    reorder-friendly batches; feedback pulls it down within a few batches."""
+    engine = _engine(threshold=1e6)
+    for batch_id in range(6):
+        engine.ingest(_hot_batch(batch_id))
+    controller = engine.abr
+    assert controller.threshold < 1e6
+    assert controller.adjustments
+    # After convergence the hot batches run reordered.
+    late = engine.results[-1]
+    assert late.strategy == STRATEGY_RO
+
+
+def test_feedback_raises_overly_low_threshold():
+    """A TH of ~0 reorders everything; flat batches teach it to stop."""
+    engine = _engine(threshold=FeedbackConfig().min_threshold)
+    for batch_id in range(6):
+        engine.ingest(_flat_batch(batch_id))
+    assert engine.results[-1].strategy == STRATEGY_BASELINE
+
+
+def test_feedback_leaves_correct_threshold_alone():
+    engine = _engine(threshold=465.0)
+    for batch_id in range(4):
+        engine.ingest(_flat_batch(batch_id))
+    controller = engine.abr
+    assert controller.threshold == 465.0
+    assert controller.adjustments == []
+
+
+def test_static_controller_hook_is_noop():
+    engine = _engine(threshold=1e6, feedback=False)
+    for batch_id in range(4):
+        engine.ingest(_hot_batch(batch_id))
+    # The static controller never adapts: still baseline everywhere.
+    assert engine.abr.threshold == 1e6
+    assert engine.results[-1].strategy == STRATEGY_BASELINE
+
+
+def test_feedback_threshold_clamped():
+    config = ABRConfig(n=1, lam=4, threshold=50.0)
+    controller = FeedbackABRController(
+        config, COSTS, 8, feedback=FeedbackConfig(min_threshold=40.0,
+                                                  max_threshold=60.0),
+    )
+    graph = AdjacencyListGraph(4096)
+    engine = UpdateEngine(
+        graph, UpdatePolicy.ABR, machine=MACHINE, costs=COSTS,
+        abr_config=config, abr_controller=controller,
+    )
+    for batch_id in range(5):
+        engine.ingest(_hot_batch(batch_id, k=200))
+    assert 40.0 <= controller.threshold <= 60.0

@@ -1,0 +1,85 @@
+"""RO (reordered, vertex-centric) update cost model."""
+
+import math
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.baseline import baseline_update_timing
+from repro.update.reorder import reorder_update_timing, sort_time
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+COSTS = CostParameters()
+
+
+def test_sort_time_zero_for_empty_batch():
+    assert sort_time(0, COSTS, MACHINE) == 0.0
+
+
+def test_sort_time_superlinear():
+    assert sort_time(20_000, COSTS, MACHINE) > 2 * sort_time(10_000, COSTS, MACHINE)
+
+
+def test_sort_time_formula():
+    b = 1024
+    expected = COSTS.reorder_setup + (
+        2 * b * math.log2(b) * COSTS.sort_per_elem_level
+    ) / (MACHINE.num_workers * COSTS.parallel_efficiency)
+    assert sort_time(b, COSTS, MACHINE) == pytest.approx(expected)
+
+
+def test_reorder_has_no_lock_cost_but_pays_sort():
+    graph = AdjacencyListGraph(64)
+    stats = graph.apply_batch(make_batch([1], [2]))
+    baseline = baseline_update_timing(stats, graph, COSTS, MACHINE)
+    reorder = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    # For one edge, RO's sort/setup overhead dominates any lock saving.
+    assert reorder.makespan > baseline.makespan
+    assert reorder.serial_prefix > baseline.serial_prefix
+
+
+def test_reorder_beats_baseline_on_hot_vertex():
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 600, [(i + 10) % 4096 for i in range(600)]))
+    stats = graph.apply_batch(
+        make_batch([7] * 500, [(i + 700) % 4096 for i in range(500)], batch_id=1)
+    )
+    baseline = baseline_update_timing(stats, graph, COSTS, MACHINE)
+    reorder = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    assert reorder.makespan < baseline.makespan
+
+
+def test_reorder_chain_is_heaviest_vertex_task():
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 600, [(i + 10) % 4096 for i in range(600)]))
+    stats = graph.apply_batch(
+        make_batch([7] * 300 + [8], [(i + 700) % 4096 for i in range(301)], batch_id=1)
+    )
+    timing = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    # Vertex 7's cluster cannot be split across threads.
+    assert timing.limiter == "chain"
+
+
+def test_warm_scans_cheaper_than_baseline_cold():
+    """RO's repeated same-thread scans of a hot vertex cost less than the
+    baseline's repeated cold scans of the same data."""
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 400, [(i + 10) % 4096 for i in range(400)]))
+    stats = graph.apply_batch(
+        make_batch([7] * 200, [(i + 500) % 4096 for i in range(200)], batch_id=1)
+    )
+    baseline = baseline_update_timing(stats, graph, COSTS, MACHINE)
+    reorder = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    # Compare the parallel bodies net of fixed prefixes.
+    baseline_body = baseline.makespan - baseline.serial_prefix
+    reorder_body = reorder.makespan - reorder.serial_prefix
+    assert reorder_body < baseline_body
+
+
+def test_empty_batch(tiny_graph):
+    stats = tiny_graph.apply_batch(make_batch([], []))
+    timing = reorder_update_timing(stats, tiny_graph, COSTS, MACHINE)
+    assert timing.makespan == pytest.approx(COSTS.phase_spawn)

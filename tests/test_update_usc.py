@@ -1,0 +1,88 @@
+"""USC (update search coalescing) cost model."""
+
+import pytest
+
+from conftest import make_batch
+from repro.costs import CostParameters
+from repro.exec_model.machine import MachineConfig
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.update.reorder import reorder_update_timing
+from repro.update.usc import usc_search_savings, usc_update_timing
+
+MACHINE = MachineConfig(name="t", num_workers=8)
+COSTS = CostParameters()
+
+
+def _hot_vertex_stats(extra_degree=300):
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 600, [(i + 10) % 4096 for i in range(600)]))
+    stats = graph.apply_batch(
+        make_batch(
+            [7] * extra_degree,
+            [(i + 700) % 4096 for i in range(extra_degree)],
+            batch_id=1,
+        )
+    )
+    return graph, stats
+
+
+def test_usc_beats_plain_reorder_on_clusterable_batch():
+    graph, stats = _hot_vertex_stats()
+    reorder = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    usc = usc_update_timing(stats, graph, COSTS, MACHINE)
+    assert usc.makespan < reorder.makespan
+
+
+def test_usc_saving_grows_with_clusterability():
+    graph_small, small_stats = _hot_vertex_stats(extra_degree=50)
+    graph_big, big_stats = _hot_vertex_stats(extra_degree=400)
+    small_ratio = (
+        reorder_update_timing(small_stats, graph_small, COSTS, MACHINE).makespan
+        / usc_update_timing(small_stats, graph_small, COSTS, MACHINE).makespan
+    )
+    big_ratio = (
+        reorder_update_timing(big_stats, graph_big, COSTS, MACHINE).makespan
+        / usc_update_timing(big_stats, graph_big, COSTS, MACHINE).makespan
+    )
+    assert big_ratio > small_ratio
+
+
+def test_usc_negligible_overhead_on_degree_one_batches():
+    """Section 6.2.3: USC never meaningfully degrades low-clusterability
+    batches — it only adds the small hash-table prep."""
+    graph = AdjacencyListGraph(4096)
+    stats = graph.apply_batch(make_batch(list(range(200)), [v + 200 for v in range(200)]))
+    reorder = reorder_update_timing(stats, graph, COSTS, MACHINE)
+    usc = usc_update_timing(stats, graph, COSTS, MACHINE)
+    assert usc.makespan <= 1.10 * reorder.makespan
+
+
+def test_usc_search_savings_formula():
+    graph = AdjacencyListGraph(64)
+    graph.apply_batch(make_batch([1] * 10, list(range(2, 12))))
+    stats = graph.apply_batch(make_batch([1, 1, 1], [20, 21, 22], batch_id=1))
+    # Out direction: k=3, L=10 -> (3-1)*10 = 20 elements saved; the three
+    # in-direction vertices have k=1, L=0 -> no savings.
+    assert usc_search_savings(stats) == pytest.approx(20.0)
+
+
+def test_usc_cluster_growth_cheaper_than_reorder_growth():
+    """Growing a hot cluster's k adds hash inserts under USC but whole extra
+    scans under plain RO — USC's marginal cost must be far smaller."""
+    graph = AdjacencyListGraph(4096)
+    graph.apply_batch(make_batch([7] * 500, [(i + 10) % 4096 for i in range(500)]))
+    stats_k100 = graph.apply_batch(
+        make_batch([7] * 100, [(i + 600) % 4096 for i in range(100)], batch_id=1)
+    )
+    stats_k200 = graph.apply_batch(
+        make_batch([7] * 200, [(i + 800) % 4096 for i in range(200)], batch_id=2)
+    )
+    usc_delta = (
+        usc_update_timing(stats_k200, graph, COSTS, MACHINE).makespan
+        - usc_update_timing(stats_k100, graph, COSTS, MACHINE).makespan
+    )
+    reorder_delta = (
+        reorder_update_timing(stats_k200, graph, COSTS, MACHINE).makespan
+        - reorder_update_timing(stats_k100, graph, COSTS, MACHINE).makespan
+    )
+    assert usc_delta < 0.25 * reorder_delta

@@ -1,0 +1,54 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.visualize import bar_chart, grouped_bar_chart
+from repro.errors import AnalysisError
+
+
+def test_bar_chart_basic():
+    out = bar_chart(["a", "bb"], [1.0, 2.0], title="T", width=10)
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].startswith(" a") and "1.00" in lines[1]
+    # The longest bar fills the width.
+    assert lines[2].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_bar_chart_baseline_marker():
+    out = bar_chart(["x"], [2.0], width=10, baseline=1.0)
+    assert "|" in out
+
+
+def test_bar_chart_zero_value_has_no_bar():
+    out = bar_chart(["z", "y"], [0.0, 1.0], width=10)
+    z_line = out.splitlines()[0]
+    assert "#" not in z_line
+
+
+def test_bar_chart_validation():
+    with pytest.raises(AnalysisError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(AnalysisError):
+        bar_chart([], [])
+    with pytest.raises(AnalysisError):
+        bar_chart(["a"], [-1.0])
+
+
+def test_grouped_bar_chart():
+    out = grouped_bar_chart(
+        ["g1", "g2"],
+        {"base": [1.0, 2.0], "ours": [2.0, 4.0]},
+        title="G",
+        width=8,
+    )
+    assert "g1:" in out and "g2:" in out
+    assert out.count("base") == 2 and out.count("ours") == 2
+
+
+def test_grouped_bar_chart_validation():
+    with pytest.raises(AnalysisError):
+        grouped_bar_chart(["g"], {})
+    with pytest.raises(AnalysisError):
+        grouped_bar_chart(["g"], {"s": [1.0, 2.0]})

@@ -1,0 +1,48 @@
+"""Evaluation workload matrix (Section 6.1)."""
+
+import pytest
+
+from repro.datasets.profiles import BATCH_SIZES
+from repro.errors import ConfigurationError
+from repro.pipeline.workloads import DEFAULT_BATCH_CAPS, Workload, workload_matrix
+
+
+def test_matrix_has_260_workloads():
+    assert sum(1 for __ in workload_matrix()) == 260
+
+
+def test_friendster_uk_incremental_only():
+    for workload in workload_matrix():
+        if workload.profile.name in ("friendster", "uk"):
+            assert not workload.algorithm.endswith("_static")
+
+
+def test_full_matrix_without_exclusions_would_be_280():
+    count = sum(
+        1
+        for w in workload_matrix(datasets=[n for n in ("lj", "wiki")])
+    )
+    # 2 datasets x 5 sizes x 4 algorithms.
+    assert count == 40
+
+
+def test_workload_names():
+    w = next(iter(workload_matrix(datasets=["lj"], batch_sizes=(100,), algorithms=("pr",))))
+    assert w.name == "lj-100-pr"
+
+
+def test_num_batches_uses_caps():
+    w = next(iter(workload_matrix(datasets=["lj"], batch_sizes=(100,), algorithms=("pr",))))
+    assert w.num_batches() == DEFAULT_BATCH_CAPS[100]
+    assert w.num_batches(caps={100: 3}) == 3
+
+
+def test_num_batches_unknown_size_raises():
+    w = next(iter(workload_matrix(datasets=["lj"], batch_sizes=(100,), algorithms=("pr",))))
+    bad = Workload(profile=w.profile, batch_size=123, algorithm="pr")
+    with pytest.raises(ConfigurationError):
+        bad.num_batches()
+
+
+def test_caps_defined_for_all_paper_sizes():
+    assert set(DEFAULT_BATCH_CAPS) == set(BATCH_SIZES)
