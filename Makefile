@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench bench-full fidelity examples clean
+.PHONY: install test test-fast bench bench-full bench-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -8,11 +8,23 @@ install:
 test:
 	pytest tests/
 
+# Parallel test run via pytest-xdist; falls back to serial when the
+# plugin isn't installed.
+test-fast:
+	@python -c "import xdist" 2>/dev/null \
+		&& pytest tests/ -n auto \
+		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
+
 bench:
 	pytest benchmarks/ --benchmark-only
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
+
+# Substrate micro-benchmark with the regression gate armed: fails if the
+# measured speedups drop >20% below the committed BENCH_substrate.json.
+bench-smoke:
+	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_substrate.py --benchmark-only
 
 fidelity:
 	python -m repro fidelity

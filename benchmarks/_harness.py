@@ -4,7 +4,11 @@ Every benchmark regenerates one of the paper's evaluation artifacts and
 writes its rendered rows to ``results/<name>.txt`` (in addition to printing),
 so ``pytest benchmarks/ --benchmark-only`` leaves a complete, diffable record
 behind.  Set ``REPRO_BENCH_FULL=1`` to use the full batch-count caps instead
-of the quick defaults.
+of the quick defaults, and ``REPRO_BENCH_JOBS=N`` to fan multi-cell
+benchmarks out over N worker processes (results are ordering-identical to
+the serial run).  Streams are served from the on-disk cache
+(``.cache/streams/``) after first generation; ``REPRO_STREAM_CACHE=0``
+disables that.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from pathlib import Path
 from repro.analysis.characterization import geomean
 from repro.costs import DEFAULT_COSTS
 from repro.datasets.profiles import DatasetProfile
+from repro.datasets.stream_cache import cached_batches
+from repro.pipeline.executor import map_cells
 from repro.exec_model.machine import HOST_MACHINE, MachineConfig
 from repro.graph.adjacency_list import AdjacencyListGraph
 from repro.compute.pagerank import IncrementalPageRank
@@ -33,6 +39,23 @@ FULL_CAPS = {100: 24, 1_000: 24, 10_000: 12, 100_000: 8, 500_000: 4}
 
 def caps() -> dict[int, int]:
     return FULL_CAPS if os.environ.get("REPRO_BENCH_FULL") == "1" else QUICK_CAPS
+
+
+def bench_jobs() -> int:
+    """Worker processes for multi-cell benchmarks (``REPRO_BENCH_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def run_cells(fn, items):
+    """Map a cell function over items, honouring ``REPRO_BENCH_JOBS``.
+
+    ``fn`` must be module-level and picklable; results keep item order, so
+    benchmark artifacts are byte-identical at any job count.
+    """
+    return map_cells(fn, items, jobs=bench_jobs())
 
 
 def num_batches(profile: DatasetProfile, batch_size: int) -> int:
@@ -84,7 +107,7 @@ class CellRun:
         self.cads: list[float] = []
         self.compute: list[float] = []
         self.max_degree = 0
-        for batch in profile.generator(seed=seed).batches(batch_size, nb):
+        for batch in cached_batches(profile, batch_size, nb, seed=seed):
             result = engine.ingest(batch)
             self.baseline.append(result.time)
             self.reorder.append(result.alternatives[STRATEGY_RO])
@@ -157,9 +180,11 @@ __all__ = [
     "CellRun",
     "QUICK_CAPS",
     "FULL_CAPS",
+    "bench_jobs",
     "caps",
     "num_batches",
     "emit",
     "fmt_speedup",
     "geomean",
+    "run_cells",
 ]

@@ -51,8 +51,10 @@ from .graph import (
     AdjacencyListGraph,
     CSRSnapshot,
     DegreeAwareHashGraph,
+    DeltaSnapshotter,
     DynamicGraph,
     EdgeLogGraph,
+    ReferenceAdjacencyListGraph,
     take_snapshot,
 )
 from .compute import (
@@ -64,7 +66,16 @@ from .compute import (
     StaticSSSP,
 )
 from .hau import HAUConfig, HAUSimulator
-from .pipeline import MODES, RunMetrics, StreamingPipeline, Workload, workload_matrix
+from .pipeline import (
+    CellResult,
+    CellSpec,
+    MODES,
+    RunMetrics,
+    StreamingPipeline,
+    Workload,
+    run_matrix,
+    workload_matrix,
+)
 from .update import ABRConfig, ABRController, UpdateEngine, UpdatePolicy
 
 __version__ = "1.0.0"
@@ -95,8 +106,10 @@ __all__ = [
     "AdjacencyListGraph",
     "CSRSnapshot",
     "DegreeAwareHashGraph",
+    "DeltaSnapshotter",
     "DynamicGraph",
     "EdgeLogGraph",
+    "ReferenceAdjacencyListGraph",
     "take_snapshot",
     "IncrementalPageRank",
     "IncrementalSSSP",
@@ -106,10 +119,13 @@ __all__ = [
     "StaticSSSP",
     "HAUConfig",
     "HAUSimulator",
+    "CellResult",
+    "CellSpec",
     "MODES",
     "RunMetrics",
     "StreamingPipeline",
     "Workload",
+    "run_matrix",
     "workload_matrix",
     "ABRConfig",
     "ABRController",

@@ -18,7 +18,12 @@ from ..graph.adjacency_list import AdjacencyListGraph
 from ..update.engine import UpdateEngine, UpdatePolicy
 from ..update.result import STRATEGY_BASELINE, STRATEGY_RO, STRATEGY_RO_USC
 
-__all__ = ["CellCharacterization", "characterize_cell", "geomean"]
+__all__ = [
+    "CellCharacterization",
+    "characterize_cell",
+    "characterize_cell_spec",
+    "geomean",
+]
 
 
 @dataclass(frozen=True)
@@ -109,6 +114,18 @@ def characterize_cell(
         per_batch_ro_beneficial=tuple(beneficial),
         per_batch_cads=tuple(cads),
     )
+
+
+def characterize_cell_spec(
+    spec: tuple[str, int, int, int],
+) -> CellCharacterization:
+    """:func:`characterize_cell` from a picklable ``(dataset, batch_size,
+    num_batches, seed)`` tuple — the worker-process entry point used by
+    ``repro characterize --jobs N`` (see ``pipeline.executor.map_cells``)."""
+    from ..datasets.profiles import get_dataset
+
+    name, batch_size, num_batches, seed = spec
+    return characterize_cell(get_dataset(name), batch_size, num_batches, seed=seed)
 
 
 def _batch_cad(batch, lam: int) -> float:

@@ -13,6 +13,11 @@ Commands:
 * ``sensitivity`` — cost-constant robustness sweep for one parameter.
 * ``fidelity`` — paper-reported vs measured summary, joined from the JSON
   records the benchmarks leave under ``results/``.
+* ``cache`` — inspect or clear the on-disk stream cache.
+
+``run`` and ``characterize`` accept ``--jobs N`` to fan independent cells
+out over worker processes (0 = all cores); results are printed in the same
+order and format as the serial run.
 """
 
 from __future__ import annotations
@@ -59,7 +64,9 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    profile = get_dataset(args.dataset)
+    if len(args.dataset) > 1:
+        return _cmd_run_matrix(args)
+    profile = get_dataset(args.dataset[0])
     policy = resolve_mode(args.mode)
     hau = HAUSimulator() if policy in (UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU) else None
     machine = SIMULATED_MACHINE if hau else None
@@ -100,21 +107,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_characterize(args: argparse.Namespace) -> int:
-    profile = get_dataset(args.dataset)
-    rows = []
-    for batch_size in BATCH_SIZES:
-        num_batches = profile.num_batches(batch_size, cap=args.num_batches)
-        cell = characterize_cell(profile, batch_size, num_batches)
-        rows.append(
-            [
-                batch_size,
-                cell.ro_speedup,
-                cell.usc_speedup,
-                cell.max_degree,
-                "friendly" if cell.ro_friendly else "adverse",
-            ]
+def _cmd_run_matrix(args: argparse.Namespace) -> int:
+    """Multiple datasets: run the cells via the (optionally parallel) executor."""
+    from .pipeline.executor import CellSpec, run_matrix
+
+    policy = resolve_mode(args.mode)
+    if policy in (UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU) or args.trace:
+        print(
+            "HAU modes and --trace require a single dataset", file=sys.stderr
         )
+        return 2
+    specs = [
+        CellSpec(
+            dataset=name,
+            batch_size=args.batch_size,
+            algorithm=args.algorithm,
+            mode=args.mode,
+            use_oca=args.oca,
+            num_batches=args.num_batches,
+        )
+        for name in args.dataset
+    ]
+    for result in run_matrix(specs, jobs=args.jobs):
+        spec = result.spec
+        print(
+            render_kv(
+                f"{spec.dataset} @ {spec.batch_size} [{spec.algorithm}, {spec.mode}"
+                f"{', oca' if spec.use_oca else ''}]",
+                {
+                    "batches": result.num_batches,
+                    "update time (tu)": result.update_time,
+                    "compute time (tu)": result.compute_time,
+                    "total time (tu)": result.total_time,
+                    "update share": result.update_time / result.total_time,
+                    "strategies": str(dict(result.strategies)),
+                },
+            )
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .analysis.characterization import characterize_cell_spec
+    from .pipeline.executor import map_cells
+
+    profile = get_dataset(args.dataset)
+    specs = [
+        (profile.name, batch_size, profile.num_batches(batch_size, cap=args.num_batches), 7)
+        for batch_size in BATCH_SIZES
+    ]
+    cells = map_cells(characterize_cell_spec, specs, jobs=args.jobs)
+    rows = [
+        [
+            cell.batch_size,
+            cell.ro_speedup,
+            cell.usc_speedup,
+            cell.max_degree,
+            "friendly" if cell.ro_friendly else "adverse",
+        ]
+        for cell in cells
+    ]
     print(
         render_table(
             ["batch size", "RO speedup", "RO+USC speedup", "max degree", "category"],
@@ -293,6 +345,27 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
     return 1 if out_of_band else 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .datasets.stream_cache import cache_stats, clear_cache
+
+    if args.clear:
+        removed = clear_cache()
+        print(f"cleared {removed} cached stream(s)")
+        return 0
+    stats = cache_stats()
+    print(
+        render_kv(
+            "stream cache",
+            {
+                "directory": stats["directory"],
+                "entries": stats["entries"],
+                "size (MiB)": stats["bytes"] / (1024 * 1024),
+            },
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -302,18 +375,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="print the dataset inventory")
 
-    run = sub.add_parser("run", help="run one pipeline cell")
-    run.add_argument("dataset", choices=sorted(DATASETS))
+    run = sub.add_parser("run", help="run one or more pipeline cells")
+    run.add_argument("dataset", nargs="+", choices=sorted(DATASETS))
     run.add_argument("--batch-size", type=int, default=10_000)
     run.add_argument("--num-batches", type=int, default=12)
     run.add_argument("--algorithm", choices=ALGORITHMS, default="pr")
     run.add_argument("--mode", choices=sorted(MODES), default="abr_usc")
     run.add_argument("--oca", action="store_true", help="enable compute aggregation")
     run.add_argument("--trace", help="write a per-batch JSONL trace to this file")
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for multi-dataset runs (0 = all cores)",
+    )
 
     character = sub.add_parser("characterize", help="RO trade-off study (Fig. 3 row)")
     character.add_argument("dataset", choices=sorted(DATASETS))
     character.add_argument("--num-batches", type=int, default=8)
+    character.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, one per batch size (0 = all cores)",
+    )
 
     hau = sub.add_parser("hau", help="HAU vs ABR+USC on the simulated CMP")
     hau.add_argument("dataset", choices=sorted(DATASETS))
@@ -341,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fidelity.add_argument("--results", default="results")
 
+    cache = sub.add_parser("cache", help="inspect or clear the stream cache")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete all cached streams"
+    )
+
     return parser
 
 
@@ -356,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         "accuracy": _cmd_accuracy,
         "sensitivity": _cmd_sensitivity,
         "fidelity": _cmd_fidelity,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -113,9 +113,10 @@ class IncrementalTriangleCounter:
             self.count -= len(u_nbrs & v_nbrs)
             touched_edges += len(u_nbrs) + len(v_nbrs)
             touched_vertices += 2
-        # The direct adjacency mutations above bypass apply_batch, so refresh
-        # the graph's bookkeeping.
-        self.graph.num_edges = sum(len(d) for d in out_adj.values())
+        # The direct adjacency mutations above bypass apply_batch, so the
+        # graph must recompute its derived state (edge count, degree caches,
+        # snapshot journals).
+        self.graph.notify_external_mutation()
         self.graph.batches_applied += 1
         return ComputeCounters(
             iterations=1,

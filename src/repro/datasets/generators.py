@@ -31,7 +31,13 @@ import numpy as np
 from ..errors import ConfigurationError
 from .stream import Batch
 
-__all__ = ["SideProfile", "StreamGenerator"]
+__all__ = ["GENERATOR_VERSION", "SideProfile", "StreamGenerator"]
+
+#: Version of the batch-generation algorithm.  Part of the on-disk stream
+#: cache key (``datasets.stream_cache``): bump whenever a change to this
+#: module alters the edges any (profile, seed, batch size) produces, so
+#: stale cached streams are regenerated instead of silently replayed.
+GENERATOR_VERSION = 1
 
 
 @dataclass(frozen=True)

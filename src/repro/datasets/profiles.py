@@ -21,6 +21,7 @@ Python; DESIGN.md Section 2 records the substitution rationale.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError, UnknownDatasetError
@@ -98,7 +99,11 @@ class DatasetProfile:
             src_profile=self.src_profile,
             dst_profile=self.dst_profile,
             num_vertices=self.num_vertices,
-            seed=seed + (hash(self.name) & 0xFFFF),
+            # crc32, not hash(): str hashing is randomized per interpreter
+            # launch, which would make "the same seed" produce a different
+            # stream in every process — breaking run-to-run reproducibility,
+            # the on-disk stream cache, and parallel/serial equivalence.
+            seed=seed + (zlib.crc32(self.name.encode()) & 0xFFFF),
             warmup_edges=self.warmup_edges,
             drift_period=self.drift_period,
             hub_in_pool=self.hub_in_pool,

@@ -1,0 +1,164 @@
+"""On-disk cache of generated synthetic streams.
+
+Stream generation is deterministic in (profile, batch size, seed, generator
+version) but not free — regenerating the same 100K-edge batches for every
+benchmark invocation costs more than reading them back from one ``.npz``
+file.  :func:`cached_batches` is a drop-in for
+``profile.generator(seed=...).batches(batch_size, num_batches)`` that
+persists each stream the first time it is materialized and replays it from
+disk afterwards.
+
+Cache entries live under ``.cache/streams/`` (override with
+``REPRO_CACHE_DIR``); set ``REPRO_STREAM_CACHE=0`` to bypass the cache
+entirely.  A cached file holding a longer run of the same stream serves any
+shorter prefix; requesting more batches than cached regenerates and
+overwrites the entry with the longer run.  ``repro cache`` reports/clears
+the directory from the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Iterator
+from pathlib import Path
+
+import numpy as np
+
+from .generators import GENERATOR_VERSION
+from .profiles import DatasetProfile
+from .stream import Batch
+
+__all__ = ["cache_dir", "cache_enabled", "cached_batches", "cache_stats", "clear_cache"]
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_STREAM_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(root) if root else Path(".cache")
+    return base / "streams"
+
+
+def _entry_path(name: str, batch_size: int, seed: int) -> Path:
+    return cache_dir() / f"{name}-b{batch_size}-s{seed}-v{GENERATOR_VERSION}.npz"
+
+
+def _generate(
+    profile: DatasetProfile, batch_size: int, num_batches: int, seed: int
+) -> list[Batch]:
+    return list(profile.generator(seed=seed).batches(batch_size, num_batches))
+
+
+def _save(path: Path, batches: list[Batch], batch_size: int) -> None:
+    n = len(batches)
+    src = np.concatenate([b.src for b in batches])
+    dst = np.concatenate([b.dst for b in batches])
+    weight = np.concatenate([b.weight for b in batches])
+    has_delete = np.array([b.is_delete is not None for b in batches], dtype=bool)
+    is_delete = np.concatenate(
+        [
+            b.is_delete if b.is_delete is not None else np.zeros(b.size, dtype=bool)
+            for b in batches
+        ]
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Write-then-rename so a crashed run never leaves a torn cache entry.
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(
+                handle,
+                meta=np.array([n, batch_size, GENERATOR_VERSION], dtype=np.int64),
+                src=src,
+                dst=dst,
+                weight=weight,
+                has_delete=has_delete,
+                is_delete=is_delete,
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _load(path: Path, batch_size: int, num_batches: int) -> list[Batch] | None:
+    """Read a prefix of a cached stream, or None if unusable."""
+    try:
+        with np.load(path) as data:
+            meta = data["meta"]
+            cached_n, cached_bs = int(meta[0]), int(meta[1])
+            if cached_bs != batch_size or cached_n < num_batches:
+                return None
+            edges = num_batches * batch_size
+            src = data["src"][:edges]
+            dst = data["dst"][:edges]
+            weight = data["weight"][:edges]
+            has_delete = data["has_delete"][:num_batches]
+            is_delete = data["is_delete"][:edges]
+    except (OSError, KeyError, ValueError):
+        return None
+    batches = []
+    for i in range(num_batches):
+        a, b = i * batch_size, (i + 1) * batch_size
+        batches.append(
+            Batch(
+                batch_id=i,
+                src=src[a:b],
+                dst=dst[a:b],
+                weight=weight[a:b],
+                is_delete=is_delete[a:b] if has_delete[i] else None,
+            )
+        )
+    return batches
+
+
+def cached_batches(
+    profile: DatasetProfile, batch_size: int, num_batches: int, seed: int = 7
+) -> Iterator[Batch]:
+    """Yield the profile's stream, served from the on-disk cache when possible.
+
+    Equivalent to ``profile.generator(seed=seed).batches(batch_size,
+    num_batches)`` — generation is deterministic, so replaying the persisted
+    arrays produces the identical stream.
+    """
+    if not cache_enabled():
+        yield from profile.generator(seed=seed).batches(batch_size, num_batches)
+        return
+    path = _entry_path(profile.name, batch_size, seed)
+    batches = _load(path, batch_size, num_batches)
+    if batches is None:
+        batches = _generate(profile, batch_size, num_batches, seed)
+        try:
+            _save(path, batches, batch_size)
+        except OSError:
+            pass  # read-only filesystem etc. — serve the generated stream
+    yield from batches
+
+
+def cache_stats() -> dict[str, object]:
+    """Entry count and total bytes currently cached."""
+    directory = cache_dir()
+    files = sorted(directory.glob("*.npz")) if directory.is_dir() else []
+    return {
+        "directory": str(directory),
+        "entries": len(files),
+        "bytes": sum(f.stat().st_size for f in files),
+    }
+
+
+def clear_cache() -> int:
+    """Delete all cached streams; returns the number of entries removed."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for f in directory.glob("*.npz"):
+        f.unlink()
+        removed += 1
+    return removed

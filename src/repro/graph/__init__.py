@@ -1,10 +1,11 @@
 """Dynamic graph data structures and batch statistics."""
 
-from .base import BatchUpdateStats, DirectionStats, DynamicGraph
+from .base import BatchUpdateStats, DirectionStats, DynamicGraph, GraphDelta
 from .adjacency_list import AdjacencyListGraph
 from .degree_aware_hash import DegreeAwareHashGraph
 from .edge_log import EdgeLogGraph
-from .snapshot import CSRSnapshot, take_snapshot
+from .reference import ReferenceAdjacencyListGraph
+from .snapshot import CSRSnapshot, DeltaSnapshotter, take_snapshot
 from .stats import (
     FIG5_BUCKETS,
     DegreeMix,
@@ -18,10 +19,13 @@ __all__ = [
     "BatchUpdateStats",
     "DirectionStats",
     "DynamicGraph",
+    "GraphDelta",
     "AdjacencyListGraph",
+    "ReferenceAdjacencyListGraph",
     "DegreeAwareHashGraph",
     "EdgeLogGraph",
     "CSRSnapshot",
+    "DeltaSnapshotter",
     "take_snapshot",
     "FIG5_BUCKETS",
     "DegreeMix",

@@ -7,16 +7,37 @@ Python dict (neighbor -> weight) for C-speed *functional* updates, while the
 modeled duplicate-check cost charged by the update engines remains that of the
 linear array scan the paper's structure performs — the split between real
 mutation and modeled time is the library's core substitution (DESIGN.md §2).
+
+Batch ingestion is vectorized: edges are deduplicated and grouped with one
+composite-key sort (``key * |V| + value``) and ``np.unique`` segment
+arithmetic, per-vertex adjacency lengths live in a maintained degree array,
+and the surviving per-edge dict merges run through C-level ``map`` calls —
+no Python-level per-vertex loop.  ``repro.graph.reference`` keeps the
+original per-vertex implementation as the semantics oracle; the two must
+produce bit-identical :class:`~repro.graph.base.DirectionStats`.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import compress, repeat
+
 import numpy as np
 
 from ..datasets.stream import Batch
-from .base import BatchUpdateStats, DirectionStats, DynamicGraph
+from .base import BatchUpdateStats, DirectionStats, DynamicGraph, GraphDelta
 
 __all__ = ["AdjacencyListGraph"]
+
+
+def _empty_direction_stats() -> DirectionStats:
+    empty = np.empty(0, dtype=np.int64)
+    return DirectionStats(
+        vertices=empty,
+        batch_degree=empty.copy(),
+        length_before=empty.copy(),
+        new_edges=empty.copy(),
+    )
 
 
 class AdjacencyListGraph(DynamicGraph):
@@ -30,6 +51,24 @@ class AdjacencyListGraph(DynamicGraph):
         super().__init__(num_vertices)
         self._out: dict[int, dict[int, float]] = {}
         self._in: dict[int, dict[int, float]] = {}
+        # Maintained per-vertex adjacency lengths: len(self._out.get(v, {}))
+        # et al., kept exact by _apply_direction/_delete_edges so DirectionStats
+        # never needs per-vertex len() calls.
+        self._deg_out = np.zeros(num_vertices, dtype=np.int64)
+        self._deg_in = np.zeros(num_vertices, dtype=np.int64)
+        # Delta journal for snapshot patching (see track_deltas): per
+        # direction, the appended-edge arrays of each batch plus the set of
+        # vertices whose existing slices went stale.
+        self._track = False
+        self._delta_invalid = False
+        self._journal_out: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._journal_in: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._stale_out: set[int] = set()
+        self._stale_in: set[int] = set()
+        # Incrementally maintained union of both directions' key sets, with a
+        # cached sorted materialization (invalidated when vertices are added).
+        self._touched: set[int] = set()
+        self._touched_sorted: list[int] | None = None
 
     # -- queries -----------------------------------------------------------
     def out_neighbors(self, v: int) -> dict[int, float]:
@@ -52,8 +91,72 @@ class AdjacencyListGraph(DynamicGraph):
         return self._out, self._in
 
     def vertices_with_edges(self) -> list[int]:
-        """Vertices with at least one incident edge."""
-        return sorted(set(self._out) | set(self._in))
+        """Vertices with at least one incident edge (treat as read-only).
+
+        The sorted list is maintained incrementally — the union of both key
+        sets is tracked as batches apply and re-sorted only when new vertices
+        appeared, not O(V log V) on every call.
+        """
+        if self._touched_sorted is None:
+            self._touched_sorted = sorted(self._touched)
+        return self._touched_sorted
+
+    def touched_count(self) -> int:
+        return len(self._touched)
+
+    def track_deltas(self, enabled: bool = True) -> None:
+        self._track = enabled
+        self._delta_invalid = False
+        self._journal_out = []
+        self._journal_in = []
+        self._stale_out = set()
+        self._stale_in = set()
+
+    def notify_external_mutation(self) -> None:
+        self.num_edges = sum(map(len, self._out.values()))
+        self._touched = set(self._out).union(self._in)
+        self._touched_sorted = None
+        for degrees, adjacency in ((self._deg_out, self._out), (self._deg_in, self._in)):
+            degrees[:] = 0
+            if adjacency:
+                verts = np.fromiter(adjacency.keys(), dtype=np.int64, count=len(adjacency))
+                degrees[verts] = np.fromiter(
+                    map(len, adjacency.values()), dtype=np.int64, count=len(adjacency)
+                )
+        if self._track:
+            # The journal did not see these mutations; poison it so the next
+            # consume_delta() forces a full snapshot rebuild.
+            self._delta_invalid = True
+
+    def _direction_delta(
+        self, journal: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        stale: set[int],
+    ) -> GraphDelta:
+        if journal:
+            owners = np.concatenate([j[0] for j in journal])
+            targets = np.concatenate([j[1] for j in journal])
+            weights = np.concatenate([j[2] for j in journal])
+        else:
+            owners = np.empty(0, dtype=np.int64)
+            targets = np.empty(0, dtype=np.int64)
+            weights = np.empty(0, dtype=np.float64)
+        return GraphDelta(owners=owners, targets=targets, weights=weights, stale=stale)
+
+    def consume_delta(self) -> tuple[GraphDelta, GraphDelta] | None:
+        if not self._track:
+            return None
+        if self._delta_invalid:
+            self.track_deltas(True)  # reset journal, report "unknown"
+            return None
+        delta = (
+            self._direction_delta(self._journal_out, self._stale_out),
+            self._direction_delta(self._journal_in, self._stale_in),
+        )
+        self._journal_out = []
+        self._journal_in = []
+        self._stale_out = set()
+        self._stale_in = set()
+        return delta
 
     def sum_search_cost(
         self,
@@ -80,6 +183,9 @@ class AdjacencyListGraph(DynamicGraph):
     def _apply_direction(
         self,
         adjacency: dict[int, dict[int, float]],
+        degrees: np.ndarray,
+        journal: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        stale: set[int],
         keys: np.ndarray,
         values: np.ndarray,
         weights: np.ndarray,
@@ -88,47 +194,194 @@ class AdjacencyListGraph(DynamicGraph):
 
         Duplicate edges (same key/value pair, whether already in the graph or
         repeated inside the batch) overwrite the stored weight — the paper's
-        "update the weight only" semantics.
+        "update the weight only" semantics; for in-batch repeats the last
+        arrival wins.  Untracked ingest applies edges in stable key-sorted
+        order, so later repeats overwrite earlier ones without an explicit
+        dedup pass; the tracked path needs deduplicated appends for the delta
+        journal and pays for a composite-key sort instead.
         """
-        order = np.argsort(keys, kind="stable")
+        if len(keys) == 0:
+            return _empty_direction_stats()
+        if not self._track:
+            return self._apply_direction_fast(adjacency, degrees, keys, values, weights)
+        nv = self.num_vertices
+        # One stable sort of the composite (key, value) id both deduplicates
+        # in-batch repeats (keep the last occurrence) and groups by vertex;
+        # every other grouping quantity derives from the sorted array with
+        # flat vector ops instead of further sorts.
+        comp = keys * nv + values
+        order = np.argsort(comp, kind="stable")
+        comp_sorted = comp[order]
+        last = np.flatnonzero(comp_sorted[1:] != comp_sorted[:-1])
+        last = np.append(last, len(comp_sorted) - 1)
+        dedup_idx = order[last]
+        owners = keys[dedup_idx]  # gathers, cheaper than decoding comp by division
+        targets = values[dedup_idx]
+        merged_weights = weights[dedup_idx]
+        seg_starts = np.append(0, np.flatnonzero(owners[1:] != owners[:-1]) + 1)
+        verts = owners[seg_starts]
         keys_sorted = keys[order]
-        values_list = values[order].tolist()
-        weights_list = weights[order].tolist()
-        verts, starts, counts = np.unique(
-            keys_sorted, return_index=True, return_counts=True
+        key_starts = np.append(
+            0, np.flatnonzero(keys_sorted[1:] != keys_sorted[:-1]) + 1
         )
-        length_before = np.empty(len(verts), dtype=np.int64)
-        new_edges = np.empty(len(verts), dtype=np.int64)
-        starts_list = starts.tolist()
-        counts_list = counts.tolist()
-        for i, v in enumerate(verts.tolist()):
-            a = starts_list[i]
-            c = counts_list[i]
-            entry = adjacency.get(v)
-            if entry is None:
-                entry = {}
-                adjacency[v] = entry
-            before = len(entry)
-            entry.update(zip(values_list[a : a + c], weights_list[a : a + c]))
-            length_before[i] = before
-            new_edges[i] = len(entry) - before
+        batch_degree = np.diff(np.append(key_starts, len(keys_sorted)))
+        verts_list = verts.tolist()
+        # setdefault in one C pass: fetches the entry dict, materializing it
+        # for vertices seen for the first time.
+        size_before = len(adjacency)
+        vert_entries = list(
+            map(adjacency.setdefault, verts_list, map(dict, repeat(())))
+        )
+        if len(adjacency) != size_before:
+            touched_before = len(self._touched)
+            self._touched.update(verts_list)
+            if len(self._touched) != touched_before:
+                self._touched_sorted = None
+        dedup_counts = np.diff(np.append(seg_starts, len(owners)))
+        entries = np.repeat(
+            np.array(vert_entries, dtype=object), dedup_counts
+        ).tolist()
+        targets_list = targets.tolist()
+        length_before = degrees[verts]
+        # Per-edge duplicate flags are only needed for the delta journal;
+        # the stats below get by with per-vertex length deltas.
+        is_dup = np.fromiter(
+            map(dict.__contains__, entries, targets_list),
+            dtype=bool,
+            count=len(entries),
+        )
+        self._record_delta(
+            journal, stale, entries, owners, targets, targets_list,
+            merged_weights, is_dup,
+        )
+        deque(map(dict.__setitem__, entries, targets_list, merged_weights.tolist()), maxlen=0)
+        new_deg = np.fromiter(
+            map(len, vert_entries), dtype=np.int64, count=len(vert_entries)
+        )
+        new_edges = new_deg - length_before
+        degrees[verts] = new_deg
         return DirectionStats(
             vertices=verts,
-            batch_degree=counts,
+            batch_degree=batch_degree,
             length_before=length_before,
             new_edges=new_edges,
         )
 
+    def _apply_direction_fast(
+        self,
+        adjacency: dict[int, dict[int, float]],
+        degrees: np.ndarray,
+        keys: np.ndarray,
+        values: np.ndarray,
+        weights: np.ndarray,
+    ) -> DirectionStats:
+        """Untracked merge: apply every edge in stable key-sorted order.
+
+        Skipping the dedup pass is safe because ``dict.__setitem__`` applied
+        in batch order reproduces last-occurrence-wins (and first-occurrence
+        dict insertion order, matching the reference loop exactly).  Sorting
+        the bare keys — downcast to int32, halving the radix passes — is
+        measurably cheaper than the composite sort the tracked path needs.
+        """
+        sort_keys = keys if self.num_vertices > 0x7FFFFFFF else keys.astype(np.int32)
+        order = np.argsort(sort_keys, kind="stable")
+        keys_sorted = keys[order]
+        key_starts = np.append(
+            0, np.flatnonzero(keys_sorted[1:] != keys_sorted[:-1]) + 1
+        )
+        verts = keys_sorted[key_starts]
+        batch_degree = np.diff(np.append(key_starts, len(keys_sorted)))
+        verts_list = verts.tolist()
+        length_before = degrees[verts]
+        if length_before.min() > 0:
+            # Every vertex already has edges, so its entry dict must exist:
+            # plain lookups, no per-vertex dict() allocation.
+            vert_entries = list(map(adjacency.__getitem__, verts_list))
+        else:
+            # iter(dict, None) calls dict() lazily per consumed element,
+            # avoiding an argument tuple per construction.
+            size_before = len(adjacency)
+            vert_entries = list(map(adjacency.setdefault, verts_list, iter(dict, None)))
+            if len(adjacency) != size_before:
+                touched_before = len(self._touched)
+                self._touched.update(verts_list)
+                if len(self._touched) != touched_before:
+                    self._touched_sorted = None
+        entries = np.repeat(
+            np.array(vert_entries, dtype=object), batch_degree
+        ).tolist()
+        deque(
+            map(dict.__setitem__, entries, values[order].tolist(), weights[order].tolist()),
+            maxlen=0,
+        )
+        new_deg = np.fromiter(
+            map(len, vert_entries), dtype=np.int64, count=len(vert_entries)
+        )
+        new_edges = new_deg - length_before
+        degrees[verts] = new_deg
+        return DirectionStats(
+            vertices=verts,
+            batch_degree=batch_degree,
+            length_before=length_before,
+            new_edges=new_edges,
+        )
+
+    def _record_delta(
+        self,
+        journal: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        stale: set[int],
+        entries: list[dict[int, float]],
+        owners: np.ndarray,
+        targets: np.ndarray,
+        targets_list: list[int],
+        merged_weights: np.ndarray,
+        is_dup: np.ndarray,
+    ) -> None:
+        """Journal this merge: new edges append, weight changes go stale.
+
+        Must run *before* the weights are merged in, so duplicate edges can
+        be compared against their pre-batch weight — a refresh that keeps
+        the weight (the common case for weight-stable streams) leaves the
+        cached CSR slice valid.
+        """
+        is_new = ~is_dup
+        if is_new.any():
+            journal.append(
+                (owners[is_new], targets[is_new], merged_weights[is_new])
+            )
+        if is_dup.any():
+            flags = is_dup.tolist()
+            old_weights = np.fromiter(
+                map(
+                    dict.__getitem__,
+                    compress(entries, flags),
+                    compress(targets_list, flags),
+                ),
+                dtype=np.float64,
+                count=int(is_dup.sum()),
+            )
+            changed = old_weights != merged_weights[is_dup]
+            if changed.any():
+                stale.update(owners[is_dup][changed].tolist())
+
     def _delete_edges(self, src: np.ndarray, dst: np.ndarray) -> int:
         """Remove listed edges (both directions); returns edges removed."""
         removed = 0
+        out_get = self._out.get
+        in_get = self._in.get
+        track = self._track
         for u, v in zip(src.tolist(), dst.tolist()):
-            out_entry = self._out.get(u)
+            out_entry = out_get(u)
             if out_entry is not None and v in out_entry:
                 del out_entry[v]
-                in_entry = self._in.get(v)
-                if in_entry is not None:
-                    in_entry.pop(u, None)
+                self._deg_out[u] -= 1
+                in_entry = in_get(v)
+                if in_entry is not None and u in in_entry:
+                    del in_entry[u]
+                    self._deg_in[v] -= 1
+                if track:
+                    self._stale_out.add(u)
+                    self._stale_in.add(v)
                 removed += 1
         return removed
 
@@ -137,10 +390,12 @@ class AdjacencyListGraph(DynamicGraph):
         self.check_vertices(batch.src, batch.dst)
         inserts = batch.insertions
         out_stats = self._apply_direction(
-            self._out, inserts.src, inserts.dst, inserts.weight
+            self._out, self._deg_out, self._journal_out, self._stale_out,
+            inserts.src, inserts.dst, inserts.weight,
         )
         in_stats = self._apply_direction(
-            self._in, inserts.dst, inserts.src, inserts.weight
+            self._in, self._deg_in, self._journal_in, self._stale_in,
+            inserts.dst, inserts.src, inserts.weight,
         )
         inserted = int(out_stats.new_edges.sum()) if len(out_stats.new_edges) else 0
         deletes = batch.deletions

@@ -18,7 +18,30 @@ import numpy as np
 from ..datasets.stream import Batch
 from ..errors import VertexOutOfRangeError
 
-__all__ = ["DirectionStats", "BatchUpdateStats", "DynamicGraph"]
+__all__ = ["DirectionStats", "BatchUpdateStats", "GraphDelta", "DynamicGraph"]
+
+
+@dataclass
+class GraphDelta:
+    """Changes to one adjacency direction since the last snapshot.
+
+    Recorded by structures with delta tracking enabled (see
+    :meth:`DynamicGraph.consume_delta`) so ``DeltaSnapshotter`` can patch a
+    cached CSR snapshot without re-reading unchanged adjacencies.
+
+    Attributes:
+        owners/targets/weights: newly appended edges in application order
+            (each new edge lands at the end of its owner's adjacency, so a
+            stable group-by-owner reproduces dict insertion order exactly).
+        stale: vertices whose existing slice cannot be patched by appending
+            — an existing edge's weight changed or an edge was deleted —
+            and must be re-read from the structure.
+    """
+
+    owners: np.ndarray
+    targets: np.ndarray
+    weights: np.ndarray
+    stale: set[int]
 
 
 @dataclass(frozen=True)
@@ -154,6 +177,41 @@ class DynamicGraph(abc.ABC):
         none.
         """
         return 0.0
+
+    def track_deltas(self, enabled: bool = True) -> None:
+        """Start (or stop) recording per-batch deltas for snapshot patching.
+
+        Off by default so plain ingest pays no tracking cost; the default
+        implementation ignores the request (structures without tracking
+        simply keep returning ``None`` from :meth:`consume_delta`).
+        """
+
+    def consume_delta(self) -> tuple[GraphDelta, GraphDelta] | None:
+        """Return and clear the (out, in) deltas recorded since last call.
+
+        Only meaningful after :meth:`track_deltas`; consumption clears the
+        journal, so attach at most one delta consumer per graph.  ``None``
+        means "unknown — rebuild snapshots from scratch".
+        """
+        return None
+
+    def touched_count(self) -> int | None:
+        """Number of vertices with at least one incident edge ever, or None
+        if the structure does not track it (used to size rebuild-vs-patch
+        decisions without materializing the vertex list)."""
+        return None
+
+    def notify_external_mutation(self) -> None:
+        """Rebuild derived bookkeeping after direct adjacency mutation.
+
+        A few read-mostly algorithms (e.g. the triangle counter) mutate the
+        mappings returned by :meth:`adjacency_views` edge by edge instead of
+        going through :meth:`apply_batch`; they must call this afterwards so
+        maintained state (edge counts, degree caches, delta journals) is
+        recomputed from the mappings.
+        """
+        out_adj, __ = self.adjacency_views()
+        self.num_edges = sum(map(len, out_adj.values()))
 
     # -- shared helpers ----------------------------------------------------
     def out_degree(self, v: int) -> int:

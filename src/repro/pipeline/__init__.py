@@ -1,5 +1,6 @@
 """Streaming pipeline: modes, metrics, runner and the workload matrix."""
 
+from .executor import CellResult, CellSpec, run_matrix
 from .latency import LatencyStats, latency_stats, reaction_latencies
 from .metrics import BatchMetrics, RunMetrics
 from .modes import MODES, resolve_mode
@@ -8,6 +9,9 @@ from .tracing import TraceEvent, TraceWriter, read_trace
 from .workloads import DEFAULT_BATCH_CAPS, Workload, workload_matrix
 
 __all__ = [
+    "CellResult",
+    "CellSpec",
+    "run_matrix",
     "LatencyStats",
     "latency_stats",
     "reaction_latencies",

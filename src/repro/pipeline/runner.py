@@ -29,7 +29,7 @@ from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
 from ..graph.adjacency_list import AdjacencyListGraph
 from ..graph.base import DynamicGraph
-from ..graph.snapshot import take_snapshot
+from ..graph.snapshot import DeltaSnapshotter
 from ..update.abr import ABRConfig
 from ..update.engine import UpdateEngine, UpdatePolicy
 from .metrics import BatchMetrics, RunMetrics
@@ -123,6 +123,11 @@ class StreamingPipeline:
         self._incremental_cc: IncrementalConnectedComponents | None = None
         self._pending_affected: np.ndarray | None = None
         self._pending_batches: list[Batch] = []
+        self._snapshotter: DeltaSnapshotter | None = None
+        if self.algorithm in ("pr_static", "sssp_static"):
+            # Static algorithms re-snapshot every round; patch the cached
+            # CSR arrays instead of rebuilding from the dicts each time.
+            self._snapshotter = DeltaSnapshotter(self.graph)
 
     # -- compute dispatch -----------------------------------------------------
     def _ensure_compute_engine(self, first_batch: Batch) -> None:
@@ -164,11 +169,11 @@ class StreamingPipeline:
                 counters = c if counters is None else counters + c
         elif self.algorithm == "pr_static":
             __, counters = StaticPageRank(tolerance=1e-7, max_iterations=50).run(
-                take_snapshot(self.graph)
+                self._snapshotter.snapshot()
             )
         else:  # sssp_static
             __, counters = StaticSSSP(self._sssp_source).run(
-                take_snapshot(self.graph)
+                self._snapshotter.snapshot()
             )
         return compute_round_time(counters, self.compute_costs, self.machine)
 

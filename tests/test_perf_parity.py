@@ -1,0 +1,232 @@
+"""Parity tests for the wall-clock perf layer.
+
+The optimized substrate paths (vectorized ingest, delta CSR snapshots, the
+parallel workload executor, the on-disk stream cache) must be *invisible*
+semantically: every test here pins an optimized path against its reference
+implementation and requires bit-identical results — same dtypes, same
+values, same ordering.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_batch
+from repro.datasets.profiles import get_dataset
+from repro.datasets.stream_cache import cached_batches, cache_stats, clear_cache
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.graph.reference import ReferenceAdjacencyListGraph
+from repro.graph.snapshot import CSRSnapshot, DeltaSnapshotter, take_snapshot
+from repro.pipeline.executor import CellSpec, run_matrix
+
+N_VERTICES = 24
+
+# A batch: edges with weight-salt (so repeats can change the stored weight)
+# and a deletion flag.  Self-loops stay in: the graph accepts them.
+batch_strategy = st.lists(
+    st.tuples(
+        st.integers(0, N_VERTICES - 1),  # src
+        st.integers(0, N_VERTICES - 1),  # dst
+        st.integers(0, 2),               # weight salt
+        st.booleans(),                   # is_delete
+    ),
+    min_size=1,
+    max_size=40,
+)
+sequence_strategy = st.lists(batch_strategy, min_size=1, max_size=6)
+
+
+def _to_batch(edge_list, batch_id):
+    src = [e[0] for e in edge_list]
+    dst = [e[1] for e in edge_list]
+    weight = [float((u * 31 + v * 7 + salt) % 9 + 1) for u, v, salt, __ in edge_list]
+    deletes = [d for __, __, __, d in edge_list]
+    return make_batch(src, dst, weight, batch_id=batch_id, is_delete=deletes)
+
+
+def _assert_snapshots_identical(a: CSRSnapshot, b: CSRSnapshot):
+    assert a.num_vertices == b.num_vertices
+    for field in (
+        "out_offsets", "out_targets", "out_weights",
+        "in_offsets", "in_sources", "in_weights",
+    ):
+        left, right = getattr(a, field), getattr(b, field)
+        assert left.dtype == right.dtype, field
+        assert np.array_equal(left, right), field
+
+
+# -- delta snapshots vs full rebuilds -----------------------------------------
+
+
+@given(sequence_strategy)
+@settings(max_examples=50, deadline=None)
+def test_delta_snapshot_matches_full_rebuild(sequence):
+    """Patched snapshots are bit-identical to full rebuilds after every batch
+    of a randomized insert/delete/duplicate-heavy stream."""
+    graph = AdjacencyListGraph(N_VERTICES)
+    # rebuild_fraction=1.0 forces the patch path whenever a previous
+    # snapshot exists, so the delta machinery is actually exercised.
+    snapper = DeltaSnapshotter(graph, rebuild_fraction=1.0)
+    for batch_id, edge_list in enumerate(sequence):
+        graph.apply_batch(_to_batch(edge_list, batch_id))
+        _assert_snapshots_identical(snapper.snapshot(), take_snapshot(graph))
+    if len(sequence) > 1:
+        assert snapper.delta_patches >= len(sequence) - 1
+
+
+@given(sequence_strategy)
+@settings(max_examples=25, deadline=None)
+def test_delta_snapshot_with_skipped_batches(sequence):
+    """Journals accumulated over several batches patch correctly too."""
+    graph = AdjacencyListGraph(N_VERTICES)
+    snapper = DeltaSnapshotter(graph, rebuild_fraction=1.0)
+    for batch_id, edge_list in enumerate(sequence):
+        graph.apply_batch(_to_batch(edge_list, batch_id))
+        if batch_id % 2 == 1:  # snapshot every other batch
+            _assert_snapshots_identical(snapper.snapshot(), take_snapshot(graph))
+    _assert_snapshots_identical(snapper.snapshot(), take_snapshot(graph))
+
+
+# -- vectorized ingest vs the seed loop ---------------------------------------
+
+
+def _assert_stats_identical(mine, ref):
+    for field in ("vertices", "batch_degree", "length_before", "new_edges"):
+        left, right = getattr(mine, field), getattr(ref, field)
+        assert left.dtype == right.dtype, field
+        assert np.array_equal(left, right), field
+
+
+@given(sequence_strategy)
+@settings(max_examples=50, deadline=None)
+def test_vectorized_ingest_matches_reference(sequence):
+    """The vectorized `_apply_direction` reproduces the seed loop exactly:
+    DirectionStats arrays (dtype and values), adjacency content *and*
+    dict insertion order, degree caches, and edge counts."""
+    vec = AdjacencyListGraph(N_VERTICES)
+    ref = ReferenceAdjacencyListGraph(N_VERTICES)
+    for batch_id, edge_list in enumerate(sequence):
+        batch = _to_batch(edge_list, batch_id)
+        stats_vec = vec.apply_batch(batch)
+        stats_ref = ref.apply_batch(batch)
+        _assert_stats_identical(stats_vec.out, stats_ref.out)
+        _assert_stats_identical(stats_vec.inn, stats_ref.inn)
+        assert stats_vec.deleted_edges == stats_ref.deleted_edges
+    assert vec.num_edges == ref.num_edges
+    out_vec, in_vec = vec.adjacency_views()
+    out_ref, in_ref = ref.adjacency_views()
+    assert out_vec == out_ref and in_vec == in_ref
+    for v, entry in out_vec.items():
+        assert list(entry) == list(out_ref[v])
+    assert vec.vertices_with_edges() == ref.vertices_with_edges()
+
+
+@given(sequence_strategy)
+@settings(max_examples=25, deadline=None)
+def test_tracked_ingest_matches_reference_stats(sequence):
+    """Delta tracking must not perturb the DirectionStats contract."""
+    vec = AdjacencyListGraph(N_VERTICES)
+    vec.track_deltas(True)
+    ref = ReferenceAdjacencyListGraph(N_VERTICES)
+    for batch_id, edge_list in enumerate(sequence):
+        batch = _to_batch(edge_list, batch_id)
+        stats_vec = vec.apply_batch(batch)
+        stats_ref = ref.apply_batch(batch)
+        _assert_stats_identical(stats_vec.out, stats_ref.out)
+        _assert_stats_identical(stats_vec.inn, stats_ref.inn)
+    out_vec, __ = vec.adjacency_views()
+    out_ref, __ = ref.adjacency_views()
+    assert out_vec == out_ref
+    assert vec.num_edges == ref.num_edges
+
+
+def test_notify_external_mutation_resyncs_caches():
+    """Direct adjacency mutation + notify leaves all caches consistent."""
+    graph = AdjacencyListGraph(8)
+    graph.track_deltas(True)
+    graph.apply_batch(make_batch([0, 1], [1, 2]))
+    out, inn = graph.adjacency_views()
+    out.setdefault(5, {})[6] = 1.0  # bypasses apply_batch entirely
+    inn.setdefault(6, {})[5] = 1.0
+    graph.notify_external_mutation()
+    assert graph.num_edges == 3
+    assert 5 in graph.vertices_with_edges() and 6 in graph.vertices_with_edges()
+    # The delta journal can no longer vouch for the mutation: one None
+    # hand-back forces the snapshotter to rebuild from scratch.
+    assert graph.consume_delta() is None
+    _assert_snapshots_identical(
+        DeltaSnapshotter(graph).snapshot(), take_snapshot(graph)
+    )
+
+
+# -- workload executor ---------------------------------------------------------
+
+
+def test_run_matrix_parallel_matches_serial():
+    specs = [
+        CellSpec(dataset="fb", batch_size=1_000, algorithm=alg, num_batches=2)
+        for alg in ("pr", "sssp")
+    ]
+    serial = run_matrix(specs, jobs=1)
+    parallel = run_matrix(specs, jobs=2)
+    assert serial == parallel  # frozen dataclasses: full-value equality
+
+
+# -- stream cache --------------------------------------------------------------
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_STREAM_CACHE", raising=False)
+    return tmp_path
+
+
+def _batch_fields_equal(a, b):
+    assert a.batch_id == b.batch_id
+    assert np.array_equal(a.src, b.src)
+    assert np.array_equal(a.dst, b.dst)
+    assert np.array_equal(a.weight, b.weight)
+    if a.is_delete is None or b.is_delete is None:
+        da = a.is_delete if a.is_delete is not None else np.zeros(len(a.src), bool)
+        db = b.is_delete if b.is_delete is not None else np.zeros(len(b.src), bool)
+        assert np.array_equal(da, db)
+    else:
+        assert np.array_equal(a.is_delete, b.is_delete)
+
+
+def test_stream_cache_round_trip(tmp_cache):
+    profile = get_dataset("fb")
+    fresh = list(profile.generator(seed=7).batches(500, 3))
+    first = list(cached_batches(profile, 500, 3, seed=7))   # miss: generates
+    second = list(cached_batches(profile, 500, 3, seed=7))  # hit: loads
+    for a, b, c in zip(fresh, first, second):
+        _batch_fields_equal(a, b)
+        _batch_fields_equal(a, c)
+    stats = cache_stats()
+    assert stats["entries"] == 1
+
+
+def test_stream_cache_prefix_and_extension(tmp_cache):
+    profile = get_dataset("fb")
+    list(cached_batches(profile, 500, 4, seed=7))
+    # Prefix of a longer cached stream is served from it.
+    prefix = list(cached_batches(profile, 500, 2, seed=7))
+    fresh = list(profile.generator(seed=7).batches(500, 2))
+    for a, b in zip(fresh, prefix):
+        _batch_fields_equal(a, b)
+    # Asking for more re-generates and re-caches the longer stream.
+    longer = list(cached_batches(profile, 500, 6, seed=7))
+    fresh6 = list(profile.generator(seed=7).batches(500, 6))
+    for a, b in zip(fresh6, longer):
+        _batch_fields_equal(a, b)
+    assert clear_cache() >= 1
+
+
+def test_stream_cache_disabled_env(tmp_cache, monkeypatch):
+    monkeypatch.setenv("REPRO_STREAM_CACHE", "0")
+    profile = get_dataset("fb")
+    list(cached_batches(profile, 500, 2, seed=7))
+    assert cache_stats()["entries"] == 0
