@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast bench bench-full bench-smoke fidelity examples clean
+.PHONY: install test test-fast lint bench bench-full bench-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -8,9 +8,20 @@ install:
 test:
 	pytest tests/
 
-# Parallel test run via pytest-xdist; falls back to serial when the
+# Static checks (ruff, configured in pyproject.toml); a no-op with a notice
+# when ruff isn't installed (`pip install -e '.[dev]'` provides it).
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif python -c "import ruff" 2>/dev/null; then \
+		python -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping lint (pip install -e '.[dev]')"; \
+	fi
+
+# Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast:
+test-fast: lint
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }

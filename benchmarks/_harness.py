@@ -20,6 +20,7 @@ from repro.analysis.characterization import geomean
 from repro.costs import DEFAULT_COSTS
 from repro.datasets.profiles import DatasetProfile
 from repro.datasets.stream_cache import cached_batches
+from repro.pipeline.config import RunConfig
 from repro.pipeline.executor import map_cells
 from repro.exec_model.machine import HOST_MACHINE, MachineConfig
 from repro.graph.adjacency_list import AdjacencyListGraph
@@ -60,6 +61,21 @@ def run_cells(fn, items):
 
 def num_batches(profile: DatasetProfile, batch_size: int) -> int:
     return profile.num_batches(batch_size, cap=caps()[batch_size])
+
+
+def run_pipeline(dataset: str, batch_size: int, num_batches=None, **overrides):
+    """Run one pipeline cell described as data.
+
+    ``overrides`` are :class:`repro.pipeline.config.RunConfig` fields
+    (``algorithm``, ``mode``, ``use_oca``, ``oca=OCAConfig(...)``,
+    ``pr_tolerance`` ...); returns the run's ``RunMetrics``.
+    """
+    return RunConfig(
+        dataset=dataset,
+        batch_size=batch_size,
+        num_batches=num_batches,
+        **overrides,
+    ).run()
 
 
 def emit(name: str, text: str) -> None:
@@ -187,4 +203,5 @@ __all__ = [
     "fmt_speedup",
     "geomean",
     "run_cells",
+    "run_pipeline",
 ]

@@ -6,38 +6,32 @@ batch sizes where the speedup is marginal (yt-10K activates at 0.15 for only
 ~8%) and granularity should not be traded away.
 """
 
-from _harness import emit
+from _harness import emit, run_pipeline
 from repro.analysis.report import render_table
 from repro.compute.oca import OCAConfig
-from repro.datasets.profiles import get_dataset
-from repro.pipeline.runner import StreamingPipeline
-from repro.update.engine import UpdatePolicy
 
 THRESHOLDS = (0.5, 0.4, 0.3, 0.25, 0.15, 0.08)
 CELLS = (("yt", 10_000, 8), ("yt", 100_000, 6), ("amazon", 100_000, 6))
 
 
-def _run(profile, batch_size, nb, threshold):
-    if threshold is None:
-        pipeline = StreamingPipeline(
-            profile, batch_size, "pr", UpdatePolicy.ABR_USC, pr_tolerance=1e-5
+def _run(dataset, batch_size, nb, threshold):
+    oca_kwargs = {}
+    if threshold is not None:
+        oca_kwargs = dict(
+            use_oca=True, oca=OCAConfig(overlap_threshold=threshold, n=2)
         )
-    else:
-        pipeline = StreamingPipeline(
-            profile, batch_size, "pr", UpdatePolicy.ABR_USC,
-            use_oca=True, oca_config=OCAConfig(overlap_threshold=threshold, n=2),
-            pr_tolerance=1e-5,
-        )
-    return pipeline.run(nb)
+    return run_pipeline(
+        dataset, batch_size, nb,
+        algorithm="pr", mode="abr_usc", pr_tolerance=1e-5, **oca_kwargs,
+    )
 
 
 def run_ablation():
     rows = []
     for name, batch_size, nb in CELLS:
-        profile = get_dataset(name)
-        base = _run(profile, batch_size, nb, None)
+        base = _run(name, batch_size, nb, None)
         for threshold in THRESHOLDS:
-            run = _run(profile, batch_size, nb, threshold)
+            run = _run(name, batch_size, nb, threshold)
             rows.append(
                 [
                     f"{name}-{batch_size}",

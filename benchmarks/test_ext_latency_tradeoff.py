@@ -5,29 +5,25 @@ this experiment measures the trade explicitly: compute-time savings vs the
 p95/max *reaction latency* of deferred batches, across batch sizes.
 """
 
-from _harness import emit
+from _harness import emit, run_pipeline
 from repro.analysis.report import render_table
-from repro.datasets.profiles import get_dataset
 from repro.pipeline.latency import latency_stats
-from repro.pipeline.runner import StreamingPipeline
-from repro.update.engine import UpdatePolicy
 
 CELLS = (("yt", 10_000, 8), ("yt", 100_000, 6), ("wiki", 100_000, 6))
 
 
-def _run(profile, batch_size, nb, use_oca):
-    return StreamingPipeline(
-        profile, batch_size, "pr", UpdatePolicy.ABR_USC,
-        use_oca=use_oca, pr_tolerance=1e-5,
-    ).run(nb)
+def _run(dataset, batch_size, nb, use_oca):
+    return run_pipeline(
+        dataset, batch_size, nb,
+        algorithm="pr", mode="abr_usc", use_oca=use_oca, pr_tolerance=1e-5,
+    )
 
 
 def run_tradeoff():
     rows = []
     for name, batch_size, nb in CELLS:
-        profile = get_dataset(name)
-        plain = _run(profile, batch_size, nb, use_oca=False)
-        oca = _run(profile, batch_size, nb, use_oca=True)
+        plain = _run(name, batch_size, nb, use_oca=False)
+        oca = _run(name, batch_size, nb, use_oca=True)
         plain_stats = latency_stats(plain)
         oca_stats = latency_stats(oca)
         rows.append(

@@ -6,25 +6,23 @@ incremental PR gains 1.24x and incremental SSSP 1.26x.  Small batch sizes
 fail the 0.25 overlap threshold and stay at 1x.
 """
 
-from _harness import caps, emit, geomean, record
+from _harness import caps, emit, geomean, record, run_pipeline
 from repro.analysis.report import render_kv, render_table
 from repro.datasets.profiles import DATASETS
-from repro.pipeline.runner import StreamingPipeline
-from repro.update.engine import UpdatePolicy
 
 SIZES = (1_000, 10_000, 100_000)
 #: OCA needs enough batches for measure -> defer -> aggregate cycles.
 MIN_BATCHES = 6
 
 
-def _cell(profile, batch_size, algorithm, use_oca):
+def _cell(name, profile, batch_size, algorithm, use_oca):
     nb = max(profile.num_batches(batch_size, cap=caps()[batch_size]), 1)
     nb = min(max(nb, MIN_BATCHES), profile.num_batches(batch_size))
-    pipeline = StreamingPipeline(
-        profile, batch_size, algorithm, UpdatePolicy.ABR_USC,
-        use_oca=use_oca, pr_tolerance=1e-5, pr_max_rounds=10,
+    return run_pipeline(
+        name, batch_size, nb,
+        algorithm=algorithm, mode="abr_usc", use_oca=use_oca,
+        pr_tolerance=1e-5, pr_max_rounds=10,
     )
-    return pipeline.run(nb)
 
 
 def run_fig14(algorithm="pr"):
@@ -32,8 +30,8 @@ def run_fig14(algorithm="pr"):
     speedups = []
     for name, profile in DATASETS.items():
         for batch_size in SIZES:
-            plain = _cell(profile, batch_size, algorithm, use_oca=False)
-            oca = _cell(profile, batch_size, algorithm, use_oca=True)
+            plain = _cell(name, profile, batch_size, algorithm, use_oca=False)
+            oca = _cell(name, profile, batch_size, algorithm, use_oca=True)
             speedup = plain.total_compute_time / oca.total_compute_time
             overlaps = [b.overlap for b in oca.batches if b.overlap is not None]
             rows.append(

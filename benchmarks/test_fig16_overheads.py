@@ -6,14 +6,12 @@ batches are untouched.  (b) OCA's latest_bid bookkeeping costs ~1-2% on top
 of ABR+USC.
 """
 
-from _harness import CellRun, emit, geomean, record
+from _harness import CellRun, emit, geomean, record, run_pipeline
 from repro.analysis.report import render_kv
 from repro.costs import DEFAULT_COSTS
 from repro.datasets.profiles import get_dataset
 from repro.exec_model.machine import HOST_MACHINE
-from repro.pipeline.runner import StreamingPipeline
 from repro.update.cad import instrumentation_time
-from repro.update.engine import UpdatePolicy
 
 REORDERED_CELLS = [("wiki", 100_000), ("talk", 100_000), ("yt", 100_000)]
 NONREORDERED_CELLS = [("lj", 100_000), ("patents", 100_000), ("fb", 100_000)]
@@ -34,13 +32,10 @@ def run_fig16():
         batch_time = cell.baseline[0]
         nonreordered.append(batch_time / (batch_time + instr))
     # (b): OCA bookkeeping on top of ABR+USC (wiki-100K).
-    profile = get_dataset("wiki")
-    plain = StreamingPipeline(
-        profile, 100_000, "none", UpdatePolicy.ABR_USC
-    ).run(4)
-    oca = StreamingPipeline(
-        profile, 100_000, "none", UpdatePolicy.ABR_USC, use_oca=True
-    ).run(4)
+    plain = run_pipeline("wiki", 100_000, 4, algorithm="none", mode="abr_usc")
+    oca = run_pipeline(
+        "wiki", 100_000, 4, algorithm="none", mode="abr_usc", use_oca=True
+    )
     oca_ratio = plain.total_update_time / oca.total_update_time
     return geomean(reordered), geomean(nonreordered), oca_ratio
 

@@ -10,13 +10,16 @@ performance without any offline parameter search.
 Run:  python examples/abr_feedback_tuning.py
 """
 
+import os
+
 from repro import ABRConfig, HOST_MACHINE, UpdateEngine, UpdatePolicy, get_dataset
 from repro.costs import DEFAULT_COSTS
 from repro.graph import AdjacencyListGraph
 from repro.update.feedback import FeedbackABRController
 
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
 BATCH_SIZE = 10_000
-NUM_BATCHES = 24
+NUM_BATCHES = 12 if QUICK else 24
 BAD_THRESHOLD = 50_000.0  # orders of magnitude above any CAD this stream has
 
 

@@ -8,8 +8,13 @@ reordering pays off — and at which batch sizes ABR will enable it.
 Run:  python examples/custom_dataset.py
 """
 
+import os
+
 from repro import DatasetProfile, SideProfile
 from repro.analysis import characterize_cell, render_table
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
+MAX_BATCHES = 3 if QUICK else 6
 
 # An IoT telemetry graph: millions of sensors (uniform sources) reporting to
 # a small set of aggregation gateways (a heavy-tailed destination side).
@@ -32,7 +37,8 @@ def main() -> None:
     rows = []
     for batch_size in (1_000, 10_000, 100_000):
         cell = characterize_cell(
-            iot, batch_size, num_batches=min(6, iot.num_batches(batch_size))
+            iot, batch_size,
+            num_batches=min(MAX_BATCHES, iot.num_batches(batch_size)),
         )
         rows.append([
             batch_size,

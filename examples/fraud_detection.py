@@ -13,23 +13,28 @@ two of the paper's input-aware behaviours on such a workload:
 Run:  python examples/fraud_detection.py
 """
 
-from repro import OCAConfig, StreamingPipeline, UpdatePolicy, get_dataset
+import os
 
+from repro import OCAConfig, RunConfig, get_dataset
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
 BATCH_SIZE = 1_000       # small batches: fast reaction to new transactions
-NUM_BATCHES = 16
+NUM_BATCHES = 6 if QUICK else 16
 
 
 def main() -> None:
     profile = get_dataset("fb")  # timestamped interaction stream
     print(f"monitoring stream: {profile.full_name}, batch size {BATCH_SIZE}\n")
 
-    naive = StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="sssp", policy=UpdatePolicy.ALWAYS_RO
-    ).run(NUM_BATCHES)
-    aware = StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="sssp", policy=UpdatePolicy.ABR_USC,
-        use_oca=True, oca_config=OCAConfig(overlap_threshold=0.25),
-    ).run(NUM_BATCHES)
+    naive = RunConfig(
+        "fb", BATCH_SIZE, algorithm="sssp", mode="always_ro",
+        num_batches=NUM_BATCHES,
+    ).run()
+    aware = RunConfig(
+        "fb", BATCH_SIZE, algorithm="sssp", mode="abr_usc",
+        use_oca=True, oca=OCAConfig(overlap_threshold=0.25),
+        num_batches=NUM_BATCHES,
+    ).run()
 
     print("reaction latency per batch (update + compute, modeled tu):")
     print(f"{'batch':>6s}{'always-RO':>14s}{'input-aware':>14s}")

@@ -10,23 +10,24 @@ locality, the Fig. 19/20 views.
 Run:  python examples/hardware_codesign.py
 """
 
-from repro import (
-    HAUSimulator,
-    SIMULATED_MACHINE,
-    StreamingPipeline,
-    UpdatePolicy,
-    get_dataset,
-)
+import os
 
+from repro import HAUSimulator, RunConfig, get_dataset
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
 BATCH_SIZE = 10_000
-NUM_BATCHES = 10
+NUM_BATCHES = 4 if QUICK else 10
 
 
-def run_mode(profile, policy, hau=None):
-    return StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="none", policy=policy,
-        machine=SIMULATED_MACHINE, hau=hau,
-    ).run(NUM_BATCHES)
+def run_mode(dataset, mode, hau=None):
+    # mode aliases ("sw_only"/"hw_only"/"dynamic") resolve via MODES; the
+    # simulated CMP is forced for all three so the comparison is apples-to-
+    # apples even for the software-only build.
+    config = RunConfig(
+        dataset, BATCH_SIZE, algorithm="none", mode=mode,
+        machine="simulated", num_batches=NUM_BATCHES,
+    )
+    return config.build_pipeline(hau=hau).run(NUM_BATCHES)
 
 
 def main() -> None:
@@ -35,10 +36,10 @@ def main() -> None:
         profile = get_dataset(name)
         category = "friendly" if profile.is_friendly(BATCH_SIZE) else "adverse"
         print(f"\n=== {name} @ {BATCH_SIZE} (reorder-{category}) ===")
-        sw_only = run_mode(profile, UpdatePolicy.ALWAYS_RO_USC)
-        hw_only = run_mode(profile, UpdatePolicy.ALWAYS_HAU, hau=HAUSimulator())
+        sw_only = run_mode(name, "sw_only")
+        hw_only = run_mode(name, "hw_only")
         dynamic_hau = HAUSimulator()
-        dynamic = run_mode(profile, UpdatePolicy.ABR_USC_HAU, hau=dynamic_hau)
+        dynamic = run_mode(name, "dynamic", hau=dynamic_hau)
         print(f"  SW-only (RO+USC) : {sw_only.total_update_time:12.0f} tu")
         print(f"  HW-only (HAU)    : {hw_only.total_update_time:12.0f} tu")
         print(f"  dynamic SW/HW    : {dynamic.total_update_time:12.0f} tu"

@@ -8,10 +8,14 @@ and compares against the input-oblivious baseline.
 Run:  python examples/quickstart.py
 """
 
-from repro import StreamingPipeline, UpdatePolicy, get_dataset
+import dataclasses
+import os
 
+from repro import RunConfig, get_dataset
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
 BATCH_SIZE = 10_000
-NUM_BATCHES = 12
+NUM_BATCHES = 5 if QUICK else 12
 
 
 def main() -> None:
@@ -19,14 +23,15 @@ def main() -> None:
     print(f"dataset: {profile.full_name} ({profile.kind}), "
           f"batch size {BATCH_SIZE}, {NUM_BATCHES} batches\n")
 
-    baseline = StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="pr", policy=UpdatePolicy.BASELINE
-    ).run(NUM_BATCHES)
+    cell = RunConfig(
+        "wiki", BATCH_SIZE, algorithm="pr", mode="baseline",
+        num_batches=NUM_BATCHES,
+    )
+    baseline = cell.run()
 
-    input_aware = StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="pr",
-        policy=UpdatePolicy.ABR_USC, use_oca=True,
-    ).run(NUM_BATCHES)
+    input_aware = dataclasses.replace(
+        cell, mode="abr_usc", use_oca=True
+    ).run()
 
     print(f"{'':24s}{'baseline':>14s}{'input-aware':>14s}")
     for label, attr in [

@@ -10,17 +10,21 @@ the same celebrity-centred neighborhoods.
 Run:  python examples/social_network_analytics.py
 """
 
-from repro import StreamingPipeline, UpdatePolicy, get_dataset
+import os
 
-BATCH_SIZE = 100_000
-NUM_BATCHES = 6
+from repro import RunConfig, get_dataset
+
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
+BATCH_SIZE = 50_000 if QUICK else 100_000
+NUM_BATCHES = 3 if QUICK else 6
 
 
-def run_mode(profile, policy, use_oca=False):
-    pipeline = StreamingPipeline(
-        profile, BATCH_SIZE, algorithm="pr", policy=policy, use_oca=use_oca,
-        pr_tolerance=1e-5,
+def run_mode(mode, use_oca=False):
+    config = RunConfig(
+        "talk", BATCH_SIZE, algorithm="pr", mode=mode, use_oca=use_oca,
+        pr_tolerance=1e-5, num_batches=NUM_BATCHES,
     )
+    pipeline = config.build_pipeline()
     return pipeline.run(NUM_BATCHES), pipeline
 
 
@@ -28,9 +32,9 @@ def main() -> None:
     profile = get_dataset("talk")
     print(f"event stream: {profile.full_name}, batch size {BATCH_SIZE}\n")
 
-    baseline, __ = run_mode(profile, UpdatePolicy.BASELINE)
-    always_ro, __ = run_mode(profile, UpdatePolicy.ALWAYS_RO)
-    aware, pipeline = run_mode(profile, UpdatePolicy.ABR_USC, use_oca=True)
+    baseline, __ = run_mode("baseline")
+    always_ro, __ = run_mode("always_ro")
+    aware, pipeline = run_mode("abr_usc", use_oca=True)
 
     print(f"{'mode':26s}{'update (tu)':>14s}{'compute (tu)':>14s}{'total':>12s}")
     for label, run in [

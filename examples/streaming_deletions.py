@@ -11,12 +11,15 @@ batch.
 Run:  python examples/streaming_deletions.py
 """
 
+import os
+
 from repro import IncrementalSSSP, StaticSSSP, get_dataset, take_snapshot
 from repro.datasets.generators import StreamGenerator
 from repro.graph import AdjacencyListGraph
 
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK") == "1"
 BATCH_SIZE = 2_000
-NUM_BATCHES = 8
+NUM_BATCHES = 4 if QUICK else 8
 DELETE_FRACTION = 0.15
 
 

@@ -58,25 +58,36 @@ from .graph import (
     take_snapshot,
 )
 from .compute import (
+    ALGORITHMS,
+    ComputeAlgorithm,
     IncrementalPageRank,
     IncrementalSSSP,
     OCAConfig,
     OCAController,
     StaticPageRank,
     StaticSSSP,
+    register_algorithm,
 )
 from .hau import HAUConfig, HAUSimulator
 from .pipeline import (
     CellResult,
     CellSpec,
     MODES,
+    RunConfig,
     RunMetrics,
     StreamingPipeline,
     Workload,
     run_matrix,
     workload_matrix,
 )
-from .update import ABRConfig, ABRController, UpdateEngine, UpdatePolicy
+from .update import (
+    ABRConfig,
+    ABRController,
+    StrategySelector,
+    UpdateEngine,
+    UpdatePolicy,
+    register_strategy,
+)
 
 __version__ = "1.0.0"
 
@@ -119,9 +130,13 @@ __all__ = [
     "StaticSSSP",
     "HAUConfig",
     "HAUSimulator",
+    "ALGORITHMS",
+    "ComputeAlgorithm",
+    "register_algorithm",
     "CellResult",
     "CellSpec",
     "MODES",
+    "RunConfig",
     "RunMetrics",
     "StreamingPipeline",
     "Workload",
@@ -129,7 +144,9 @@ __all__ = [
     "workload_matrix",
     "ABRConfig",
     "ABRController",
+    "StrategySelector",
     "UpdateEngine",
     "UpdatePolicy",
+    "register_strategy",
     "__version__",
 ]

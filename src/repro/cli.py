@@ -23,6 +23,7 @@ order and format as the serial run.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .analysis.characterization import characterize_cell
@@ -31,8 +32,9 @@ from .datasets.profiles import BATCH_SIZES, DATASETS, get_dataset
 from .exec_model.machine import SIMULATED_MACHINE
 from .graph.adjacency_list import AdjacencyListGraph
 from .hau.simulator import HAUSimulator
-from .pipeline.modes import MODES, resolve_mode
-from .pipeline.runner import ALGORITHMS, StreamingPipeline
+from .pipeline.config import RunConfig
+from .pipeline.modes import MODES
+from .pipeline.runner import ALGORITHMS
 from .update.engine import UpdateEngine, UpdatePolicy
 
 __all__ = ["main"]
@@ -66,34 +68,21 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     if len(args.dataset) > 1:
         return _cmd_run_matrix(args)
-    profile = get_dataset(args.dataset[0])
-    policy = resolve_mode(args.mode)
-    hau = HAUSimulator() if policy in (UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU) else None
-    machine = SIMULATED_MACHINE if hau else None
-    kwargs = {"machine": machine} if machine else {}
+    config = RunConfig.from_cli_args(args)
     trace = None
     if args.trace:
         from .pipeline.tracing import TraceWriter
 
         trace = TraceWriter(args.trace)
-    pipeline = StreamingPipeline(
-        profile,
-        args.batch_size,
-        algorithm=args.algorithm,
-        policy=policy,
-        use_oca=args.oca,
-        hau=hau,
-        trace=trace,
-        **kwargs,
-    )
-    metrics = pipeline.run(args.num_batches)
+    pipeline = config.build_pipeline(trace=trace)
+    metrics = pipeline.run(config.num_batches)
     if trace is not None:
         trace.close()
         print(f"trace: {trace.events_written} events -> {trace.path}")
     print(
         render_kv(
-            f"{profile.name} @ {args.batch_size} [{args.algorithm}, {args.mode}"
-            f"{', oca' if args.oca else ''}]",
+            f"{config.dataset} @ {config.batch_size} [{config.algorithm}, {config.mode}"
+            f"{', oca' if config.use_oca else ''}]",
             {
                 "batches": metrics.num_batches,
                 "update time (tu)": metrics.total_update_time,
@@ -109,26 +98,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_matrix(args: argparse.Namespace) -> int:
     """Multiple datasets: run the cells via the (optionally parallel) executor."""
-    from .pipeline.executor import CellSpec, run_matrix
+    from .pipeline.executor import run_matrix
 
-    policy = resolve_mode(args.mode)
-    if policy in (UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU) or args.trace:
+    configs = [RunConfig.from_cli_args(args, dataset=name) for name in args.dataset]
+    if any(config.requires_hau for config in configs) or args.trace:
         print(
             "HAU modes and --trace require a single dataset", file=sys.stderr
         )
         return 2
-    specs = [
-        CellSpec(
-            dataset=name,
-            batch_size=args.batch_size,
-            algorithm=args.algorithm,
-            mode=args.mode,
-            use_oca=args.oca,
-            num_batches=args.num_batches,
-        )
-        for name in args.dataset
-    ]
-    for result in run_matrix(specs, jobs=args.jobs):
+    for result in run_matrix(configs, jobs=args.jobs):
         spec = result.spec
         print(
             render_kv(
@@ -238,13 +216,12 @@ def _cmd_oca(args: argparse.Namespace) -> int:
         nb = max(
             profile.num_batches(batch_size, cap=args.num_batches), 1
         )
-        plain = StreamingPipeline(
-            profile, batch_size, "pr", UpdatePolicy.ABR_USC, pr_tolerance=1e-5
-        ).run(nb)
-        oca = StreamingPipeline(
-            profile, batch_size, "pr", UpdatePolicy.ABR_USC,
-            use_oca=True, pr_tolerance=1e-5,
-        ).run(nb)
+        cell = RunConfig(
+            dataset=profile.name, batch_size=batch_size, algorithm="pr",
+            mode="abr_usc", num_batches=nb, pr_tolerance=1e-5,
+        )
+        plain = cell.run()
+        oca = dataclasses.replace(cell, use_oca=True).run()
         overlaps = [b.overlap for b in oca.batches if b.overlap is not None]
         rows.append(
             [

@@ -1,13 +1,31 @@
-"""Compute phase: PageRank/SSSP (static + incremental), cost model, OCA."""
+"""Compute phase: PageRank/SSSP (static + incremental), cost model, OCA,
+and the pluggable pipeline-algorithm registry."""
 
 from .bfs import IncrementalBFS, StaticBFS
 from .components import IncrementalConnectedComponents, StaticConnectedComponents
 from .cost_model import compute_round_time
 from .oca import OCAConfig, OCAController, OCAObservation
 from .pagerank import IncrementalPageRank, StaticPageRank
+from .registry import (
+    ALGORITHM_REGISTRY,
+    ALGORITHMS,
+    AlgorithmContext,
+    ComputeAlgorithm,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
 from .result import ComputeCounters, ComputeResult
 from .sssp import IncrementalSSSP, StaticSSSP
-from .triangles import IncrementalTriangleCounter, StaticTriangleCount
+
+# Registration order defines the ALGORITHMS/CLI ordering: the paper's four
+# algorithms and the extensions first, then the triangles extension.
+from . import algorithms as _builtin_algorithms  # noqa: F401  (registers)
+from .triangles import (
+    IncrementalTriangleCounter,
+    StaticTriangleCount,
+    TriangleCountAlgorithm,
+)
 
 __all__ = [
     "IncrementalBFS",
@@ -20,10 +38,18 @@ __all__ = [
     "OCAObservation",
     "IncrementalPageRank",
     "StaticPageRank",
+    "ALGORITHM_REGISTRY",
+    "ALGORITHMS",
+    "AlgorithmContext",
+    "ComputeAlgorithm",
+    "algorithm_names",
+    "get_algorithm",
+    "register_algorithm",
     "ComputeCounters",
     "ComputeResult",
     "IncrementalSSSP",
     "StaticSSSP",
     "IncrementalTriangleCounter",
     "StaticTriangleCount",
+    "TriangleCountAlgorithm",
 ]

@@ -19,10 +19,15 @@ from __future__ import annotations
 
 from ..datasets.stream import Batch
 from ..graph.base import DynamicGraph
-from ..graph.snapshot import CSRSnapshot
+from ..graph.snapshot import CSRSnapshot, DeltaSnapshotter
+from .registry import ComputeAlgorithm, register_algorithm
 from .result import ComputeCounters
 
-__all__ = ["StaticTriangleCount", "IncrementalTriangleCounter"]
+__all__ = [
+    "StaticTriangleCount",
+    "IncrementalTriangleCounter",
+    "TriangleCountAlgorithm",
+]
 
 
 def _undirected_neighbors(out_adj, in_adj, v, empty) -> set[int]:
@@ -123,3 +128,29 @@ class IncrementalTriangleCounter:
             touched_vertices=touched_vertices,
             touched_edges=touched_edges,
         )
+
+
+@register_algorithm("triangles")
+class TriangleCountAlgorithm(ComputeAlgorithm):
+    """Exact triangle count per compute round, as a pipeline algorithm.
+
+    Registered here — not in the pipeline — to demonstrate that adding an
+    algorithm is a registration, not a core edit.  Because the pipeline's
+    update engine owns batch application, this adapter uses the *static*
+    counter over delta-patched CSR snapshots (the exact incremental
+    counter, which must see the graph evolve edge by edge, stays available
+    as :class:`IncrementalTriangleCounter` for drivers that let it own
+    ingestion).  The latest count is exposed as :attr:`count`.
+    """
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.snapshotter = DeltaSnapshotter(ctx.graph)
+        #: Triangle count as of the last compute round.
+        self.count: int | None = None
+
+    def on_round(self, batch, affected, covered):
+        self.count, counters = StaticTriangleCount().run(
+            self.snapshotter.snapshot()
+        )
+        return counters

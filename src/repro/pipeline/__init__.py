@@ -1,14 +1,17 @@
-"""Streaming pipeline: modes, metrics, runner and the workload matrix."""
+"""Streaming pipeline: run configs, modes, metrics, the staged runner and
+the workload matrix."""
 
+from .config import RunConfig
 from .executor import CellResult, CellSpec, run_matrix
 from .latency import LatencyStats, latency_stats, reaction_latencies
 from .metrics import BatchMetrics, RunMetrics
-from .modes import MODES, resolve_mode
-from .runner import ALGORITHMS, StreamingPipeline
+from .modes import MODE_ALIASES, MODES, resolve_mode
+from .runner import ALGORITHMS, BatchContext, StreamingPipeline
 from .tracing import TraceEvent, TraceWriter, read_trace
 from .workloads import DEFAULT_BATCH_CAPS, Workload, workload_matrix
 
 __all__ = [
+    "RunConfig",
     "CellResult",
     "CellSpec",
     "run_matrix",
@@ -17,9 +20,11 @@ __all__ = [
     "reaction_latencies",
     "BatchMetrics",
     "RunMetrics",
+    "MODE_ALIASES",
     "MODES",
     "resolve_mode",
     "ALGORITHMS",
+    "BatchContext",
     "StreamingPipeline",
     "TraceEvent",
     "TraceWriter",

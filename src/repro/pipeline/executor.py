@@ -74,24 +74,16 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _run_cell(spec: CellSpec) -> CellResult:
-    """Execute one cell start to finish (runs inside a worker process)."""
-    from ..datasets.profiles import get_dataset
-    from ..pipeline.modes import resolve_mode
-    from ..pipeline.runner import StreamingPipeline
+def _run_cell(config) -> CellResult:
+    """Execute one configured run start to finish (inside a worker process).
 
-    profile = get_dataset(spec.dataset)
-    pipeline = StreamingPipeline(
-        profile,
-        spec.batch_size,
-        algorithm=spec.algorithm,
-        policy=resolve_mode(spec.mode),
-        use_oca=spec.use_oca,
-        seed=spec.seed,
-    )
-    metrics = pipeline.run(spec.num_batches)
+    Workers receive a pickled :class:`~repro.pipeline.config.RunConfig` and
+    construct their pipeline through its factory, so the worker-side build
+    is exactly the serial one.
+    """
+    metrics = config.build_pipeline().run(config.num_batches)
     return CellResult(
-        spec=spec,
+        spec=config.to_cell_spec(),
         num_batches=metrics.num_batches,
         update_time=metrics.total_update_time,
         compute_time=metrics.total_compute_time,
@@ -126,8 +118,16 @@ def map_cells(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> list[R
 def run_matrix(specs: Sequence[CellSpec], jobs: int = 1) -> list[CellResult]:
     """Run workload cells, ``jobs`` at a time; results in spec order.
 
-    ``jobs=1`` runs serially in-process; ``jobs=0`` uses every core.
-    Each cell is self-seeded via its spec, so the result list is identical
-    regardless of ``jobs``.
+    Accepts :class:`CellSpec` rows (lifted into
+    :class:`~repro.pipeline.config.RunConfig` for the workers) or
+    ready-made ``RunConfig`` objects.  ``jobs=1`` runs serially in-process;
+    ``jobs=0`` uses every core.  Each cell is self-seeded via its config,
+    so the result list is identical regardless of ``jobs``.
     """
-    return map_cells(_run_cell, specs, jobs=jobs)
+    from .config import RunConfig
+
+    configs = [
+        spec if isinstance(spec, RunConfig) else RunConfig.from_cell_spec(spec)
+        for spec in specs
+    ]
+    return map_cells(_run_cell, configs, jobs=jobs)

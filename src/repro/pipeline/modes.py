@@ -1,41 +1,93 @@
 """Named execution modes used across experiments and the CLI.
 
-A mode names an update policy; OCA is orthogonal and toggled separately on
-the pipeline (the paper evaluates OCA on top of ABR+USC).
+A mode names an update strategy selector; OCA is orthogonal and toggled
+separately on the pipeline (the paper evaluates OCA on top of ABR+USC).
+
+:data:`MODES` is a *live view* over the strategy registry
+(:mod:`repro.update.strategies`): registering a new selector makes it a
+valid mode (and CLI ``--mode`` choice) immediately, with no hand-maintained
+list to update.  A few selectors are exposed under the paper's terminology
+instead of their registry names: ``sw_only`` (always RO+USC), ``hw_only``
+(always HAU) and ``dynamic`` (the full input-aware SW/HW proposal).
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
+from collections.abc import Iterator, Mapping
+
 from ..update.engine import UpdatePolicy
+from ..update.strategies import STRATEGY_REGISTRY, resolve_strategy
 
-__all__ = ["MODES", "resolve_mode"]
+__all__ = ["MODES", "MODE_ALIASES", "resolve_mode"]
 
-#: Mode name -> update policy.  Names follow the paper's terminology:
-#: ``dynamic`` is the full input-aware SW/HW proposal, ``sw_only`` and
-#: ``hw_only`` are Fig. 15's input-oblivious comparison points.
-MODES: dict[str, UpdatePolicy] = {
-    "baseline": UpdatePolicy.BASELINE,
-    "always_ro": UpdatePolicy.ALWAYS_RO,
-    "abr": UpdatePolicy.ABR,
-    "abr_usc": UpdatePolicy.ABR_USC,
-    "perfect_abr": UpdatePolicy.PERFECT_ABR,
-    "perfect_abr_usc": UpdatePolicy.PERFECT_ABR_USC,
-    "sw_only": UpdatePolicy.ALWAYS_RO_USC,
-    "hw_only": UpdatePolicy.ALWAYS_HAU,
-    "dynamic": UpdatePolicy.ABR_USC_HAU,
+#: Paper-terminology aliases -> registered selector names (Fig. 15's
+#: input-oblivious comparison points and the full proposal).
+MODE_ALIASES: dict[str, str] = {
+    "sw_only": "always_ro_usc",
+    "hw_only": "always_hau",
+    "dynamic": "abr_usc_hau",
 }
 
+_ALIASED = frozenset(MODE_ALIASES.values())
 
-def resolve_mode(name: str) -> UpdatePolicy:
+
+def _canonical(name: str) -> str:
+    return MODE_ALIASES.get(name, name)
+
+
+def _mode_names() -> list[str]:
+    """Every exposed mode name: aliases replace their registry targets."""
+    names = [n for n in STRATEGY_REGISTRY if n not in _ALIASED]
+    names.extend(MODE_ALIASES)
+    return names
+
+
+class _ModesView(Mapping):
+    """Live mode-name -> policy mapping derived from the strategy registry.
+
+    Values are :class:`~repro.update.engine.UpdatePolicy` members for the
+    built-in selectors and plain registry names for custom ones (both are
+    accepted anywhere a policy is expected).
+    """
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_mode_names())
+
+    def __len__(self) -> int:
+        return len(_mode_names())
+
+    def __getitem__(self, name: str):
+        canonical = _canonical(name)
+        if canonical not in STRATEGY_REGISTRY:
+            raise KeyError(name)
+        try:
+            return UpdatePolicy(canonical)
+        except ValueError:
+            return canonical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MODES({', '.join(_mode_names())})"
+
+
+#: Mode name -> update policy, derived from the selector registry.
+MODES: Mapping[str, UpdatePolicy | str] = _ModesView()
+
+
+def resolve_mode(name: str) -> UpdatePolicy | str:
     """Map a mode name to its update policy.
+
+    Returns the :class:`UpdatePolicy` member for built-in modes and the
+    registered selector name for custom ones; both are valid ``policy``
+    arguments to :class:`~repro.update.engine.UpdateEngine` and
+    :class:`~repro.pipeline.runner.StreamingPipeline`.
 
     Raises:
         ConfigurationError: for unknown mode names.
     """
+    canonical = _canonical(name)
+    # Delegates validation (and the error message) to the registry.
+    selector = resolve_strategy(canonical)
     try:
-        return MODES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown execution mode {name!r}; known: {', '.join(sorted(MODES))}"
-        ) from None
+        return UpdatePolicy(selector.name)
+    except ValueError:
+        return selector.name

@@ -1,22 +1,28 @@
 """The streaming pipeline: interleaved update and compute (Section 3.1).
 
 A :class:`StreamingPipeline` owns a dynamic graph, an update engine, a
-compute engine and (optionally) an OCA controller, and drives them batch by
-batch: ingest the batch (update phase), then run the algorithm on the latest
-snapshot (compute phase), unless OCA defers the round to aggregate it with
-the next batch's.
+compute algorithm (looked up in the registry of
+:mod:`repro.compute.registry`) and (optionally) an OCA controller, and
+drives them batch by batch through five explicit stages:
+
+    generate -> ingest/update -> OCA observe -> compute-or-defer -> record
+
+:meth:`StreamingPipeline.run` loops the stages over a stream slice;
+:meth:`StreamingPipeline.step` exposes one batch at a time, so external
+drivers (latency studies, checkpoint/resume loops, serving frontends) can
+interleave their own work between batches.  Each stage communicates through
+a :class:`BatchContext`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
-from ..compute.bfs import IncrementalBFS
-from ..compute.components import IncrementalConnectedComponents
 from ..compute.cost_model import compute_round_time
 from ..compute.oca import OCAConfig, OCAController
-from ..compute.pagerank import IncrementalPageRank, StaticPageRank
-from ..compute.sssp import IncrementalSSSP, StaticSSSP
+from ..compute.registry import ALGORITHMS, AlgorithmContext, get_algorithm
 from ..costs import (
     DEFAULT_COMPUTE_COSTS,
     DEFAULT_COSTS,
@@ -25,22 +31,48 @@ from ..costs import (
 )
 from ..datasets.profiles import DatasetProfile
 from ..datasets.stream import Batch
-from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
 from ..graph.adjacency_list import AdjacencyListGraph
 from ..graph.base import DynamicGraph
-from ..graph.snapshot import DeltaSnapshotter
 from ..update.abr import ABRConfig
 from ..update.engine import UpdateEngine, UpdatePolicy
+from ..update.result import UpdateResult
 from .metrics import BatchMetrics, RunMetrics
 
-__all__ = ["ALGORITHMS", "StreamingPipeline"]
+__all__ = ["ALGORITHMS", "BatchContext", "StreamingPipeline"]
 
-#: Supported algorithm labels: Section 6.1's four algorithms plus the
-#: extension algorithms ("bfs" and "cc", incremental) and "none"
-#: (update-phase-only runs).
-ALGORITHMS = ("pr", "sssp", "pr_static", "sssp_static", "bfs", "cc", "none")
 
+@dataclass
+class BatchContext:
+    """Mutable per-batch state threaded through the pipeline stages.
+
+    Attributes:
+        index: the batch's absolute position in the stream.
+        final: True when this is the stream's last batch (OCA must not
+            defer past it).
+        batch: the generated input batch.
+        update: the update phase's result.
+        update_time: modeled update time charged to this batch (includes
+            OCA instrumentation).
+        overlap: OCA inter-batch locality measured on this batch, if any.
+        deferred: True if OCA postponed this batch's compute round.
+        affected: union of vertices touched since the last executed round.
+        covered: batches the next executed round covers, oldest first.
+        compute_time: modeled compute time charged to this batch.
+        metrics: the recorded per-batch metrics (set by the record stage).
+    """
+
+    index: int
+    final: bool = False
+    batch: Batch | None = None
+    update: UpdateResult | None = None
+    update_time: float = 0.0
+    overlap: float | None = None
+    deferred: bool = False
+    affected: np.ndarray | None = None
+    covered: list[Batch] = field(default_factory=list)
+    compute_time: float = 0.0
+    metrics: BatchMetrics | None = None
 
 
 class StreamingPipeline:
@@ -49,9 +81,12 @@ class StreamingPipeline:
     Args:
         profile: the dataset to stream.
         batch_size: edges per input batch.
-        algorithm: one of :data:`ALGORITHMS` (``"pr"``/``"sssp"`` are the
-            incremental variants; ``"none"`` runs updates only).
-        policy: update strategy policy.
+        algorithm: a registered algorithm name (see
+            :data:`~repro.compute.registry.ALGORITHMS`; ``"pr"``/``"sssp"``
+            are the incremental variants; ``"none"`` runs updates only).
+        policy: update strategy policy (an
+            :class:`~repro.update.engine.UpdatePolicy`, a registered
+            selector name, or a selector instance).
         use_oca: enable overlap-based compute aggregation.
         machine: machine for the software cost models.
         costs / compute_costs: cost model parameters.
@@ -67,7 +102,7 @@ class StreamingPipeline:
         profile: DatasetProfile,
         batch_size: int,
         algorithm: str = "pr",
-        policy: UpdatePolicy = UpdatePolicy.ABR_USC,
+        policy: UpdatePolicy | str = UpdatePolicy.ABR_USC,
         use_oca: bool = False,
         machine: MachineConfig = HOST_MACHINE,
         costs: CostParameters = DEFAULT_COSTS,
@@ -82,10 +117,7 @@ class StreamingPipeline:
         sssp_source: int | None = None,
         trace=None,
     ):
-        if algorithm not in ALGORITHMS:
-            raise ConfigurationError(
-                f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}"
-            )
+        algorithm_cls = get_algorithm(algorithm)
         self.profile = profile
         self.batch_size = batch_size
         self.algorithm = algorithm
@@ -116,68 +148,147 @@ class StreamingPipeline:
         self.pr_max_rounds = pr_max_rounds
         #: Optional TraceWriter receiving one event per batch.
         self.trace = trace
-        self._sssp_source: int | None = sssp_source
-        self._incremental_pr: IncrementalPageRank | None = None
-        self._incremental_sssp: IncrementalSSSP | None = None
-        self._incremental_bfs: IncrementalBFS | None = None
-        self._incremental_cc: IncrementalConnectedComponents | None = None
+        self._compute_ctx = AlgorithmContext(
+            graph=self.graph,
+            pr_tolerance=pr_tolerance,
+            pr_max_rounds=pr_max_rounds,
+            sssp_source=sssp_source,
+        )
+        #: The active compute algorithm (registry instance).
+        self.compute = algorithm_cls(self._compute_ctx)
         self._pending_affected: np.ndarray | None = None
         self._pending_batches: list[Batch] = []
-        self._snapshotter: DeltaSnapshotter | None = None
-        if self.algorithm in ("pr_static", "sssp_static"):
-            # Static algorithms re-snapshot every round; patch the cached
-            # CSR arrays instead of rebuilding from the dicts each time.
-            self._snapshotter = DeltaSnapshotter(self.graph)
+        #: Next stream position :meth:`step` will consume.
+        self._cursor: int = 0
+        #: Metrics accumulated by :meth:`step` (reset by :meth:`run`).
+        self.metrics = self._new_metrics()
 
-    # -- compute dispatch -----------------------------------------------------
-    def _ensure_compute_engine(self, first_batch: Batch) -> None:
-        if self.algorithm == "pr" and self._incremental_pr is None:
-            self._incremental_pr = IncrementalPageRank(
-                self.graph,
-                tolerance=self.pr_tolerance,
-                max_rounds=self.pr_max_rounds,
-            )
-        elif self.algorithm == "sssp" and self._incremental_sssp is None:
-            if self._sssp_source is None:
-                self._sssp_source = int(first_batch.src[0])
-            self._incremental_sssp = IncrementalSSSP(self.graph, self._sssp_source)
-        elif self.algorithm == "sssp_static" and self._sssp_source is None:
-            self._sssp_source = int(first_batch.src[0])
-        elif self.algorithm == "bfs" and self._incremental_bfs is None:
-            if self._sssp_source is None:
-                self._sssp_source = int(first_batch.src[0])
-            self._incremental_bfs = IncrementalBFS(self.graph, self._sssp_source)
-        elif self.algorithm == "cc" and self._incremental_cc is None:
-            self._incremental_cc = IncrementalConnectedComponents(self.graph)
+    def _new_metrics(self) -> RunMetrics:
+        return RunMetrics(
+            dataset=self.profile.name,
+            batch_size=self.batch_size,
+            algorithm=self.algorithm,
+            mode=self.engine.policy_name,
+        )
 
-    def _run_compute(
-        self, batch: Batch, affected: np.ndarray, covered: list[Batch]
-    ) -> float:
-        """Execute one compute round; returns its modeled time."""
-        if self.algorithm == "none":
-            return 0.0
-        if self.algorithm == "pr":
-            counters = self._incremental_pr.on_batch(affected)
-        elif self.algorithm == "sssp":
-            counters = self._incremental_sssp.on_batches(covered)
-        elif self.algorithm == "bfs":
-            counters = self._incremental_bfs.on_batches(covered)
-        elif self.algorithm == "cc":
-            counters = None
-            for b in covered:
-                c = self._incremental_cc.on_batch(b)
-                counters = c if counters is None else counters + c
-        elif self.algorithm == "pr_static":
-            __, counters = StaticPageRank(tolerance=1e-7, max_iterations=50).run(
-                self._snapshotter.snapshot()
-            )
-        else:  # sssp_static
-            __, counters = StaticSSSP(self._sssp_source).run(
-                self._snapshotter.snapshot()
-            )
-        return compute_round_time(counters, self.compute_costs, self.machine)
+    # -- backwards-compatible views of the algorithm engines ------------------
+    def _engine_of(self, name: str):
+        if self.algorithm == name:
+            return getattr(self.compute, "engine", None)
+        return None
 
-    # -- main loop --------------------------------------------------------------
+    @property
+    def _incremental_pr(self):
+        """The incremental PageRank engine (``algorithm="pr"`` only)."""
+        return self._engine_of("pr")
+
+    @property
+    def _incremental_sssp(self):
+        """The incremental SSSP engine (``algorithm="sssp"`` only)."""
+        return self._engine_of("sssp")
+
+    @property
+    def _incremental_bfs(self):
+        """The incremental BFS engine (``algorithm="bfs"`` only)."""
+        return self._engine_of("bfs")
+
+    @property
+    def _incremental_cc(self):
+        """The incremental CC engine (``algorithm="cc"`` only)."""
+        return self._engine_of("cc")
+
+    @property
+    def _sssp_source(self) -> int | None:
+        """The resolved SSSP/BFS source vertex, if any."""
+        return self._compute_ctx.sssp_source
+
+    # -- stages ---------------------------------------------------------------
+    def _stage_generate(self, ctx: BatchContext) -> None:
+        """Generate the batch at ``ctx.index`` and prime the algorithm."""
+        ctx.batch = self.generator.generate_batch(ctx.index, self.batch_size)
+        self.compute.ensure(self.graph, ctx.batch)
+
+    def _stage_update(self, ctx: BatchContext) -> None:
+        """Apply the batch to the graph under the configured policy."""
+        ctx.update = self.engine.ingest(ctx.batch)
+        ctx.update_time = ctx.update.time
+
+    def _stage_observe(self, ctx: BatchContext) -> None:
+        """OCA bookkeeping: measure overlap, decide whether to defer."""
+        if self.oca is not None:
+            observation = self.oca.observe(ctx.batch)
+            ctx.update_time += observation.instrumentation
+            ctx.overlap = observation.overlap
+            ctx.deferred = observation.defer_compute and not ctx.final
+        affected = ctx.batch.unique_vertices()
+        if self._pending_affected is not None:
+            affected = np.union1d(affected, self._pending_affected)
+        ctx.affected = affected
+        ctx.covered = self._pending_batches + [ctx.batch]
+
+    def _stage_compute(self, ctx: BatchContext) -> None:
+        """Run the compute round, or bank the batch for the next round."""
+        if ctx.deferred:
+            self._pending_affected = ctx.affected
+            self._pending_batches = ctx.covered
+            ctx.compute_time = 0.0
+            return
+        counters = self.compute.on_round(ctx.batch, ctx.affected, ctx.covered)
+        ctx.compute_time = (
+            0.0
+            if counters is None
+            else compute_round_time(counters, self.compute_costs, self.machine)
+        )
+        self._pending_affected = None
+        self._pending_batches = []
+
+    def _stage_record(self, ctx: BatchContext) -> None:
+        """Record per-batch metrics and emit the trace event."""
+        ctx.metrics = BatchMetrics(
+            batch_id=ctx.batch.batch_id,
+            update_time=ctx.update_time,
+            compute_time=ctx.compute_time,
+            strategy=ctx.update.strategy,
+            deferred=ctx.deferred,
+            aggregated_batches=0 if ctx.deferred else len(ctx.covered),
+            cad=ctx.update.cad,
+            overlap=ctx.overlap,
+        )
+        self.metrics.add(ctx.metrics)
+        if self.trace is not None:
+            from .tracing import TraceEvent
+
+            self.trace.write(
+                TraceEvent.from_metrics(
+                    ctx.metrics,
+                    dataset=self.profile.name,
+                    batch_size=self.batch_size,
+                    algorithm=self.algorithm,
+                    mode=self.engine.policy_name,
+                    abr_active=ctx.update.abr_active,
+                )
+            )
+
+    # -- public API -------------------------------------------------------------
+    def step(self, final: bool = False) -> BatchMetrics:
+        """Process exactly one batch and return its metrics.
+
+        External drivers call this in their own loop (the pipeline keeps the
+        stream cursor and accumulates :attr:`metrics`); pass ``final=True``
+        on the stream's last batch so OCA cannot defer its results forever.
+
+        Returns:
+            The batch's recorded :class:`~repro.pipeline.metrics.BatchMetrics`.
+        """
+        ctx = BatchContext(index=self._cursor, final=final)
+        self._cursor += 1
+        self._stage_generate(ctx)
+        self._stage_update(ctx)
+        self._stage_observe(ctx)
+        self._stage_compute(ctx)
+        self._stage_record(ctx)
+        return ctx.metrics
+
     def run(self, num_batches: int | None = None, seed_offset: int = 0) -> RunMetrics:
         """Stream ``num_batches`` batches through the pipeline.
 
@@ -191,58 +302,8 @@ class StreamingPipeline:
         """
         if num_batches is None:
             num_batches = self.profile.num_batches(self.batch_size)
-        metrics = RunMetrics(
-            dataset=self.profile.name,
-            batch_size=self.batch_size,
-            algorithm=self.algorithm,
-            mode=self.engine.policy.value,
-        )
+        self._cursor = seed_offset
+        self.metrics = self._new_metrics()
         for index in range(num_batches):
-            batch = self.generator.generate_batch(index + seed_offset, self.batch_size)
-            self._ensure_compute_engine(batch)
-            update = self.engine.ingest(batch)
-            update_time = update.time
-            overlap = None
-            deferred = False
-            if self.oca is not None:
-                observation = self.oca.observe(batch)
-                update_time += observation.instrumentation
-                overlap = observation.overlap
-                deferred = observation.defer_compute and index < num_batches - 1
-            affected = batch.unique_vertices()
-            if self._pending_affected is not None:
-                affected = np.union1d(affected, self._pending_affected)
-            covered = self._pending_batches + [batch]
-            if deferred:
-                self._pending_affected = affected
-                self._pending_batches = covered
-                compute_time = 0.0
-            else:
-                compute_time = self._run_compute(batch, affected, covered)
-                self._pending_affected = None
-                self._pending_batches = []
-            batch_metrics = BatchMetrics(
-                batch_id=batch.batch_id,
-                update_time=update_time,
-                compute_time=compute_time,
-                strategy=update.strategy,
-                deferred=deferred,
-                aggregated_batches=0 if deferred else len(covered),
-                cad=update.cad,
-                overlap=overlap,
-            )
-            metrics.add(batch_metrics)
-            if self.trace is not None:
-                from .tracing import TraceEvent
-
-                self.trace.write(
-                    TraceEvent.from_metrics(
-                        batch_metrics,
-                        dataset=self.profile.name,
-                        batch_size=self.batch_size,
-                        algorithm=self.algorithm,
-                        mode=self.engine.policy.value,
-                        abr_active=update.abr_active,
-                    )
-                )
-        return metrics
+            self.step(final=index == num_batches - 1)
+        return self.metrics

@@ -1,4 +1,5 @@
-"""Update phase: baseline, RO, USC, CAD/ABR and the strategy engine."""
+"""Update phase: baseline, RO, USC, CAD/ABR, the strategy-selector
+registry and the dispatch engine."""
 
 from .abr import ABRConfig, ABRController, ABRDecision
 from .baseline import baseline_update_timing
@@ -13,9 +14,21 @@ from .result import (
     STRATEGY_RO_USC,
     UpdateResult,
 )
+from .strategies import (
+    STRATEGY_REGISTRY,
+    StrategySelector,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
 from .usc import usc_search_savings, usc_update_timing
 
 __all__ = [
+    "STRATEGY_REGISTRY",
+    "StrategySelector",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
     "ABRConfig",
     "ABRController",
     "ABRDecision",

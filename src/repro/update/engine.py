@@ -1,17 +1,21 @@
 """Update engine: per-batch strategy dispatch (Fig. 2's decision diagram).
 
 The engine applies each batch to the graph exactly once (real mutation), then
-charges modeled time according to the configured policy:
+charges modeled time according to the configured policy.  Policy semantics
+live in the selector registry (:mod:`repro.update.strategies`):
 
-* input-oblivious policies always run one strategy (baseline, RO, RO+USC,
+* input-oblivious selectors always run one strategy (baseline, RO, RO+USC,
   or HAU);
-* ABR policies consult the :class:`~repro.update.abr.ABRController` —
+* ABR selectors consult the :class:`~repro.update.abr.ABRController` —
   reorder-friendly batches run the software fast path (RO, or RO+USC),
   reorder-adverse batches fall back to the baseline (ABR/ABR_USC) or are
   offloaded to the HAU accelerator (ABR_USC_HAU, the paper's full
   input-aware SW/HW dynamic execution);
-* PERFECT policies model the zero-overhead oracle of Fig. 13's
-  "perfect ABR" bars.
+* PERFECT selectors model the zero-overhead oracle of Fig. 13's
+  "perfect ABR" bars;
+* anything registered via
+  :func:`~repro.update.strategies.register_strategy` — pass its name (or
+  the selector itself) as the engine's ``policy``.
 
 Each :class:`~repro.update.result.UpdateResult` also carries the modeled
 times of the non-executed software strategies, so characterization studies
@@ -27,7 +31,7 @@ from ..datasets.stream import Batch
 from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
 from ..graph.base import BatchUpdateStats, DynamicGraph
-from .abr import ABRConfig, ABRController, ABRDecision
+from .abr import ABRConfig, ABRController
 from .baseline import baseline_update_timing
 from .reorder import reorder_update_timing
 from .result import (
@@ -37,6 +41,7 @@ from .result import (
     STRATEGY_RO_USC,
     UpdateResult,
 )
+from .strategies import StrategySelector, resolve_strategy
 from .usc import usc_update_timing
 
 __all__ = ["UpdatePolicy", "UpdateEngine"]
@@ -68,18 +73,14 @@ class UpdatePolicy(enum.Enum):
     ABR_USC_HAU = "abr_usc_hau"
 
 
-_ABR_POLICIES = frozenset(
-    {UpdatePolicy.ABR, UpdatePolicy.ABR_USC, UpdatePolicy.ABR_USC_HAU}
-)
-_HAU_POLICIES = frozenset({UpdatePolicy.ALWAYS_HAU, UpdatePolicy.ABR_USC_HAU})
-
-
 class UpdateEngine:
     """Ingests batches into a graph and accounts modeled update time.
 
     Args:
         graph: the dynamic graph structure being maintained.
-        policy: per-batch strategy selection policy.
+        policy: per-batch strategy selection policy — an
+            :class:`UpdatePolicy` member, a registered selector name, or a
+            :class:`~repro.update.strategies.StrategySelector` instance.
         machine: machine the software phases run on (use the simulated CMP
             when comparing against HAU, per Table 3's normalization).
         costs: software cost model parameters.
@@ -92,19 +93,26 @@ class UpdateEngine:
     def __init__(
         self,
         graph: DynamicGraph,
-        policy: UpdatePolicy = UpdatePolicy.ABR_USC,
+        policy: UpdatePolicy | str | StrategySelector = UpdatePolicy.ABR_USC,
         machine: MachineConfig = HOST_MACHINE,
         costs: CostParameters = DEFAULT_COSTS,
         abr_config: ABRConfig | None = None,
         hau=None,
         abr_controller: ABRController | None = None,
     ):
-        if policy in _HAU_POLICIES and hau is None:
+        self.selector = resolve_strategy(policy)
+        if self.selector.requires_hau and hau is None:
             raise ConfigurationError(
-                f"policy {policy.value} requires a HAU simulator instance"
+                f"policy {self.selector.name} requires a HAU simulator instance"
             )
         self.graph = graph
-        self.policy = policy
+        try:
+            #: The matching enum member for built-in policies (kept for
+            #: back-compat); custom registered selectors have no member, so
+            #: prefer :attr:`policy_name` in new code.
+            self.policy = UpdatePolicy(self.selector.name)
+        except ValueError:
+            self.policy = None
         self.machine = machine
         self.costs = costs
         self.abr_config = abr_config or ABRConfig()
@@ -131,42 +139,17 @@ class UpdateEngine:
             ),
         }
 
-    def _choose(self, stats: BatchUpdateStats, timings: dict) -> tuple[str, ABRDecision | None]:
-        """Pick the executed strategy label per the configured policy."""
-        policy = self.policy
-        if policy is UpdatePolicy.BASELINE:
-            return STRATEGY_BASELINE, None
-        if policy is UpdatePolicy.ALWAYS_RO:
-            return STRATEGY_RO, None
-        if policy is UpdatePolicy.ALWAYS_RO_USC:
-            return STRATEGY_RO_USC, None
-        if policy is UpdatePolicy.ALWAYS_HAU:
-            return STRATEGY_HAU, None
-        if policy is UpdatePolicy.PERFECT_ABR:
-            baseline = timings[STRATEGY_BASELINE].makespan
-            reorder = timings[STRATEGY_RO].makespan
-            return (STRATEGY_RO if reorder < baseline else STRATEGY_BASELINE), None
-        if policy is UpdatePolicy.PERFECT_ABR_USC:
-            baseline = timings[STRATEGY_BASELINE].makespan
-            usc = timings[STRATEGY_RO_USC].makespan
-            return (STRATEGY_RO_USC if usc < baseline else STRATEGY_BASELINE), None
-        decision = self.abr.step(stats)
-        if decision.reorder:
-            strategy = (
-                STRATEGY_RO if policy is UpdatePolicy.ABR else STRATEGY_RO_USC
-            )
-        elif policy is UpdatePolicy.ABR_USC_HAU:
-            strategy = STRATEGY_HAU
-        else:
-            strategy = STRATEGY_BASELINE
-        return strategy, decision
-
     # -- public API -----------------------------------------------------------
+    @property
+    def policy_name(self) -> str:
+        """The active policy's registry name (works for custom selectors)."""
+        return self.selector.name
+
     def ingest(self, batch: Batch) -> UpdateResult:
         """Apply one batch and return its modeled update result."""
         stats = self.graph.apply_batch(batch)
         timings = self._software_times(stats)
-        strategy, decision = self._choose(stats, timings)
+        strategy, decision = self.selector.select(self, stats, timings)
         if decision is not None:
             # Feedback hook (no-op on the static controller): report the
             # modeled times so a tuning controller can adjust its threshold.

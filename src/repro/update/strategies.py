@@ -1,0 +1,241 @@
+"""Pluggable per-batch update-strategy selectors (Fig. 2's decision layer).
+
+The :class:`~repro.update.engine.UpdateEngine` applies every batch to the
+graph exactly once and prices the software strategies; *which* strategy's
+time the batch is charged is decided by a **selector** looked up in the
+registry below.  Each selector object encodes one policy from the paper
+(input-oblivious, input-aware ABR, oracle) — and new policies can be added
+from anywhere with :func:`register_strategy`, without touching the engine:
+
+    from repro.update.strategies import StrategySelector, register_strategy
+
+    @register_strategy
+    class CoinFlipSelector(StrategySelector):
+        name = "coin_flip"
+        def select(self, engine, stats, timings):
+            return (STRATEGY_RO if stats.batch_id % 2 else STRATEGY_BASELINE), None
+
+    UpdateEngine(graph, policy="coin_flip")
+
+Registered names automatically become valid engine policies, CLI ``--mode``
+values and :data:`~repro.pipeline.modes.MODES` entries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .result import (
+    STRATEGY_BASELINE,
+    STRATEGY_HAU,
+    STRATEGY_RO,
+    STRATEGY_RO_USC,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.base import BatchUpdateStats
+    from .abr import ABRDecision
+    from .engine import UpdateEngine
+
+__all__ = [
+    "StrategySelector",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
+    "STRATEGY_REGISTRY",
+]
+
+
+class StrategySelector:
+    """One update-policy decision procedure.
+
+    Subclasses set :attr:`name` (the policy/mode label) and implement
+    :meth:`select`.  Selectors are stateless — per-stream state (the ABR
+    controller, cost models, the HAU simulator) lives on the engine passed
+    into each call, so one selector instance can serve many engines.
+
+    Attributes:
+        name: registry key; doubles as the engine policy label and the CLI
+            mode name.
+        requires_hau: True if the selector can emit :data:`STRATEGY_HAU`
+            (the engine then requires a HAU simulator at construction).
+    """
+
+    name: str = ""
+    requires_hau: bool = False
+
+    def select(
+        self,
+        engine: "UpdateEngine",
+        stats: "BatchUpdateStats",
+        timings: dict,
+    ) -> tuple[str, "ABRDecision | None"]:
+        """Pick the executed strategy label for one batch.
+
+        Args:
+            engine: the calling engine (exposes ``abr``, ``costs``,
+                ``machine``, ``hau``).
+            stats: the batch's :class:`~repro.graph.base.BatchUpdateStats`.
+            timings: modeled :class:`~repro.exec_model.parallel.PhaseTiming`
+                per software strategy label.
+
+        Returns:
+            ``(strategy_label, abr_decision_or_None)``.
+        """
+        raise NotImplementedError
+
+
+#: Registry: policy name -> selector instance.
+STRATEGY_REGISTRY: dict[str, StrategySelector] = {}
+
+
+def register_strategy(cls: type[StrategySelector]) -> type[StrategySelector]:
+    """Class decorator adding a selector to the registry (last wins)."""
+    if not getattr(cls, "name", ""):
+        raise ConfigurationError(
+            f"strategy selector {cls.__name__} must define a non-empty name"
+        )
+    STRATEGY_REGISTRY[cls.name] = cls()
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(STRATEGY_REGISTRY)
+
+
+def resolve_strategy(policy) -> StrategySelector:
+    """Map a policy (name, :class:`UpdatePolicy`, or selector) to a selector.
+
+    Raises:
+        ConfigurationError: for unregistered policy names.
+    """
+    if isinstance(policy, StrategySelector):
+        return policy
+    name = getattr(policy, "value", policy)
+    try:
+        return STRATEGY_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown update policy {name!r}; registered: "
+            f"{', '.join(sorted(STRATEGY_REGISTRY))}"
+        ) from None
+
+
+# -- input-oblivious selectors ------------------------------------------------
+
+
+class _FixedSelector(StrategySelector):
+    """Always the same strategy, regardless of input."""
+
+    strategy: str = STRATEGY_BASELINE
+
+    def select(self, engine, stats, timings):
+        return self.strategy, None
+
+
+@register_strategy
+class BaselineSelector(_FixedSelector):
+    """Always locked edge-centric updates."""
+
+    name = "baseline"
+    strategy = STRATEGY_BASELINE
+
+
+@register_strategy
+class AlwaysReorderSelector(_FixedSelector):
+    """Always reorder (the naive always-RO of Fig. 3)."""
+
+    name = "always_ro"
+    strategy = STRATEGY_RO
+
+
+@register_strategy
+class AlwaysReorderUSCSelector(_FixedSelector):
+    """Always reorder + search coalescing (Fig. 15 left's enforced RO+USC)."""
+
+    name = "always_ro_usc"
+    strategy = STRATEGY_RO_USC
+
+
+@register_strategy
+class AlwaysHAUSelector(_FixedSelector):
+    """Every batch on the accelerator (Fig. 15 right's enforced HAU)."""
+
+    name = "always_hau"
+    strategy = STRATEGY_HAU
+    requires_hau = True
+
+
+# -- oracle selectors ---------------------------------------------------------
+
+
+class _PerfectSelector(StrategySelector):
+    """Zero-overhead oracle between baseline and one reorder variant."""
+
+    alternative: str = STRATEGY_RO
+
+    def select(self, engine, stats, timings):
+        baseline = timings[STRATEGY_BASELINE].makespan
+        alternative = timings[self.alternative].makespan
+        chosen = self.alternative if alternative < baseline else STRATEGY_BASELINE
+        return chosen, None
+
+
+@register_strategy
+class PerfectABRSelector(_PerfectSelector):
+    """Oracle ABR with zero instrumentation overhead (Fig. 13 "perfect ABR")."""
+
+    name = "perfect_abr"
+    alternative = STRATEGY_RO
+
+
+@register_strategy
+class PerfectABRUSCSelector(_PerfectSelector):
+    """Oracle choosing between baseline and RO+USC with zero overhead."""
+
+    name = "perfect_abr_usc"
+    alternative = STRATEGY_RO_USC
+
+
+# -- input-aware (ABR) selectors ----------------------------------------------
+
+
+class _ABRSelector(StrategySelector):
+    """Consult the engine's ABR controller; route per its decision."""
+
+    reorder_strategy: str = STRATEGY_RO
+    fallback_strategy: str = STRATEGY_BASELINE
+
+    def select(self, engine, stats, timings):
+        decision = engine.abr.step(stats)
+        chosen = self.reorder_strategy if decision.reorder else self.fallback_strategy
+        return chosen, decision
+
+
+@register_strategy
+class ABRSelector(_ABRSelector):
+    """Input-aware software: ABR decides reorder vs baseline."""
+
+    name = "abr"
+    reorder_strategy = STRATEGY_RO
+
+
+@register_strategy
+class ABRUSCSelector(_ABRSelector):
+    """Input-aware software: ABR decides (reorder + USC) vs baseline."""
+
+    name = "abr_usc"
+    reorder_strategy = STRATEGY_RO_USC
+
+
+@register_strategy
+class ABRUSCHAUSelector(_ABRSelector):
+    """The paper's full proposal: friendly batches -> RO+USC in software,
+    adverse batches -> HAU in hardware (Fig. 2)."""
+
+    name = "abr_usc_hau"
+    reorder_strategy = STRATEGY_RO_USC
+    fallback_strategy = STRATEGY_HAU
+    requires_hau = True

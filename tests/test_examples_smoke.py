@@ -1,0 +1,42 @@
+"""Every script under examples/ runs clean (quick profiles).
+
+Each example is executed as a real subprocess — exactly how a reader runs
+it — with ``REPRO_EXAMPLE_QUICK=1`` selecting the reduced stream lengths
+the examples define for CI.  The examples carry their own internal
+assertions (exactness cross-checks, ABR/OCA behavioral claims), so a zero
+exit status is a meaningful end-to-end check of the public API.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_QUICK"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip()  # every example narrates its result

@@ -67,3 +67,39 @@ def test_bfs_levels_consistent_with_static(flat_profile):
     source = pipeline._incremental_bfs.source
     static, __ = StaticBFS(source).run(take_snapshot(pipeline.graph))
     assert pipeline._incremental_bfs.levels() == static.tolist()
+
+
+def test_triangles_pipeline_runs(skewed_profile):
+    pipeline = StreamingPipeline(
+        skewed_profile, 500, "triangles", UpdatePolicy.BASELINE
+    )
+    metrics = pipeline.run(3)
+    assert metrics.algorithm == "triangles"
+    assert metrics.total_compute_time > 0
+    # The adapter's count is exact: a fresh static count over the final
+    # graph agrees.
+    from repro.compute.triangles import StaticTriangleCount
+    from repro.graph.snapshot import take_snapshot
+
+    expected, __ = StaticTriangleCount().run(take_snapshot(pipeline.graph))
+    assert pipeline.compute.count == expected
+    assert expected > 0
+
+
+def test_pr_static_honours_convergence_settings(skewed_profile):
+    """Regression: pr_static once hard-coded tolerance=1e-7/max_iterations=50,
+    silently ignoring the pipeline's pr_tolerance/pr_max_rounds."""
+
+    def run(**kwargs):
+        return StreamingPipeline(
+            skewed_profile, 500, "pr_static", UpdatePolicy.BASELINE, **kwargs
+        ).run(2)
+
+    capped = run(pr_tolerance=1e-12, pr_max_rounds=1)
+    free = run(pr_tolerance=1e-12, pr_max_rounds=100)
+    # At an unreachable tolerance the rounds cap is what stops iteration, so
+    # it must change the modeled compute work.
+    assert capped.total_compute_time < free.total_compute_time
+
+    loose = run(pr_tolerance=1e-1, pr_max_rounds=100)
+    assert loose.total_compute_time < free.total_compute_time
