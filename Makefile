@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast lint bench bench-full bench-smoke fidelity examples clean
+.PHONY: install test test-fast lint bench bench-full bench-smoke report-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,10 +21,19 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint
+test-fast: lint report-smoke
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
+
+# End-to-end observability smoke: record an instrumented trace, then make
+# sure the analyzer can read it back (the `repro report` acceptance loop).
+report-smoke:
+	@tmp=$$(mktemp -d) && \
+	python -m repro run fb --batch-size 500 --num-batches 3 \
+		--algorithm none --mode abr_usc --trace $$tmp/run.jsonl >/dev/null && \
+	python -m repro report $$tmp/run.jsonl >/dev/null && \
+	rm -rf $$tmp && echo "report-smoke: OK"
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -80,6 +80,14 @@ from .pipeline import (
     run_matrix,
     workload_matrix,
 )
+from .telemetry import (
+    NULL_TELEMETRY,
+    TELEMETRY_LEVELS,
+    Telemetry,
+    TelemetrySnapshot,
+    make_telemetry,
+    merge_snapshots,
+)
 from .update import (
     ABRConfig,
     ABRController,
@@ -142,6 +150,12 @@ __all__ = [
     "Workload",
     "run_matrix",
     "workload_matrix",
+    "NULL_TELEMETRY",
+    "TELEMETRY_LEVELS",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "make_telemetry",
+    "merge_snapshots",
     "ABRConfig",
     "ABRController",
     "StrategySelector",

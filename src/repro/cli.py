@@ -13,6 +13,8 @@ Commands:
 * ``sensitivity`` — cost-constant robustness sweep for one parameter.
 * ``fidelity`` — paper-reported vs measured summary, joined from the JSON
   records the benchmarks leave under ``results/``.
+* ``report`` — analyze one recorded trace (per-stage/per-strategy
+  breakdowns, counters, decision ledger) or A/B-compare two traces.
 * ``cache`` — inspect or clear the on-disk stream cache.
 
 ``run`` and ``characterize`` accept ``--jobs N`` to fan independent cells
@@ -35,6 +37,7 @@ from .hau.simulator import HAUSimulator
 from .pipeline.config import RunConfig
 from .pipeline.modes import MODES
 from .pipeline.runner import ALGORITHMS
+from .telemetry.core import TELEMETRY_LEVELS
 from .update.engine import UpdateEngine, UpdatePolicy
 
 __all__ = ["main"]
@@ -65,7 +68,15 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_telemetry_level(args: argparse.Namespace) -> None:
+    """Default ``--telemetry`` to full when an exporter needs data."""
+    if getattr(args, "telemetry", None) is None:
+        wants_export = bool(args.trace or getattr(args, "prom", None))
+        args.telemetry = "full" if wants_export else "off"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _resolve_telemetry_level(args)
     if len(args.dataset) > 1:
         return _cmd_run_matrix(args)
     config = RunConfig.from_cli_args(args)
@@ -79,6 +90,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace is not None:
         trace.close()
         print(f"trace: {trace.events_written} events -> {trace.path}")
+    if args.prom and pipeline.telemetry.enabled:
+        from .telemetry.export import write_prometheus_textfile
+
+        write_prometheus_textfile(
+            pipeline.telemetry.snapshot(),
+            args.prom,
+            labels={"dataset": config.dataset, "mode": config.mode},
+        )
+        print(f"prometheus metrics -> {args.prom}")
     print(
         render_kv(
             f"{config.dataset} @ {config.batch_size} [{config.algorithm}, {config.mode}"
@@ -98,7 +118,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_run_matrix(args: argparse.Namespace) -> int:
     """Multiple datasets: run the cells via the (optionally parallel) executor."""
-    from .pipeline.executor import run_matrix
+    from .pipeline.executor import merged_telemetry, run_matrix
 
     configs = [RunConfig.from_cli_args(args, dataset=name) for name in args.dataset]
     if any(config.requires_hau for config in configs) or args.trace:
@@ -106,7 +126,8 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
             "HAU modes and --trace require a single dataset", file=sys.stderr
         )
         return 2
-    for result in run_matrix(configs, jobs=args.jobs):
+    results = run_matrix(configs, jobs=args.jobs)
+    for result in results:
         spec = result.spec
         print(
             render_kv(
@@ -122,6 +143,23 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
                 },
             )
         )
+    merged = merged_telemetry(results)
+    if args.prom and merged is not None:
+        from .telemetry.export import write_prometheus_textfile
+
+        write_prometheus_textfile(merged, args.prom)
+        print(f"prometheus metrics (all cells merged) -> {args.prom}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .telemetry.report import load_report, render_compare, render_report
+
+    base = load_report(args.trace)
+    if args.trace_b is None:
+        print(render_report(base))
+    else:
+        print(render_compare(base, load_report(args.trace_b)))
     return 0
 
 
@@ -361,6 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--oca", action="store_true", help="enable compute aggregation")
     run.add_argument("--trace", help="write a per-batch JSONL trace to this file")
     run.add_argument(
+        "--telemetry", choices=TELEMETRY_LEVELS, default=None,
+        help="instrumentation level (default: full when --trace/--prom "
+        "is given, otherwise off)",
+    )
+    run.add_argument(
+        "--prom", metavar="FILE",
+        help="export telemetry counters to this Prometheus textfile",
+    )
+    run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for multi-dataset runs (0 = all cores)",
     )
@@ -399,6 +446,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fidelity.add_argument("--results", default="results")
 
+    report = sub.add_parser(
+        "report", help="analyze a recorded trace (two traces = A/B compare)"
+    )
+    report.add_argument("trace", help="trace file from `repro run --trace`")
+    report.add_argument(
+        "trace_b", nargs="?", default=None,
+        help="second trace; compare A (first) against B with regression deltas",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the stream cache")
     cache.add_argument(
         "--clear", action="store_true", help="delete all cached streams"
@@ -419,6 +475,7 @@ def main(argv: list[str] | None = None) -> int:
         "accuracy": _cmd_accuracy,
         "sensitivity": _cmd_sensitivity,
         "fidelity": _cmd_fidelity,
+        "report": _cmd_report,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -82,7 +82,7 @@ class StaticPageRankAlgorithm(ComputeAlgorithm):
         super().__init__(ctx)
         # Static algorithms re-snapshot every round; patch the cached CSR
         # arrays instead of rebuilding from the dicts each time.
-        self.snapshotter = DeltaSnapshotter(ctx.graph)
+        self.snapshotter = DeltaSnapshotter(ctx.graph, telemetry=ctx.telemetry)
 
     def on_round(self, batch, affected, covered):
         __, counters = StaticPageRank(
@@ -98,7 +98,7 @@ class StaticSSSPAlgorithm(_SourceMixin, ComputeAlgorithm):
 
     def __init__(self, ctx):
         super().__init__(ctx)
-        self.snapshotter = DeltaSnapshotter(ctx.graph)
+        self.snapshotter = DeltaSnapshotter(ctx.graph, telemetry=ctx.telemetry)
 
     def ensure(self, graph, first_batch):
         self.resolve_source(first_batch)

@@ -25,6 +25,7 @@ import numpy as np
 from ..costs import DEFAULT_COSTS, CostParameters
 from ..datasets.stream import Batch
 from ..errors import ConfigurationError
+from ..telemetry.core import as_telemetry
 
 __all__ = ["OCAConfig", "OCAObservation", "OCAController"]
 
@@ -77,6 +78,8 @@ class OCAController:
         config: OCA parameters.
         costs: cost model providing the per-edge bookkeeping cost.
         num_workers: worker pool the bookkeeping divides across.
+        telemetry: optional telemetry backend; measurement/deferral
+            counters and aggregate-or-not ledger entries land there.
     """
 
     def __init__(
@@ -85,10 +88,12 @@ class OCAController:
         config: OCAConfig | None = None,
         costs: CostParameters = DEFAULT_COSTS,
         num_workers: int = 28,
+        telemetry=None,
     ):
         self.config = config or OCAConfig()
         self.costs = costs
         self.num_workers = num_workers
+        self.telemetry = as_telemetry(telemetry)
         self._latest_bid = np.full(num_vertices, -1, dtype=np.int64)
         self.aggregating = False
         self._pending_defer = False
@@ -120,11 +125,20 @@ class OCAController:
                 * self.costs.oca_instr_per_edge
                 / (self.num_workers * self.costs.parallel_efficiency)
             )
+            self.telemetry.count("oca.measurements")
+            self.telemetry.decision(
+                "oca",
+                choice="aggregate" if self.aggregating else "pass",
+                batch_id=batch.batch_id,
+                overlap=overlap,
+                threshold=self.config.overlap_threshold,
+            )
         self._latest_bid[unique] = batch.batch_id
         if self.aggregating and not self._pending_defer:
             # Defer this batch's round; the next batch computes for both.
             self._pending_defer = True
             defer = True
+            self.telemetry.count("oca.deferrals")
         else:
             self._pending_defer = False
             defer = False

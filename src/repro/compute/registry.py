@@ -58,12 +58,16 @@ class AlgorithmContext:
             the incremental and static variants honour them).
         sssp_source: source vertex for SSSP/BFS; None = first batch's first
             source endpoint.
+        telemetry: the pipeline's telemetry backend (None when
+            uninstrumented); algorithms pass it to the substrate pieces
+            they own (e.g. the snapshotter).
     """
 
     graph: "DynamicGraph"
     pr_tolerance: float = 1e-7
     pr_max_rounds: int = 100
     sssp_source: int | None = None
+    telemetry: object = None
 
 
 class ComputeAlgorithm:

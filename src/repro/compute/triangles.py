@@ -145,7 +145,7 @@ class TriangleCountAlgorithm(ComputeAlgorithm):
 
     def __init__(self, ctx):
         super().__init__(ctx)
-        self.snapshotter = DeltaSnapshotter(ctx.graph)
+        self.snapshotter = DeltaSnapshotter(ctx.graph, telemetry=ctx.telemetry)
         #: Triangle count as of the last compute round.
         self.count: int | None = None
 

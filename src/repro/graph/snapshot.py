@@ -21,6 +21,7 @@ from itertools import chain
 
 import numpy as np
 
+from ..telemetry.core import as_telemetry
 from .base import DynamicGraph
 
 __all__ = ["CSRSnapshot", "take_snapshot", "DeltaSnapshotter"]
@@ -215,11 +216,19 @@ class DeltaSnapshotter:
         graph: the dynamic graph to snapshot.
         rebuild_fraction: stale-to-touched vertex ratio above which a full
             rebuild is cheaper than patching.
+        telemetry: optional telemetry backend; rebuild/patch counters and
+            the ``snapshot.materialize`` span land there.
     """
 
-    def __init__(self, graph: DynamicGraph, rebuild_fraction: float = 0.25):
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        rebuild_fraction: float = 0.25,
+        telemetry=None,
+    ):
         self.graph = graph
         self.rebuild_fraction = rebuild_fraction
+        self.telemetry = as_telemetry(telemetry)
         graph.track_deltas(True)
         self._prev: CSRSnapshot | None = None
         #: Diagnostics: how many snapshots took each path.
@@ -232,6 +241,10 @@ class DeltaSnapshotter:
 
     def snapshot(self) -> CSRSnapshot:
         """Materialize the graph's current state (patched when possible)."""
+        with self.telemetry.span("snapshot.materialize"):
+            return self._snapshot()
+
+    def _snapshot(self) -> CSRSnapshot:
         graph = self.graph
         delta = graph.consume_delta()
         if delta is not None and self._prev is None:
@@ -245,6 +258,7 @@ class DeltaSnapshotter:
         if delta is None:
             snap = take_snapshot(graph)
             self.full_rebuilds += 1
+            self.telemetry.count("snapshot.full_rebuilds")
         else:
             prev = self._prev
             out_offsets, out_targets, out_weights = _patch_direction(
@@ -265,5 +279,6 @@ class DeltaSnapshotter:
                 in_weights=in_weights,
             )
             self.delta_patches += 1
+            self.telemetry.count("snapshot.delta_patches")
         self._prev = snap
         return snap

@@ -101,6 +101,9 @@ class HAUSimulator:
     #: :func:`~repro.hau.tasks.clusters_from_stats`); "scatter" exists for
     #: the locality ablation only.
     assignment: str = "vertex_mod"
+    #: Optional telemetry backend; per-batch task/line/NoC-hop counters land
+    #: there (the pipeline's update engine attaches its own when enabled).
+    telemetry: object = None
     #: Software-side cost of triggering the accelerator for a batch (cycles).
     #: Far below the software phase-spawn cost: triggering HAU is a stream of
     #: supply_task instructions from already-running threads, not an OpenMP
@@ -144,6 +147,9 @@ class HAUSimulator:
                 mshr_peak_occupancy=0.0,
                 fifo_peak_fill=0.0,
             )
+            tel = self.telemetry
+            if tel is not None and getattr(tel, "enabled", False):
+                tel.count("hau.batches")
             self.results.append(result)
             return result
         l3_prob = self._l3_hit_probability()
@@ -156,6 +162,7 @@ class HAUSimulator:
         pair_tasks: dict[tuple[int, int], float] = {}
         mean_hop_cycles = 2.0 * config.hop_latency  # typical one-way boundary forward
 
+        task_hops = 0.0
         workers = config.worker_cores
         for index, cluster in enumerate(clusters):
             producer = producer_core(index, config)
@@ -175,6 +182,7 @@ class HAUSimulator:
             lines_per_core[cluster.consumer] += cost.access.lines
             access_total.merge(cost.access)
             producer_cycles[producer] += cluster.tasks * config.supply_task_cycles
+            task_hops += cluster.tasks * config.hops(producer, cluster.consumer)
             key = (producer, cluster.consumer)
             pair_tasks[key] = pair_tasks.get(key, 0.0) + cluster.tasks
 
@@ -281,6 +289,20 @@ class HAUSimulator:
             if direction.num_vertices
         )
         self._graph_lines += new_edges / config.elems_per_line
+        tel = self.telemetry
+        if tel is not None and getattr(tel, "enabled", False):
+            tel.count("hau.batches")
+            tel.count("hau.tasks", float(sum(tasks_per_core.values())))
+            tel.count("hau.clusters", float(len(clusters)))
+            tel.count("hau.noc_task_hops", task_hops)
+            tel.count("hau.noc_task_flits", task_loads.total_flits())
+            tel.count("hau.noc_data_flits", data_loads.total_flits())
+            tel.count("hau.edge_lines", access_total.lines)
+            tel.count("hau.remote_lines", access_total.remote)
+            tel.count("hau.dram_lines", access_total.dram)
+            tel.gauge("hau.local_fraction", access_total.local_fraction)
+            for tasks in tasks_per_core.values():
+                tel.observe("hau.core_tasks", float(tasks))
         result = HAUBatchResult(
             batch_id=stats.batch_id,
             cycles=cycles,

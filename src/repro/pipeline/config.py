@@ -25,6 +25,7 @@ from ..compute.registry import get_algorithm
 from ..costs import ComputeCostParameters, CostParameters
 from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, SIMULATED_MACHINE, MachineConfig
+from ..telemetry.core import TELEMETRY_LEVELS, make_telemetry
 from ..update.abr import ABRConfig
 from ..update.strategies import resolve_strategy
 from .modes import resolve_mode
@@ -71,6 +72,9 @@ class RunConfig:
             source endpoint).
         costs / compute_costs: cost-model overrides (None = defaults).
         abr / oca: ABR / OCA parameter overrides (None = defaults).
+        telemetry: instrumentation level — ``"off"`` (no-op backend),
+            ``"basic"`` (counters/gauges/decision ledger) or ``"full"``
+            (adds wall-clock spans and histograms).
     """
 
     dataset: str
@@ -88,10 +92,16 @@ class RunConfig:
     compute_costs: ComputeCostParameters | None = None
     abr: ABRConfig | None = None
     oca: OCAConfig | None = None
+    telemetry: str = "off"
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises ConfigurationError if unknown
         resolve_mode(self.mode)
+        if self.telemetry not in TELEMETRY_LEVELS:
+            raise ConfigurationError(
+                f"telemetry must be one of {TELEMETRY_LEVELS}, "
+                f"got {self.telemetry!r}"
+            )
         if self.machine not in MACHINE_NAMES and self.machine != "auto":
             raise ConfigurationError(
                 f"machine must be 'auto' or one of {sorted(MACHINE_NAMES)}, "
@@ -148,6 +158,7 @@ class RunConfig:
             mode=args.mode,
             use_oca=args.oca,
             num_batches=args.num_batches,
+            telemetry=getattr(args, "telemetry", None) or "off",
         )
 
     @classmethod
@@ -184,6 +195,7 @@ class RunConfig:
         graph=None,
         hau=None,
         trace=None,
+        telemetry=None,
     ) -> "StreamingPipeline":
         """Construct the configured :class:`StreamingPipeline`.
 
@@ -195,6 +207,9 @@ class RunConfig:
                 fresh default :class:`~repro.hau.simulator.HAUSimulator`
                 automatically when omitted.
             trace: optional :class:`~repro.pipeline.tracing.TraceWriter`.
+            telemetry: explicit telemetry backend override; by default a
+                backend is created from the config's :attr:`telemetry`
+                level via :func:`~repro.telemetry.core.make_telemetry`.
         """
         from ..datasets.profiles import get_dataset
         from .runner import StreamingPipeline
@@ -205,6 +220,8 @@ class RunConfig:
             from ..hau.simulator import HAUSimulator
 
             hau = HAUSimulator()
+        if telemetry is None:
+            telemetry = make_telemetry(self.telemetry)
         kwargs = {}
         if self.costs is not None:
             kwargs["costs"] = self.costs
@@ -226,6 +243,7 @@ class RunConfig:
             pr_max_rounds=self.pr_max_rounds,
             sssp_source=self.sssp_source,
             trace=trace,
+            telemetry=telemetry,
             **kwargs,
         )
 

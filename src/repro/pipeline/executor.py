@@ -19,10 +19,19 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
-__all__ = ["CellSpec", "CellResult", "run_matrix", "map_cells", "default_jobs"]
+from ..telemetry.core import TelemetrySnapshot, merge_snapshots
+
+__all__ = [
+    "CellSpec",
+    "CellResult",
+    "run_matrix",
+    "map_cells",
+    "default_jobs",
+    "merged_telemetry",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -56,13 +65,20 @@ class CellSpec:
 
 @dataclass(frozen=True)
 class CellResult:
-    """Summary of one executed cell (picklable, plain values only)."""
+    """Summary of one executed cell (picklable, plain values only).
+
+    Attributes:
+        telemetry: the cell pipeline's telemetry snapshot, when the run was
+            instrumented (``telemetry != "off"``); None otherwise.  Frozen
+            plain data, so it ships back from worker processes unchanged.
+    """
 
     spec: CellSpec
     num_batches: int
     update_time: float
     compute_time: float
     strategies: tuple[tuple[str, int], ...]
+    telemetry: TelemetrySnapshot | None = field(default=None, compare=False)
 
     @property
     def total_time(self) -> float:
@@ -81,13 +97,17 @@ def _run_cell(config) -> CellResult:
     construct their pipeline through its factory, so the worker-side build
     is exactly the serial one.
     """
-    metrics = config.build_pipeline().run(config.num_batches)
+    pipeline = config.build_pipeline()
+    metrics = pipeline.run(config.num_batches)
     return CellResult(
         spec=config.to_cell_spec(),
         num_batches=metrics.num_batches,
         update_time=metrics.total_update_time,
         compute_time=metrics.total_compute_time,
         strategies=tuple(sorted(metrics.strategies_used().items())),
+        telemetry=(
+            pipeline.telemetry.snapshot() if pipeline.telemetry.enabled else None
+        ),
     )
 
 
@@ -131,3 +151,15 @@ def run_matrix(specs: Sequence[CellSpec], jobs: int = 1) -> list[CellResult]:
         for spec in specs
     ]
     return map_cells(_run_cell, configs, jobs=jobs)
+
+
+def merged_telemetry(results: Sequence[CellResult]) -> TelemetrySnapshot | None:
+    """Deterministically merge the cells' telemetry snapshots.
+
+    Snapshots merge in result (= submission) order — counters sum, spans
+    and histograms pool, decision ledgers concatenate — so the aggregate
+    is identical for ``jobs=1`` and ``jobs=N``.  Returns None when no cell
+    was instrumented.
+    """
+    snapshots = [r.telemetry for r in results if r.telemetry is not None]
+    return merge_snapshots(snapshots) if snapshots else None

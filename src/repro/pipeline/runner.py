@@ -34,6 +34,7 @@ from ..datasets.stream import Batch
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
 from ..graph.adjacency_list import AdjacencyListGraph
 from ..graph.base import DynamicGraph
+from ..telemetry.core import as_telemetry
 from ..update.abr import ABRConfig
 from ..update.engine import UpdateEngine, UpdatePolicy
 from ..update.result import UpdateResult
@@ -95,6 +96,9 @@ class StreamingPipeline:
         hau: accelerator simulator (required for HAU policies).
         graph: pre-built graph to reuse; defaults to a fresh adjacency list.
         seed: stream generator seed.
+        telemetry: optional :class:`~repro.telemetry.core.Telemetry`
+            backend threaded through every stage and subsystem (engine,
+            OCA, HAU, snapshotter); None runs uninstrumented at ~zero cost.
     """
 
     def __init__(
@@ -116,6 +120,7 @@ class StreamingPipeline:
         pr_max_rounds: int = 100,
         sssp_source: int | None = None,
         trace=None,
+        telemetry=None,
     ):
         algorithm_cls = get_algorithm(algorithm)
         self.profile = profile
@@ -125,6 +130,8 @@ class StreamingPipeline:
         self.costs = costs
         self.compute_costs = compute_costs
         self.graph = graph or AdjacencyListGraph(profile.num_vertices)
+        #: Telemetry backend shared by every stage and subsystem.
+        self.telemetry = as_telemetry(telemetry)
         self.engine = UpdateEngine(
             self.graph,
             policy=policy,
@@ -132,6 +139,7 @@ class StreamingPipeline:
             costs=costs,
             abr_config=abr_config,
             hau=hau,
+            telemetry=self.telemetry,
         )
         self.oca = (
             OCAController(
@@ -139,6 +147,7 @@ class StreamingPipeline:
                 config=oca_config,
                 costs=costs,
                 num_workers=machine.num_workers,
+                telemetry=self.telemetry,
             )
             if use_oca
             else None
@@ -148,11 +157,15 @@ class StreamingPipeline:
         self.pr_max_rounds = pr_max_rounds
         #: Optional TraceWriter receiving one event per batch.
         self.trace = trace
+        if trace is not None and getattr(trace, "telemetry", None) is None:
+            # The writer appends a telemetry summary line on close.
+            trace.telemetry = self.telemetry
         self._compute_ctx = AlgorithmContext(
             graph=self.graph,
             pr_tolerance=pr_tolerance,
             pr_max_rounds=pr_max_rounds,
             sssp_source=sssp_source,
+            telemetry=self.telemetry,
         )
         #: The active compute algorithm (registry instance).
         self.compute = algorithm_cls(self._compute_ctx)
@@ -282,11 +295,25 @@ class StreamingPipeline:
         """
         ctx = BatchContext(index=self._cursor, final=final)
         self._cursor += 1
-        self._stage_generate(ctx)
-        self._stage_update(ctx)
-        self._stage_observe(ctx)
-        self._stage_compute(ctx)
-        self._stage_record(ctx)
+        tel = self.telemetry
+        with tel.span("stage.generate"):
+            self._stage_generate(ctx)
+        with tel.span("stage.update"):
+            self._stage_update(ctx)
+        with tel.span("stage.observe"):
+            self._stage_observe(ctx)
+        with tel.span("stage.compute"):
+            self._stage_compute(ctx)
+        with tel.span("stage.record"):
+            self._stage_record(ctx)
+        if tel.enabled:
+            tel.count("pipeline.batches")
+            tel.observe("pipeline.batch_edges", ctx.batch.size)
+            if ctx.deferred:
+                tel.count("pipeline.deferred_batches")
+            elif len(ctx.covered) > 1:
+                tel.count("pipeline.aggregated_rounds")
+                tel.count("pipeline.aggregated_batches", len(ctx.covered))
         return ctx.metrics
 
     def run(self, num_batches: int | None = None, seed_offset: int = 0) -> RunMetrics:

@@ -1,22 +1,52 @@
-"""Per-batch execution traces (JSONL).
+"""Per-batch execution traces (JSONL), schema v2.
 
 A trace records, for every batch of a pipeline run, what the input-aware
 machinery observed and decided — the CAD measured, the strategy executed,
-the OCA overlap and deferral, and the modeled times.  Traces make runs
-debuggable and comparable offline (`read_trace` + any JSONL tooling), and
-the CLI exposes them via ``repro run --trace FILE``.
+the OCA overlap and deferral, and the modeled times — plus (schema v2) one
+closing **summary record** carrying the run's telemetry: wall-clock spans,
+subsystem counters, and the decision ledger.  Traces make runs debuggable
+and comparable offline (``repro report``, ``read_trace`` + any JSONL
+tooling), and the CLI exposes them via ``repro run --trace FILE``.
+
+Schema v2 line types (the ``type`` field):
+
+* ``header`` — first line; carries ``schema_version``.
+* ``batch`` — one :class:`TraceEvent` per processed batch.
+* ``summary`` — last line; a
+  :class:`~repro.telemetry.core.TelemetrySnapshot` document (only written
+  when the writer was given an enabled telemetry backend).
+
+Schema v1 files (bare :class:`TraceEvent` lines, no ``type`` field) stay
+readable: :func:`read_trace` and :func:`read_trace_document` accept both.
+Unknown line types and unknown batch fields are skipped, so newer traces
+degrade gracefully under older readers.  A trailing partially-written line
+(a run crashed mid-``write``) is tolerated with a warning; malformed lines
+anywhere else still raise.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+import os
+import warnings
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from ..errors import AnalysisError
+from ..telemetry.core import TelemetrySnapshot
 from .metrics import BatchMetrics
 
-__all__ = ["TraceEvent", "TraceWriter", "read_trace"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceDocument",
+    "TraceWriter",
+    "read_trace",
+    "read_trace_document",
+]
+
+#: Current trace schema version written by :class:`TraceWriter`.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -64,27 +94,79 @@ class TraceEvent:
         )
 
 
+_EVENT_FIELDS = frozenset(f.name for f in fields(TraceEvent))
+
+
+@dataclass
+class TraceDocument:
+    """Everything parsed from one trace file.
+
+    Attributes:
+        path: the file the document was read from.
+        schema_version: declared schema (1 for bare-event legacy files).
+        events: the per-batch records, in stream order.
+        summary: the run's telemetry snapshot, when the trace carries one.
+    """
+
+    path: Path
+    schema_version: int = 1
+    events: list[TraceEvent] = field(default_factory=list)
+    summary: TelemetrySnapshot | None = None
+
+
 class TraceWriter:
-    """Appends trace events to a JSONL file.
+    """Appends trace events to a JSONL file (schema v2).
 
     Usable as a context manager::
 
-        with TraceWriter("run.jsonl") as trace:
+        with TraceWriter("run.jsonl", telemetry=telemetry) as trace:
             StreamingPipeline(..., trace=trace).run(10)
+
+    ``close()`` (or context exit) writes the closing telemetry summary when
+    an enabled backend was attached, then flushes and fsyncs so a crash
+    after the run cannot lose buffered events.
+
+    Args:
+        path: output file (truncated on open).
+        telemetry: optional telemetry backend whose
+            :meth:`~repro.telemetry.core.Telemetry.snapshot` becomes the
+            trace's summary record.  The pipeline wires its own backend in
+            when one is configured (see
+            :meth:`~repro.pipeline.config.RunConfig.build_pipeline`).
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, telemetry=None):
         self.path = Path(path)
         self._handle = open(self.path, "w")
         self.events_written = 0
+        #: Telemetry backend snapshotted into the summary record on close.
+        self.telemetry = telemetry
+        self._handle.write(
+            json.dumps({"type": "header", "schema_version": SCHEMA_VERSION})
+            + "\n"
+        )
 
     def write(self, event: TraceEvent) -> None:
-        self._handle.write(json.dumps(asdict(event)) + "\n")
+        self._handle.write(
+            json.dumps({"type": "batch", **asdict(event)}) + "\n"
+        )
         self.events_written += 1
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        if self._handle.closed:
+            return
+        if self.telemetry is not None and getattr(
+            self.telemetry, "enabled", False
+        ):
+            summary = {
+                "type": "summary",
+                "schema_version": SCHEMA_VERSION,
+                **self.telemetry.snapshot().to_dict(),
+            }
+            self._handle.write(json.dumps(summary) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
 
     def __enter__(self) -> "TraceWriter":
         return self
@@ -93,25 +175,64 @@ class TraceWriter:
         self.close()
 
 
-def read_trace(path: str | Path) -> list[TraceEvent]:
-    """Load a JSONL trace back into events.
+def read_trace_document(path: str | Path) -> TraceDocument:
+    """Parse a trace file (schema v1 or v2) into a :class:`TraceDocument`.
+
+    A trailing line that is not valid JSON — the tell-tale of a run that
+    died mid-write — is dropped with a :class:`UserWarning` instead of
+    failing the whole read; every other malformed line raises.
 
     Raises:
-        AnalysisError: for missing files or malformed lines.
+        AnalysisError: for missing files or malformed non-trailing lines.
     """
     path = Path(path)
     if not path.exists():
         raise AnalysisError(f"no trace file at {path}")
-    events = []
-    with open(path) as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(TraceEvent(**json.loads(line)))
-            except (json.JSONDecodeError, TypeError) as exc:
-                raise AnalysisError(
-                    f"{path}:{line_number}: malformed trace line ({exc})"
-                ) from exc
-    return events
+    document = TraceDocument(path=path)
+    lines = path.read_text().splitlines()
+    last_index = len(lines) - 1
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == last_index:
+                warnings.warn(
+                    f"{path}:{index + 1}: dropping partially-written "
+                    f"trailing trace line ({exc})",
+                    stacklevel=2,
+                )
+                break
+            raise AnalysisError(
+                f"{path}:{index + 1}: malformed trace line ({exc})"
+            ) from exc
+        kind = data.get("type", "batch") if isinstance(data, dict) else None
+        try:
+            if kind == "batch":
+                payload = {
+                    k: v for k, v in data.items() if k in _EVENT_FIELDS
+                }
+                document.events.append(TraceEvent(**payload))
+            elif kind == "header":
+                document.schema_version = int(
+                    data.get("schema_version", SCHEMA_VERSION)
+                )
+            elif kind == "summary":
+                document.summary = TelemetrySnapshot.from_dict(data)
+            # Unknown types: skip for forward compatibility.
+        except (TypeError, ValueError, KeyError) as exc:
+            raise AnalysisError(
+                f"{path}:{index + 1}: malformed trace line ({exc})"
+            ) from exc
+    return document
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a trace's per-batch events (summary/header records skipped).
+
+    Raises:
+        AnalysisError: for missing files or malformed lines.
+    """
+    return read_trace_document(path).events

@@ -1,0 +1,44 @@
+"""Run telemetry: instrumentation core, exporters, and the trace analyzer.
+
+See ``docs/OBSERVABILITY.md`` for naming conventions and the trace schema.
+
+* :mod:`repro.telemetry.core` — counters, gauges, histograms, timed spans,
+  the decision ledger, and the no-op null backend;
+* :mod:`repro.telemetry.export` — Prometheus textfile exporter and the
+  human-readable summary;
+* :mod:`repro.telemetry.report` — the offline analyzer behind
+  ``repro report`` (imported lazily by the CLI; not re-exported here to
+  keep ``import repro`` light).
+"""
+
+from .core import (
+    NULL_TELEMETRY,
+    TELEMETRY_LEVELS,
+    Decision,
+    HistogramStat,
+    NullTelemetry,
+    SpanStat,
+    Telemetry,
+    TelemetrySnapshot,
+    as_telemetry,
+    make_telemetry,
+    merge_snapshots,
+)
+from .export import render_summary, to_prometheus, write_prometheus_textfile
+
+__all__ = [
+    "NULL_TELEMETRY",
+    "TELEMETRY_LEVELS",
+    "Decision",
+    "HistogramStat",
+    "NullTelemetry",
+    "SpanStat",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "as_telemetry",
+    "make_telemetry",
+    "merge_snapshots",
+    "render_summary",
+    "to_prometheus",
+    "write_prometheus_textfile",
+]

@@ -1,0 +1,124 @@
+"""Telemetry exporters: Prometheus textfile and human-readable summary.
+
+A :class:`~repro.telemetry.core.TelemetrySnapshot` renders to
+
+* the Prometheus *textfile collector* exposition format
+  (:func:`to_prometheus` / :func:`write_prometheus_textfile`), for scraping
+  run-level metrics off disk with ``node_exporter``;
+* a human-readable key/value summary (:func:`render_summary`), used by the
+  CLI after instrumented runs.
+
+Metric naming: telemetry names are dotted (``usc.hash_hits``); Prometheus
+names replace dots with underscores under a ``repro_`` prefix
+(``repro_usc_hash_hits_total``).  Spans export seconds totals and counts;
+histograms export count/sum plus cumulative power-of-two ``le`` buckets.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .core import TelemetrySnapshot
+
+__all__ = ["to_prometheus", "write_prometheus_textfile", "render_summary"]
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    safe = name.replace(".", "_").replace("-", "_").replace("+", "_")
+    return f"{prefix}_{safe}"
+
+
+def to_prometheus(
+    snapshot: TelemetrySnapshot,
+    prefix: str = "repro",
+    labels: dict | None = None,
+) -> str:
+    """Render a snapshot in the Prometheus exposition format.
+
+    Args:
+        snapshot: the telemetry to export.
+        prefix: metric-name prefix.
+        labels: constant labels stamped on every sample (e.g.
+            ``{"dataset": "wiki", "mode": "abr_usc"}``).
+    """
+    label_str = ""
+    if labels:
+        inner = ",".join(
+            f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+        )
+        label_str = "{" + inner + "}"
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, value: float, suffix: str = "",
+             extra_labels: str = "") -> None:
+        metric = _metric_name(name, prefix) + suffix
+        lines.append(f"# TYPE {metric} {kind}")
+        if extra_labels and label_str:
+            merged = label_str[:-1] + "," + extra_labels[1:]
+        else:
+            merged = extra_labels or label_str
+        lines.append(f"{metric}{merged} {value:g}")
+
+    for name, value in sorted(snapshot.counters.items()):
+        emit(name, "counter", value, suffix="_total")
+    for name, value in sorted(snapshot.gauges.items()):
+        emit(name, "gauge", value)
+    for name, stat in sorted(snapshot.spans.items()):
+        emit(name, "counter", stat.total, suffix="_seconds_total")
+        emit(name, "counter", stat.count, suffix="_spans_total")
+    for name, stat in sorted(snapshot.histograms.items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for exponent, count in stat.buckets:
+            cumulative += count
+            le = float(2**exponent)
+            bucket_labels = (
+                label_str[:-1] + f',le="{le:g}"}}'
+                if label_str
+                else f'{{le="{le:g}"}}'
+            )
+            lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+        inf_labels = (
+            label_str[:-1] + ',le="+Inf"}' if label_str else '{le="+Inf"}'
+        )
+        lines.append(f"{metric}_bucket{inf_labels} {stat.count}")
+        lines.append(f"{metric}_sum{label_str} {stat.total:g}")
+        lines.append(f"{metric}_count{label_str} {stat.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus_textfile(
+    snapshot: TelemetrySnapshot,
+    path: str | Path,
+    prefix: str = "repro",
+    labels: dict | None = None,
+) -> Path:
+    """Atomically write the exposition text to ``path`` (``.prom`` file).
+
+    Written via a temporary sibling + rename so a concurrently scraping
+    textfile collector never reads a half-written file.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(to_prometheus(snapshot, prefix=prefix, labels=labels))
+    tmp.replace(path)
+    return path
+
+
+def render_summary(snapshot: TelemetrySnapshot) -> str:
+    """Short human-readable digest of a snapshot (CLI post-run inset)."""
+    lines = [f"telemetry ({snapshot.level})"]
+    if snapshot.spans:
+        total = sum(s.total for s in snapshot.spans.values())
+        lines.append(f"  spans: {len(snapshot.spans)} names, "
+                     f"{total:.4f}s recorded")
+    if snapshot.counters:
+        lines.append(f"  counters: {len(snapshot.counters)}")
+    if snapshot.decisions:
+        kinds: dict[str, int] = {}
+        for decision in snapshot.decisions:
+            kinds[decision.kind] = kinds.get(decision.kind, 0) + 1
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  decisions: {rendered}")
+    return "\n".join(lines)

@@ -31,9 +31,10 @@ from ..datasets.stream import Batch
 from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
 from ..graph.base import BatchUpdateStats, DynamicGraph
+from ..telemetry.core import as_telemetry
 from .abr import ABRConfig, ABRController
 from .baseline import baseline_update_timing
-from .reorder import reorder_update_timing
+from .reorder import reorder_cluster_counts, reorder_update_timing, sort_time
 from .result import (
     STRATEGY_BASELINE,
     STRATEGY_HAU,
@@ -42,7 +43,7 @@ from .result import (
     UpdateResult,
 )
 from .strategies import StrategySelector, resolve_strategy
-from .usc import usc_update_timing
+from .usc import usc_probe_counts, usc_update_timing
 
 __all__ = ["UpdatePolicy", "UpdateEngine"]
 
@@ -88,6 +89,9 @@ class UpdateEngine:
         hau: accelerator simulator exposing
             ``simulate_batch(stats) -> result`` with ``time`` and ``timing``
             attributes; required for HAU policies.
+        telemetry: optional :class:`~repro.telemetry.core.Telemetry`
+            backend; per-batch strategy/ABR decisions land in its ledger
+            and USC/RO counters in its counter set.
     """
 
     def __init__(
@@ -99,6 +103,7 @@ class UpdateEngine:
         abr_config: ABRConfig | None = None,
         hau=None,
         abr_controller: ABRController | None = None,
+        telemetry=None,
     ):
         self.selector = resolve_strategy(policy)
         if self.selector.requires_hau and hau is None:
@@ -122,6 +127,15 @@ class UpdateEngine:
         self.abr = abr_controller or ABRController(
             self.abr_config, costs, machine.num_workers
         )
+        #: Telemetry backend (the shared null backend when uninstrumented).
+        self.telemetry = as_telemetry(telemetry)
+        if (
+            hau is not None
+            and self.telemetry.enabled
+            and getattr(hau, "telemetry", None) is None
+        ):
+            # Let the accelerator's counters land in the same run telemetry.
+            hau.telemetry = self.telemetry
         self.results: list[UpdateResult] = []
 
     # -- internals ----------------------------------------------------------
@@ -139,6 +153,55 @@ class UpdateEngine:
             ),
         }
 
+    def _record_telemetry(self, stats, strategy, decision) -> None:
+        """Counters and ledger entries for one ingested batch.
+
+        Purely observational: reads the already-computed stats/decision and
+        never perturbs modeled results (golden parity holds with telemetry
+        enabled).
+        """
+        tel = self.telemetry
+        if not tel.enabled:
+            return
+        tel.count("update.batches")
+        tel.count("update.edges", stats.batch_size)
+        tel.count(f"update.strategy.{strategy}")
+        cad_value = decision.cad.value if decision and decision.cad else None
+        if strategy in (STRATEGY_RO, STRATEGY_RO_USC):
+            clusters = reorder_cluster_counts(stats)
+            tel.count("ro.batches")
+            tel.count("ro.clusters", clusters["clusters"])
+            tel.count(
+                "ro.sort_modeled_tu",
+                sort_time(stats.batch_size, self.costs, self.machine),
+            )
+            tel.observe("ro.max_cluster", clusters["max_cluster"])
+        if strategy == STRATEGY_RO_USC:
+            probes = usc_probe_counts(stats)
+            tel.count("usc.hash_inserts", probes["inserts"])
+            tel.count("usc.hash_probes", probes["probes"])
+            tel.count("usc.hash_hits", probes["hits"])
+        if decision is not None and decision.active:
+            tel.count("abr.active_batches")
+            # The ledger records the *fresh* decision (it governs the next n
+            # batches); the active batch itself ran under the previous mode.
+            tel.decision(
+                "abr",
+                choice="reorder" if self.abr.reordering else "fallback",
+                batch_id=stats.batch_id,
+                cad=cad_value,
+                threshold=self.abr.threshold,
+                applied_this_batch=decision.reorder,
+            )
+        tel.decision(
+            "strategy",
+            choice=strategy,
+            batch_id=stats.batch_id,
+            policy=self.policy_name,
+            abr_active=bool(decision and decision.active),
+            cad=cad_value,
+        )
+
     # -- public API -----------------------------------------------------------
     @property
     def policy_name(self) -> str:
@@ -147,8 +210,11 @@ class UpdateEngine:
 
     def ingest(self, batch: Batch) -> UpdateResult:
         """Apply one batch and return its modeled update result."""
-        stats = self.graph.apply_batch(batch)
-        timings = self._software_times(stats)
+        tel = self.telemetry
+        with tel.span("update.apply_batch"):
+            stats = self.graph.apply_batch(batch)
+        with tel.span("update.model"):
+            timings = self._software_times(stats)
         strategy, decision = self.selector.select(self, stats, timings)
         if decision is not None:
             # Feedback hook (no-op on the static controller): report the
@@ -159,10 +225,12 @@ class UpdateEngine:
                 timings[STRATEGY_RO].makespan,
             )
         if strategy == STRATEGY_HAU:
-            hau_result = self.hau.simulate_batch(stats)
+            with tel.span("update.hau_simulate"):
+                hau_result = self.hau.simulate_batch(stats)
             timing = hau_result.timing
         else:
             timing = timings[strategy]
+        self._record_telemetry(stats, strategy, decision)
         instrumentation = decision.instrumentation if decision else 0.0
         # Structure maintenance (e.g. edge-log archiving) is paid by the
         # batch no matter which update strategy executed.

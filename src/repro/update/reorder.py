@@ -20,7 +20,30 @@ from ..exec_model.machine import MachineConfig
 from ..exec_model.parallel import PhaseTiming, makespan
 from ..graph.base import BatchUpdateStats, DirectionStats, DynamicGraph
 
-__all__ = ["sort_time", "reorder_direction_costs", "reorder_update_timing"]
+__all__ = [
+    "sort_time",
+    "reorder_direction_costs",
+    "reorder_update_timing",
+    "reorder_cluster_counts",
+]
+
+
+def reorder_cluster_counts(stats: BatchUpdateStats) -> dict[str, float]:
+    """Vertex-cluster shape of one reordered batch (telemetry feed).
+
+    Returns the number of per-vertex clusters the sort produced across both
+    directions and the heaviest single cluster's batch degree — the task
+    that bounds RO's critical path (a top-degree vertex's whole edge
+    cluster runs on one thread).
+    """
+    clusters = 0.0
+    max_cluster = 0.0
+    for direction in stats.directions:
+        if direction.num_vertices == 0:
+            continue
+        clusters += float(direction.num_vertices)
+        max_cluster = max(max_cluster, float(direction.batch_degree.max()))
+    return {"clusters": clusters, "max_cluster": max_cluster}
 
 
 def sort_time(batch_size: int, costs: CostParameters, machine: MachineConfig) -> float:

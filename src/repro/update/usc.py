@@ -27,7 +27,12 @@ from ..exec_model.parallel import PhaseTiming, makespan
 from ..graph.base import BatchUpdateStats, DirectionStats, DynamicGraph
 from .reorder import sort_time
 
-__all__ = ["usc_direction_costs", "usc_update_timing", "usc_search_savings"]
+__all__ = [
+    "usc_direction_costs",
+    "usc_update_timing",
+    "usc_search_savings",
+    "usc_probe_counts",
+]
 
 
 def usc_direction_costs(
@@ -79,6 +84,29 @@ def usc_update_timing(
         efficiency=costs.parallel_efficiency,
         serial_prefix=prefix,
     )
+
+
+def usc_probe_counts(stats: BatchUpdateStats) -> dict[str, float]:
+    """Hash-table operation counts of one batch's RO+USC update.
+
+    Mirrors the cost terms of :func:`usc_direction_costs` as raw operation
+    counts (GraphTango-style per-operation telemetry):
+
+    * ``inserts`` — <target, weight> pairs inserted while populating each
+      cluster's hash table (one per batch edge, both directions);
+    * ``probes`` — hash probes issued by the coalesced scans (one per
+      pre-batch edge-data element walked);
+    * ``hits`` — probes that matched (duplicates whose weights refresh
+      in place).
+    """
+    inserts = probes = hits = 0.0
+    for direction in stats.directions:
+        if direction.num_vertices == 0:
+            continue
+        inserts += float(direction.batch_degree.sum())
+        probes += float(direction.length_before.sum())
+        hits += float(direction.duplicates.sum())
+    return {"inserts": inserts, "probes": probes, "hits": hits}
 
 
 def usc_search_savings(stats: BatchUpdateStats) -> float:

@@ -94,6 +94,22 @@ def test_cell_matches_golden(cell):
 @pytest.mark.parametrize(
     "cell",
     [CELLS[3], CELLS[9]],  # fb/abr_usc and fb/abr_usc+OCA
+    ids=["abr_usc_telemetry", "abr_usc_oca_telemetry"],
+)
+def test_full_telemetry_never_perturbs_modeled_results(cell):
+    """Instrumentation is observation-only: a fully-instrumented run must
+    serialize to the exact golden floats of the uninstrumented record."""
+    import dataclasses
+
+    config = dataclasses.replace(config_for(cell), telemetry="full")
+    metrics = config.run()
+    expected = GOLDEN[capture_parity.cell_key(cell)]
+    assert json.loads(json.dumps(serialize(metrics))) == expected
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [CELLS[3], CELLS[9]],  # fb/abr_usc and fb/abr_usc+OCA
     ids=["abr_usc", "abr_usc_oca"],
 )
 def test_step_loop_matches_run(cell):

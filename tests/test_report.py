@@ -1,0 +1,179 @@
+"""The ``repro report`` trace analyzer, against a committed fixture trace.
+
+``tests/golden/trace_v2.jsonl`` is a recorded schema-v2 trace (fb @ 500,
+pr/abr_usc/OCA, 4 batches, full telemetry).  Regenerate only when the
+schema changes::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.tracing import TraceWriter
+    config = RunConfig(dataset="fb", batch_size=500, algorithm="pr",
+                       mode="abr_usc", num_batches=4, use_oca=True,
+                       telemetry="full")
+    with TraceWriter("tests/golden/trace_v2.jsonl") as trace:
+        config.build_pipeline(trace=trace).run(config.num_batches)
+    EOF
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.telemetry.report import load_report, render_compare, render_report
+
+FIXTURE = Path(__file__).resolve().parent / "golden" / "trace_v2.jsonl"
+
+
+@pytest.fixture
+def fixture_report():
+    return load_report(FIXTURE)
+
+
+def test_fixture_loads(fixture_report):
+    assert fixture_report.document.schema_version == 2
+    assert fixture_report.num_batches == 4
+    assert fixture_report.summary is not None
+    assert fixture_report.label == "fb @ 500 [pr, abr_usc]"
+    assert fixture_report.total_update_time > 0
+    assert fixture_report.wall_seconds is not None
+
+
+def test_strategy_breakdown_partitions_batches(fixture_report):
+    breakdown = fixture_report.strategy_breakdown()
+    assert sum(count for count, _t in breakdown.values()) == 4
+    assert sum(t for _c, t in breakdown.values()) == pytest.approx(
+        fixture_report.total_update_time
+    )
+
+
+def test_render_report_sections(fixture_report):
+    text = render_report(fixture_report)
+    assert "trace report: fb @ 500 [pr, abr_usc]" in text
+    assert "schema v2, 4 batch events" in text
+    assert "modeled totals" in text
+    assert "per-strategy modeled update breakdown" in text
+    assert "wall-clock spans" in text
+    assert "stage.update" in text
+    assert "counters" in text
+    assert "usc.hash_inserts" in text
+    assert "decision ledger" in text
+    assert "strategy selector:" in text
+    assert "batches executed reordered:" in text
+
+
+def test_render_report_without_summary(tmp_path, fixture_report):
+    # v1-style trace: no telemetry summary -> modeled sections only.
+    import dataclasses
+    import json
+
+    v1 = tmp_path / "v1.jsonl"
+    v1.write_text(
+        "".join(
+            json.dumps(dataclasses.asdict(e)) + "\n"
+            for e in fixture_report.events
+        )
+    )
+    text = render_report(load_report(v1))
+    assert "schema v1" in text
+    assert "wall-clock spans" not in text
+    assert "no telemetry summary in trace" in text
+
+
+def test_render_compare_self_is_all_zero_deltas(fixture_report):
+    text = render_compare(fixture_report, fixture_report)
+    assert "A/B trace comparison" in text
+    assert "positive delta = B slower" in text
+    assert "+0.0" in text
+
+
+def test_render_compare_shows_regressions(tmp_path, fixture_report):
+    from repro.pipeline.config import RunConfig
+    from repro.pipeline.tracing import TraceWriter
+
+    config = RunConfig(dataset="fb", batch_size=500, algorithm="pr",
+                       mode="baseline", num_batches=4, use_oca=True,
+                       telemetry="full")
+    path = tmp_path / "baseline.jsonl"
+    with TraceWriter(path) as trace:
+        config.build_pipeline(trace=trace).run(config.num_batches)
+    text = render_compare(fixture_report, load_report(path))
+    assert "update time (tu)" in text
+    assert "batches via baseline" in text
+    assert "batches via reorder+usc" in text
+
+
+def test_load_report_missing_file(tmp_path):
+    with pytest.raises(AnalysisError, match="no trace file"):
+        load_report(tmp_path / "nope.jsonl")
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def test_cli_report_single(capsys):
+    from repro.cli import main
+
+    assert main(["report", str(FIXTURE)]) == 0
+    out = capsys.readouterr().out
+    assert "trace report: fb @ 500 [pr, abr_usc]" in out
+    assert "decision ledger" in out
+
+
+def test_cli_report_compare(capsys):
+    from repro.cli import main
+
+    assert main(["report", str(FIXTURE), str(FIXTURE)]) == 0
+    out = capsys.readouterr().out
+    assert "A/B trace comparison" in out
+
+
+def test_cli_run_trace_then_report(tmp_path, capsys):
+    """The acceptance loop: record with `run --trace`, analyze with `report`."""
+    from repro.cli import main
+
+    path = tmp_path / "run.jsonl"
+    assert main([
+        "run", "fb", "--batch-size", "300", "--num-batches", "2",
+        "--algorithm", "none", "--mode", "abr", "--trace", str(path),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "wall-clock spans" in out  # --trace defaults telemetry to full
+    assert "counters" in out
+
+
+def test_cli_run_prom_export(tmp_path, capsys):
+    from repro.cli import main
+
+    prom = tmp_path / "run.prom"
+    assert main([
+        "run", "fb", "--batch-size", "300", "--num-batches", "2",
+        "--algorithm", "none", "--mode", "abr", "--prom", str(prom),
+    ]) == 0
+    assert "prometheus metrics" in capsys.readouterr().out
+    content = prom.read_text()
+    assert 'repro_pipeline_batches_total{dataset="fb",mode="abr"} 2' in content
+
+
+def test_cli_run_telemetry_off_by_default(tmp_path, capsys):
+    from repro.cli import main
+    from repro.pipeline import config as config_mod
+
+    captured = {}
+    original = config_mod.RunConfig.build_pipeline
+
+    def spy(self, *args, **kwargs):
+        pipeline = original(self, *args, **kwargs)
+        captured["telemetry"] = pipeline.telemetry
+        return pipeline
+
+    config_mod.RunConfig.build_pipeline = spy
+    try:
+        assert main([
+            "run", "fb", "--batch-size", "300", "--num-batches", "1",
+            "--algorithm", "none", "--mode", "baseline",
+        ]) == 0
+    finally:
+        config_mod.RunConfig.build_pipeline = original
+    assert not captured["telemetry"].enabled

@@ -52,6 +52,7 @@ configs = st.builds(
     compute_costs=st.none() | st.just(ComputeCostParameters()),
     abr=st.none() | abr_configs,
     oca=st.none() | oca_configs,
+    telemetry=st.sampled_from(["off", "basic", "full"]),
 )
 
 
@@ -106,6 +107,7 @@ def test_from_cell_spec_defaults_extras():
         {"mode": "no_such_mode"},
         {"machine": "tpu"},
         {"batch_size": 0},
+        {"telemetry": "verbose"},
     ],
 )
 def test_invalid_fields_raise(kwargs):
@@ -142,6 +144,21 @@ def test_from_cli_args():
         use_oca=True, num_batches=4,
     )
     assert RunConfig.from_cli_args(args, dataset="fb").dataset == "fb"
+    # Namespaces without a --telemetry attribute (older callers) default off.
+    assert config.telemetry == "off"
+    args.telemetry = "basic"
+    assert RunConfig.from_cli_args(args).telemetry == "basic"
+
+
+def test_build_pipeline_creates_telemetry_backend(flat_profile):
+    from repro.telemetry.core import NULL_TELEMETRY, Telemetry
+
+    off = RunConfig("custom", 200, algorithm="none", mode="baseline")
+    assert off.build_pipeline(profile=flat_profile).telemetry is NULL_TELEMETRY
+    full = dataclasses.replace(off, telemetry="full")
+    backend = full.build_pipeline(profile=flat_profile).telemetry
+    assert isinstance(backend, Telemetry)
+    assert backend.level == "full"
 
 
 def test_build_pipeline_honours_config(flat_profile):

@@ -59,6 +59,112 @@ def test_writer_counts_events(tmp_path):
     assert read_trace(path) == []
 
 
+def test_schema_v2_header_and_summary(tmp_path, flat_profile):
+    from repro.pipeline.tracing import SCHEMA_VERSION, read_trace_document
+    from repro.telemetry.core import Telemetry
+
+    path = tmp_path / "v2.jsonl"
+    tel = Telemetry("full")
+    with TraceWriter(path, telemetry=tel) as trace:
+        StreamingPipeline(
+            flat_profile, 200, "none", UpdatePolicy.ABR,
+            trace=trace, telemetry=tel,
+        ).run(3)
+    doc = read_trace_document(path)
+    assert doc.schema_version == SCHEMA_VERSION == 2
+    assert len(doc.events) == 3
+    assert doc.summary is not None
+    assert doc.summary.counter("pipeline.batches") == 3
+    assert doc.summary.spans["stage.update"].count == 3
+    # First and last physical lines are typed header/summary records.
+    import json
+
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["type"] == "header"
+    assert json.loads(lines[-1])["type"] == "summary"
+
+
+def test_v1_bare_event_lines_stay_readable(tmp_path, flat_profile):
+    import dataclasses
+    import json
+
+    path = tmp_path / "v2.jsonl"
+    with TraceWriter(path) as trace:
+        StreamingPipeline(
+            flat_profile, 200, "none", UpdatePolicy.ABR, trace=trace
+        ).run(2)
+    events = read_trace(path)
+    # Rewrite as a legacy v1 file: bare event objects, no type/header.
+    v1 = tmp_path / "v1.jsonl"
+    v1.write_text(
+        "".join(json.dumps(dataclasses.asdict(e)) + "\n" for e in events)
+    )
+    from repro.pipeline.tracing import read_trace_document
+
+    doc = read_trace_document(v1)
+    assert doc.schema_version == 1
+    assert doc.events == events
+    assert doc.summary is None
+
+
+def test_unknown_line_types_and_fields_are_skipped(tmp_path, flat_profile):
+    import json
+
+    path = tmp_path / "fwd.jsonl"
+    with TraceWriter(path) as trace:
+        StreamingPipeline(
+            flat_profile, 200, "none", UpdatePolicy.ABR, trace=trace
+        ).run(1)
+    lines = path.read_text().splitlines()
+    batch = json.loads(lines[1])
+    batch["field_from_the_future"] = 42
+    doctored = [
+        lines[0],
+        json.dumps({"type": "record_from_the_future", "x": 1}),
+        json.dumps(batch),
+    ]
+    path.write_text("".join(line + "\n" for line in doctored))
+    events = read_trace(path)
+    assert len(events) == 1
+    assert not hasattr(events[0], "field_from_the_future")
+
+
+def test_trailing_partial_line_warns_but_reads(tmp_path, flat_profile):
+    path = tmp_path / "crashed.jsonl"
+    with TraceWriter(path) as trace:
+        StreamingPipeline(
+            flat_profile, 200, "none", UpdatePolicy.ABR, trace=trace
+        ).run(3)
+    # Simulate a crash mid-write: truncate the last line in half.
+    text = path.read_text()
+    path.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+    with pytest.warns(UserWarning, match="partially-written"):
+        events = read_trace(path)
+    assert len(events) == 2
+
+
+def test_malformed_middle_line_still_raises(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "header", "schema_version": 2}\nnot json\n{}\n')
+    with pytest.raises(AnalysisError, match="malformed"):
+        read_trace(path)
+
+
+def test_close_is_idempotent_and_fsyncs(tmp_path):
+    from repro.telemetry.core import Telemetry
+
+    tel = Telemetry("basic")
+    tel.count("x")
+    writer = TraceWriter(tmp_path / "t.jsonl", telemetry=tel)
+    writer.close()
+    writer.close()  # second close must be a no-op, not a ValueError
+    from repro.pipeline.tracing import read_trace_document
+
+    doc = read_trace_document(tmp_path / "t.jsonl")
+    assert doc.summary is not None
+    assert doc.summary.counter("x") == 1
+
+
 def test_cli_run_with_trace(tmp_path, capsys):
     from repro.cli import main
 
