@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast lint bench bench-full bench-smoke report-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke report-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,10 +21,15 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint report-smoke
+test-fast: lint report-smoke test-faults
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
+
+# The full fault-injection suite, including the slow_faults cases the
+# tier-1 run excludes (-m "" overrides the addopts marker filter).
+test-faults:
+	pytest tests/test_faults.py tests/test_checkpoint.py -m "" -q
 
 # End-to-end observability smoke: record an instrumented trace, then make
 # sure the analyzer can read it back (the `repro report` acceptance loop).

@@ -3,7 +3,9 @@
 Commands:
 
 * ``datasets`` — print the Table 2 inventory (paper + scaled profiles).
-* ``run`` — run one pipeline cell and print its metrics.
+* ``run`` — run one pipeline cell and print its metrics; ``--checkpoint
+  DIR --every N`` persists resumable state every N batches and
+  auto-resumes from the newest checkpoint in DIR.
 * ``characterize`` — RO trade-off study for one dataset (Fig. 3 row).
 * ``hau`` — simulate HAU on one cell and print Table 3-style numbers plus
   the Fig. 19/20 per-core statistics.
@@ -86,7 +88,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         trace = TraceWriter(args.trace)
     pipeline = config.build_pipeline(trace=trace)
-    metrics = pipeline.run(config.num_batches)
+    run_kwargs = {}
+    if args.checkpoint:
+        from .pipeline.checkpoint import latest_checkpoint
+
+        found = latest_checkpoint(args.checkpoint)
+        if found is not None:
+            checkpoint, path = found
+            print(
+                f"resuming from {path} "
+                f"(cursor {checkpoint.cursor}, {checkpoint.batches_done} batches done)"
+            )
+            run_kwargs["resume_from"] = checkpoint
+        run_kwargs["checkpoint_dir"] = args.checkpoint
+        run_kwargs["checkpoint_every"] = args.every
+    metrics = pipeline.run(config.num_batches, **run_kwargs)
     if trace is not None:
         trace.close()
         print(f"trace: {trace.events_written} events -> {trace.path}")
@@ -117,8 +133,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_matrix(args: argparse.Namespace) -> int:
-    """Multiple datasets: run the cells via the (optionally parallel) executor."""
-    from .pipeline.executor import merged_telemetry, run_matrix
+    """Multiple datasets: run the cells via the (optionally parallel) executor.
+
+    One cell failing (a worker crash, timeout, or an error inside the
+    pipeline) does not abort the matrix: the surviving cells print
+    normally, failed cells print their error, and the exit code is 1.
+    """
+    from .pipeline.executor import executor_telemetry, merged_telemetry, run_matrix
 
     configs = [RunConfig.from_cli_args(args, dataset=name) for name in args.dataset]
     if any(config.requires_hau for config in configs) or args.trace:
@@ -126,13 +147,24 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
             "HAU modes and --trace require a single dataset", file=sys.stderr
         )
         return 2
-    results = run_matrix(configs, jobs=args.jobs)
+    if args.checkpoint:
+        print("--checkpoint requires a single dataset", file=sys.stderr)
+        return 2
+    stats: dict = {}
+    results = run_matrix(configs, jobs=args.jobs, stats=stats)
+    failed = [result for result in results if not result.ok]
     for result in results:
         spec = result.spec
+        title = (
+            f"{spec.dataset} @ {spec.batch_size} [{spec.algorithm}, {spec.mode}"
+            f"{', oca' if spec.use_oca else ''}]"
+        )
+        if not result.ok:
+            print(render_kv(title, {"status": "FAILED", "error": result.error}))
+            continue
         print(
             render_kv(
-                f"{spec.dataset} @ {spec.batch_size} [{spec.algorithm}, {spec.mode}"
-                f"{', oca' if spec.use_oca else ''}]",
+                title,
                 {
                     "batches": result.num_batches,
                     "update time (tu)": result.update_time,
@@ -143,13 +175,21 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
                 },
             )
         )
-    merged = merged_telemetry(results)
-    if args.prom and merged is not None:
+    if failed:
+        print(
+            f"{len(failed)}/{len(results)} cell(s) failed: "
+            + ", ".join(result.spec.dataset for result in failed),
+            file=sys.stderr,
+        )
+    if args.prom:
         from .telemetry.export import write_prometheus_textfile
 
-        write_prometheus_textfile(merged, args.prom)
+        merged = merged_telemetry(results)
+        health = executor_telemetry(results, stats)
+        snapshot = health if merged is None else merged.merged(health)
+        write_prometheus_textfile(snapshot, args.prom)
         print(f"prometheus metrics (all cells merged) -> {args.prom}")
-    return 0
+    return 1 if failed else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -410,6 +450,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for multi-dataset runs (0 = all cores)",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint pipeline state into DIR and auto-resume from the "
+        "newest checkpoint found there (single dataset only)",
+    )
+    run.add_argument(
+        "--every", type=int, default=5, metavar="N",
+        help="batches between checkpoints when --checkpoint is set "
+        "(default: 5)",
     )
 
     character = sub.add_parser("characterize", help="RO trade-off study (Fig. 3 row)")

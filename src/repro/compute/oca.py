@@ -149,6 +149,19 @@ class OCAController:
             instrumentation=instrumentation,
         )
 
+    def describe_state(self) -> dict:
+        """JSON-friendly digest of the controller's mutable state.
+
+        Used by checkpoint headers so an operator can inspect a run's OCA
+        mode without unpickling the payload.
+        """
+        return {
+            "aggregating": bool(self.aggregating),
+            "pending_defer": bool(self._pending_defer),
+            "measurements": len(self.overlaps),
+            "vertices_seen": int((self._latest_bid >= 0).sum()),
+        }
+
     def flush(self) -> bool:
         """True if a deferred round is pending at end-of-stream.
 

@@ -18,8 +18,10 @@ the directory from the CLI.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import tempfile
+import zlib
 from collections.abc import Iterator
 from pathlib import Path
 
@@ -30,6 +32,11 @@ from .profiles import DatasetProfile
 from .stream import Batch
 
 __all__ = ["cache_dir", "cache_enabled", "cached_batches", "cache_stats", "clear_cache"]
+
+#: On-disk entry layout version (independent of GENERATOR_VERSION, which
+#: tracks the *stream contents*).  v2 added per-batch sizes + validation;
+#: v1 entries (no ``sizes`` array / 3-element meta) load as cache misses.
+_FORMAT_VERSION = 2
 
 
 def cache_enabled() -> bool:
@@ -42,8 +49,32 @@ def cache_dir() -> Path:
     return base / "streams"
 
 
-def _entry_path(name: str, batch_size: int, seed: int) -> Path:
-    return cache_dir() / f"{name}-b{batch_size}-s{seed}-v{GENERATOR_VERSION}.npz"
+def _profile_fingerprint(profile: DatasetProfile) -> int:
+    """CRC32 over every profile parameter the stream generator consumes.
+
+    The entry name must change whenever the generated stream would: a
+    :class:`DatasetProfile` edited in place (new vertex count, reshaped
+    skew) without a ``GENERATOR_VERSION`` bump must miss the old entry
+    rather than silently replay the stale stream.
+    """
+    params = (
+        profile.num_vertices,
+        dataclasses.astuple(profile.src_profile),
+        dataclasses.astuple(profile.dst_profile),
+        profile.warmup_edges,
+        profile.drift_period,
+        profile.hub_in_pool,
+        profile.hub_ramp,
+    )
+    return zlib.crc32(repr(params).encode())
+
+
+def _entry_path(profile: DatasetProfile, batch_size: int, seed: int) -> Path:
+    fingerprint = _profile_fingerprint(profile)
+    return cache_dir() / (
+        f"{profile.name}-b{batch_size}-s{seed}"
+        f"-v{GENERATOR_VERSION}-p{fingerprint:08x}.npz"
+    )
 
 
 def _generate(
@@ -54,6 +85,9 @@ def _generate(
 
 def _save(path: Path, batches: list[Batch], batch_size: int) -> None:
     n = len(batches)
+    # Exact per-batch sizes: a stream's final batch may be short, so flat
+    # prefix arithmetic cannot recover batch boundaries — the offsets do.
+    sizes = np.array([b.size for b in batches], dtype=np.int64)
     src = np.concatenate([b.src for b in batches])
     dst = np.concatenate([b.dst for b in batches])
     weight = np.concatenate([b.weight for b in batches])
@@ -71,7 +105,11 @@ def _save(path: Path, batches: list[Batch], batch_size: int) -> None:
         with os.fdopen(fd, "wb") as handle:
             np.savez(
                 handle,
-                meta=np.array([n, batch_size, GENERATOR_VERSION], dtype=np.int64),
+                meta=np.array(
+                    [n, batch_size, GENERATOR_VERSION, _FORMAT_VERSION],
+                    dtype=np.int64,
+                ),
+                sizes=sizes,
                 src=src,
                 dst=dst,
                 weight=weight,
@@ -88,24 +126,43 @@ def _save(path: Path, batches: list[Batch], batch_size: int) -> None:
 
 
 def _load(path: Path, batch_size: int, num_batches: int) -> list[Batch] | None:
-    """Read a prefix of a cached stream, or None if unusable."""
+    """Read a prefix of a cached stream, or None if unusable.
+
+    Every structural invariant is checked before any batch is built —
+    format version, per-batch size list, and the flat arrays' lengths
+    against the sizes' sum.  Any mismatch (a v1 entry, a torn write that
+    survived rename, a foreign file) is a cache miss, never a misaligned
+    stream.
+    """
     try:
         with np.load(path) as data:
             meta = data["meta"]
+            if meta.shape != (4,) or int(meta[3]) != _FORMAT_VERSION:
+                return None
             cached_n, cached_bs = int(meta[0]), int(meta[1])
             if cached_bs != batch_size or cached_n < num_batches:
                 return None
-            edges = num_batches * batch_size
-            src = data["src"][:edges]
-            dst = data["dst"][:edges]
-            weight = data["weight"][:edges]
-            has_delete = data["has_delete"][:num_batches]
-            is_delete = data["is_delete"][:edges]
-    except (OSError, KeyError, ValueError):
+            sizes = data["sizes"]
+            has_delete = data["has_delete"]
+            if sizes.shape != (cached_n,) or has_delete.shape != (cached_n,):
+                return None
+            if np.any(sizes < 0) or np.any(sizes > batch_size):
+                return None
+            total = int(sizes.sum())
+            src = data["src"]
+            dst = data["dst"]
+            weight = data["weight"]
+            is_delete = data["is_delete"]
+            if not (
+                src.shape == dst.shape == weight.shape == is_delete.shape == (total,)
+            ):
+                return None
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+    except (OSError, KeyError, ValueError, zlib.error):
         return None
     batches = []
     for i in range(num_batches):
-        a, b = i * batch_size, (i + 1) * batch_size
+        a, b = int(offsets[i]), int(offsets[i + 1])
         batches.append(
             Batch(
                 batch_id=i,
@@ -130,7 +187,7 @@ def cached_batches(
     if not cache_enabled():
         yield from profile.generator(seed=seed).batches(batch_size, num_batches)
         return
-    path = _entry_path(profile.name, batch_size, seed)
+    path = _entry_path(profile, batch_size, seed)
     batches = _load(path, batch_size, num_batches)
     if batches is None:
         batches = _generate(profile, batch_size, num_batches, seed)

@@ -51,6 +51,15 @@ class StreamExhaustedError(ReproError):
     """More batches were requested than the stream can provide."""
 
 
+class CheckpointError(ReproError):
+    """A pipeline checkpoint could not be written, read, or applied.
+
+    Covers corrupt/truncated checkpoint files (bad magic, version, or
+    checksum), resume attempts against a mismatched run configuration, and
+    cursors that fall outside the requested stream window.
+    """
+
+
 class SimulationError(ReproError):
     """The hardware simulator reached an inconsistent state."""
 

@@ -1,8 +1,9 @@
 """Streaming pipeline: run configs, modes, metrics, the staged runner and
 the workload matrix."""
 
+from .checkpoint import PipelineCheckpoint, latest_checkpoint
 from .config import RunConfig
-from .executor import CellResult, CellSpec, run_matrix
+from .executor import CellExecutionError, CellResult, CellSpec, run_matrix
 from .latency import LatencyStats, latency_stats, reaction_latencies
 from .metrics import BatchMetrics, RunMetrics
 from .modes import MODE_ALIASES, MODES, resolve_mode
@@ -11,7 +12,10 @@ from .tracing import TraceEvent, TraceWriter, read_trace
 from .workloads import DEFAULT_BATCH_CAPS, Workload, workload_matrix
 
 __all__ = [
+    "PipelineCheckpoint",
+    "latest_checkpoint",
     "RunConfig",
+    "CellExecutionError",
     "CellResult",
     "CellSpec",
     "run_matrix",

@@ -227,7 +227,7 @@ class RunConfig:
             kwargs["costs"] = self.costs
         if self.compute_costs is not None:
             kwargs["compute_costs"] = self.compute_costs
-        return StreamingPipeline(
+        pipeline = StreamingPipeline(
             profile,
             self.batch_size,
             algorithm=self.algorithm,
@@ -246,6 +246,10 @@ class RunConfig:
             telemetry=telemetry,
             **kwargs,
         )
+        # Checkpoints embed the originating config so resume can reject a
+        # pipeline built under different parameters.
+        pipeline.run_config = self
+        return pipeline
 
     def run(self, num_batches: int | None = None):
         """Build the pipeline and run it (``num_batches`` overrides the

@@ -1,4 +1,4 @@
-"""Parallel execution of workload-matrix cells.
+"""Parallel execution of workload-matrix cells, with per-cell fault isolation.
 
 The evaluation matrix (``pipeline.workloads``) is embarrassingly parallel:
 every cell builds its own graph from its own seeded stream, so cells can run
@@ -6,31 +6,50 @@ in worker processes with no shared state.  :func:`run_matrix` fans cells out
 over a ``ProcessPoolExecutor`` while guaranteeing:
 
 * **determinism** — each cell derives its stream from its spec's seed, and
-  results are returned in submission order (``Executor.map`` preserves
-  ordering), so ``jobs=N`` output is byte-identical to ``jobs=1``;
-* **graceful degradation** — ``jobs=1`` never creates a pool, and any pool
-  failure (unpicklable payloads, a broken worker, a sandbox that forbids
-  forking) falls back to in-process serial execution of the remaining work.
+  results are returned in input order, so ``jobs=N`` output is byte-identical
+  to ``jobs=1``;
+* **failure isolation** — cells run as *individual* futures.  A cell whose
+  function raises reports that cell's error (or, with ``on_error``, a
+  substitute result) without discarding or re-running any other cell's work.
+  Pool-level failures (a worker killed mid-cell, a sandbox that forbids
+  forking) are retried with bounded backoff for the *unfinished* cells only;
+  a cell that repeatedly breaks the pool is finally attempted in an isolated
+  single-worker pool so the crash attributes to it definitively;
+* **bounded stalls** — an optional per-cell timeout (``timeout=`` or
+  ``REPRO_CELL_TIMEOUT``) marks a hung cell failed, terminates the stuck
+  workers, and continues the remaining cells in a fresh pool.
+
+Environment knobs (all overridable per call):
+
+* ``REPRO_CELL_TIMEOUT`` — per-cell wall-clock timeout in seconds
+  (unset/0 = wait forever);
+* ``REPRO_EXECUTOR_RETRIES`` — pool-rebuild rounds after a pool-level
+  failure before the isolation pass (default 1);
+* ``REPRO_EXECUTOR_BACKOFF`` — base sleep in seconds between pool-rebuild
+  rounds (default 0.1, scaled linearly with the attempt number).
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
-from ..telemetry.core import TelemetrySnapshot, merge_snapshots
+from ..telemetry.core import Decision, TelemetrySnapshot, merge_snapshots
 
 __all__ = [
     "CellSpec",
     "CellResult",
+    "CellExecutionError",
     "run_matrix",
     "map_cells",
     "default_jobs",
     "merged_telemetry",
+    "executor_telemetry",
 ]
 
 T = TypeVar("T")
@@ -71,6 +90,9 @@ class CellResult:
         telemetry: the cell pipeline's telemetry snapshot, when the run was
             instrumented (``telemetry != "off"``); None otherwise.  Frozen
             plain data, so it ships back from worker processes unchanged.
+        error: None for a successful cell; otherwise a short
+            ``"ExceptionType: message"`` string describing why the cell
+            failed (its metric fields are all zero in that case).
     """
 
     spec: CellSpec
@@ -79,10 +101,36 @@ class CellResult:
     compute_time: float
     strategies: tuple[tuple[str, int], ...]
     telemetry: TelemetrySnapshot | None = field(default=None, compare=False)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def total_time(self) -> float:
         return self.update_time + self.compute_time
+
+    @classmethod
+    def failed(cls, spec: CellSpec, error: str) -> "CellResult":
+        """The error outcome of a cell that did not complete."""
+        return cls(
+            spec=spec,
+            num_batches=0,
+            update_time=0.0,
+            compute_time=0.0,
+            strategies=(),
+            error=error,
+        )
+
+
+class CellExecutionError(RuntimeError):
+    """A cell failed inside a worker in a way that has no exception object.
+
+    Raised (or wrapped into an error outcome) when the worker process died
+    (e.g. ``os._exit``, OOM-kill, segfault) or exceeded the per-cell
+    timeout — there is no traceback to propagate, only a diagnosis.
+    """
 
 
 def default_jobs() -> int:
@@ -111,31 +159,321 @@ def _run_cell(config) -> CellResult:
     )
 
 
-def map_cells(fn: Callable[[T], R], items: Sequence[T], jobs: int = 1) -> list[R]:
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+@dataclass
+class _Failure:
+    """Per-item failure marker threaded through the result slots."""
+
+    error: BaseException
+
+
+_PENDING = object()  # result-slot sentinel: item not finished yet
+
+
+class _PoolRound:
+    """One pool lifetime: submit pending items, harvest until done or broken."""
+
+    def __init__(self, fn, items, results, pending, jobs, timeout, stats):
+        self.fn = fn
+        self.items = items
+        self.results = results
+        self.queue = deque(pending)
+        self.unfinished = set(pending)
+        self.jobs = min(jobs, len(pending))
+        self.timeout = timeout
+        self.stats = stats
+        self.inflight: dict = {}  # future -> item index
+        self.deadlines: dict = {}  # future -> monotonic deadline
+        self.broke = False  # pool died or was torn down mid-round
+        self.unusable = False  # pool could not run at all (fork refused)
+
+    def _submit_next(self, pool) -> None:
+        index = self.queue.popleft()
+        future = pool.submit(self.fn, self.items[index])
+        self.inflight[future] = index
+        if self.timeout:
+            self.deadlines[future] = time.monotonic() + self.timeout
+
+    def _fail(self, index: int, error: BaseException) -> None:
+        self.results[index] = _Failure(error)
+        self.unfinished.discard(index)
+
+    def _harvest(self, future) -> None:
+        index = self.inflight.pop(future)
+        self.deadlines.pop(future, None)
+        try:
+            self.results[index] = future.result()
+            self.unfinished.discard(index)
+        except BrokenProcessPool:
+            # The worker died; this item (and everything still inflight)
+            # stays unfinished for the retry round.
+            self.broke = True
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            # A genuine error raised by ``fn`` (or its result failed to
+            # pickle): the *cell's* outcome, never retried.
+            self.stats["errors"] = self.stats.get("errors", 0) + 1
+            self._fail(index, exc)
+
+    def _expire_overdue(self) -> bool:
+        """Mark futures past their deadline failed; True if any expired."""
+        now = time.monotonic()
+        overdue = [
+            future
+            for future, deadline in self.deadlines.items()
+            if deadline <= now and not future.done()
+        ]
+        for future in overdue:
+            index = self.inflight.pop(future)
+            self.deadlines.pop(future, None)
+            self.stats["timeouts"] = self.stats.get("timeouts", 0) + 1
+            self._fail(
+                index,
+                CellExecutionError(
+                    f"cell timed out after {self.timeout:g}s in a worker process"
+                ),
+            )
+        return bool(overdue)
+
+    def run(self) -> list[int]:
+        """Execute the round; returns the still-unfinished indices, sorted."""
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except (OSError, ValueError):
+            self.unusable = True
+            return sorted(self.unfinished)
+        kill = False
+        try:
+            try:
+                while self.queue and len(self.inflight) < self.jobs:
+                    self._submit_next(pool)
+                while self.inflight and not self.broke:
+                    if self.deadlines:
+                        budget = min(self.deadlines.values()) - time.monotonic()
+                        done, _ = wait(
+                            list(self.inflight),
+                            timeout=max(budget, 0.0),
+                            return_when=FIRST_COMPLETED,
+                        )
+                    else:
+                        done, _ = wait(
+                            list(self.inflight), return_when=FIRST_COMPLETED
+                        )
+                    if not done:
+                        if self._expire_overdue():
+                            # The stuck worker cannot be reclaimed; tear the
+                            # pool down and let the caller rebuild for the
+                            # remaining cells.
+                            kill = True
+                            self.broke = True
+                        continue
+                    for future in done:
+                        self._harvest(future)
+                        if self.broke:
+                            break
+                        if self.queue:
+                            self._submit_next(pool)
+            except BrokenProcessPool:
+                self.broke = True
+            except OSError:
+                # Forking refused mid-round (sandbox): whatever is left runs
+                # serially in the caller.
+                self.unusable = True
+        finally:
+            if kill:
+                for process in list((getattr(pool, "_processes", None) or {}).values()):
+                    try:
+                        process.terminate()
+                    except OSError:
+                        pass
+            pool.shutdown(wait=True, cancel_futures=True)
+        return sorted(self.unfinished)
+
+
+def _run_isolated(fn, item, timeout, stats):
+    """Run one item in its own single-worker pool; returns result slot value.
+
+    Used as the last resort for items that survived the retry rounds: a
+    crash here attributes to this item definitively, so it gets an error
+    outcome while every other cell's result is preserved.
+    """
+    stats["isolated"] = stats.get("isolated", 0) + 1
+    try:
+        pool = ProcessPoolExecutor(max_workers=1)
+    except (OSError, ValueError):
+        return _Failure(
+            CellExecutionError("worker pool unavailable for isolated retry")
+        )
+    kill = False
+    try:
+        future = pool.submit(fn, item)
+        try:
+            return future.result(timeout=timeout or None)
+        except BrokenProcessPool:
+            return _Failure(
+                CellExecutionError(
+                    "worker process died while executing this cell"
+                )
+            )
+        except TimeoutError:
+            kill = True
+            stats["timeouts"] = stats.get("timeouts", 0) + 1
+            return _Failure(
+                CellExecutionError(
+                    f"cell timed out after {timeout:g}s in a worker process"
+                )
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            stats["errors"] = stats.get("errors", 0) + 1
+            return _Failure(exc)
+    finally:
+        if kill:
+            for process in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    process.terminate()
+                except OSError:
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _map_serial(fn, items, indices, results, on_error, stats) -> None:
+    for index in indices:
+        try:
+            results[index] = fn(items[index])
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:
+            stats["errors"] = stats.get("errors", 0) + 1
+            results[index] = _Failure(exc)
+            if on_error is None:
+                # Preserve fail-fast semantics serially: nothing after this
+                # item has started, so stopping loses no completed work.
+                break
+
+
+def map_cells(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    *,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    on_error: Callable[[T, BaseException], R] | None = None,
+    stats: dict | None = None,
+) -> list[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     ``fn`` must be a module-level callable and items/results picklable when
-    ``jobs > 1``.  Results always come back in input order.  Any pool-level
-    failure (fork refused, worker died, pickling error) degrades to running
-    the whole batch serially in-process — correctness over speed.
+    ``jobs > 1``.  Results always come back in input order.
+
+    Every item runs as its own future, so failures are isolated per item:
+
+    * an exception raised by ``fn`` (or an unpicklable result) fails *that
+      item only* — with ``on_error`` the substitute ``on_error(item, exc)``
+      takes its slot; without it the first error re-raises after the
+      already-running items finish.  Either way no completed item is ever
+      re-executed (the old implementation re-ran the whole list serially);
+    * a pool-level failure (worker killed, fork refused) retries only the
+      unfinished items, up to ``retries`` pool rebuilds with linear
+      ``backoff``; stubborn items get one final attempt in an isolated
+      single-worker pool so a crash attributes to the guilty item;
+    * with ``timeout`` (or ``REPRO_CELL_TIMEOUT``), an item stuck in a
+      worker longer than ``timeout`` seconds fails with
+      :class:`CellExecutionError` and its worker is terminated.
+
+    Args:
+        fn: module-level callable applied to each item.
+        items: the work list.
+        jobs: worker processes (1 = serial in-process, 0 = all cores).
+        timeout: per-item wall-clock seconds (None = ``REPRO_CELL_TIMEOUT``,
+            0 = no limit).
+        retries: pool-rebuild rounds after pool-level failures
+            (None = ``REPRO_EXECUTOR_RETRIES``, default 1).
+        backoff: base seconds slept between pool rebuilds
+            (None = ``REPRO_EXECUTOR_BACKOFF``, default 0.1).
+        on_error: optional ``(item, exception) -> result`` hook supplying a
+            substitute result for failed items instead of raising.
+        stats: optional dict accumulating executor counters
+            (``errors``, ``timeouts``, ``pool_breaks``, ``pool_retries``,
+            ``isolated``, ``serial_fallback``).
     """
     items = list(items)
+    if stats is None:
+        stats = {}
     if jobs <= 0:
         jobs = default_jobs()
+    if timeout is None:
+        timeout = _env_float("REPRO_CELL_TIMEOUT", 0.0)
+    timeout = timeout or 0.0
+    if retries is None:
+        retries = int(_env_float("REPRO_EXECUTOR_RETRIES", 1.0))
+    if backoff is None:
+        backoff = _env_float("REPRO_EXECUTOR_BACKOFF", 0.1)
+
+    results: list = [_PENDING] * len(items)
+    pending = list(range(len(items)))
     if jobs == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-            return list(pool.map(fn, items, chunksize=1))
-    except (BrokenProcessPool, OSError, pickle.PicklingError, TypeError, AttributeError):
-        # The pool failed (worker died, fork refused by the sandbox, or the
-        # payload would not pickle); the serial path computes the same
-        # results.  Genuine errors raised by ``fn`` itself propagate from
-        # the retry exactly as they would have serially.
-        return [fn(item) for item in items]
+        _map_serial(fn, items, pending, results, on_error, stats)
+    else:
+        attempt = 0
+        while pending:
+            round_ = _PoolRound(fn, items, results, pending, jobs, timeout, stats)
+            pending = round_.run()
+            if round_.unusable:
+                # The environment cannot run worker processes at all;
+                # serial in-process execution computes the same results.
+                stats["serial_fallback"] = stats.get("serial_fallback", 0) + 1
+                _map_serial(fn, items, pending, results, on_error, stats)
+                pending = []
+                break
+            if not pending:
+                break
+            stats["pool_breaks"] = stats.get("pool_breaks", 0) + 1
+            attempt += 1
+            if attempt > retries:
+                break
+            stats["pool_retries"] = stats.get("pool_retries", 0) + 1
+            if backoff > 0:
+                time.sleep(backoff * attempt)
+        for index in pending:
+            results[index] = _run_isolated(fn, items[index], timeout, stats)
+
+    out: list = []
+    first_error: BaseException | None = None
+    for index, slot in enumerate(results):
+        if slot is _PENDING:  # serial fail-fast stopped before this item
+            slot = _Failure(
+                CellExecutionError("not executed: an earlier cell failed")
+            )
+        if isinstance(slot, _Failure):
+            if on_error is not None:
+                out.append(on_error(items[index], slot.error))
+            elif first_error is None:
+                first_error = slot.error
+        else:
+            out.append(slot)
+    if first_error is not None:
+        raise first_error
+    return out
 
 
-def run_matrix(specs: Sequence[CellSpec], jobs: int = 1) -> list[CellResult]:
+def run_matrix(
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    *,
+    timeout: float | None = None,
+    stats: dict | None = None,
+) -> list[CellResult]:
     """Run workload cells, ``jobs`` at a time; results in spec order.
 
     Accepts :class:`CellSpec` rows (lifted into
@@ -143,6 +481,12 @@ def run_matrix(specs: Sequence[CellSpec], jobs: int = 1) -> list[CellResult]:
     ready-made ``RunConfig`` objects.  ``jobs=1`` runs serially in-process;
     ``jobs=0`` uses every core.  Each cell is self-seeded via its config,
     so the result list is identical regardless of ``jobs``.
+
+    Failures never discard completed work: a cell whose worker raises,
+    dies, or times out comes back as :meth:`CellResult.failed` (inspect
+    :attr:`CellResult.error`) while every other cell's result is returned
+    normally.  Pass ``stats`` to collect the executor's retry/timeout
+    counters (see :func:`executor_telemetry`).
     """
     from .config import RunConfig
 
@@ -150,7 +494,20 @@ def run_matrix(specs: Sequence[CellSpec], jobs: int = 1) -> list[CellResult]:
         spec if isinstance(spec, RunConfig) else RunConfig.from_cell_spec(spec)
         for spec in specs
     ]
-    return map_cells(_run_cell, configs, jobs=jobs)
+
+    def cell_error(config, exc: BaseException) -> CellResult:
+        return CellResult.failed(
+            config.to_cell_spec(), f"{type(exc).__name__}: {exc}"
+        )
+
+    return map_cells(
+        _run_cell,
+        configs,
+        jobs=jobs,
+        timeout=timeout,
+        on_error=cell_error,
+        stats=stats,
+    )
 
 
 def merged_telemetry(results: Sequence[CellResult]) -> TelemetrySnapshot | None:
@@ -159,7 +516,51 @@ def merged_telemetry(results: Sequence[CellResult]) -> TelemetrySnapshot | None:
     Snapshots merge in result (= submission) order — counters sum, spans
     and histograms pool, decision ledgers concatenate — so the aggregate
     is identical for ``jobs=1`` and ``jobs=N``.  Returns None when no cell
-    was instrumented.
+    was instrumented.  Failed cells carry no snapshot and merge as nothing.
     """
     snapshots = [r.telemetry for r in results if r.telemetry is not None]
     return merge_snapshots(snapshots) if snapshots else None
+
+
+def executor_telemetry(
+    results: Sequence[CellResult], stats: dict | None = None
+) -> TelemetrySnapshot:
+    """The executor's own health counters and failure ledger as a snapshot.
+
+    Separate from :func:`merged_telemetry` (which aggregates what ran
+    *inside* the cells) so serial/parallel cell aggregation stays
+    bit-identical; merge the two when exporting.  Counters:
+
+    * ``executor.cells`` / ``executor.cells_failed`` — outcome totals;
+    * ``executor.errors`` / ``executor.timeouts`` — per-cell failures seen;
+    * ``executor.pool_breaks`` / ``executor.pool_retries`` /
+      ``executor.isolated`` / ``executor.serial_fallback`` — pool-level
+      recovery activity (from the ``stats`` dict of
+      :func:`map_cells`/:func:`run_matrix`).
+
+    Each failed cell also appends a ``kind="cell"`` :class:`Decision` with
+    the spec coordinates and the error string, so ``repro report`` can show
+    *which* cells failed and why.
+    """
+    failed = [r for r in results if r.error is not None]
+    counters: dict[str, float] = {
+        "executor.cells": float(len(results)),
+        "executor.cells_failed": float(len(failed)),
+    }
+    for key, value in (stats or {}).items():
+        counters[f"executor.{key}"] = float(value)
+    decisions = tuple(
+        Decision(
+            kind="cell",
+            choice="error",
+            batch_id=None,
+            inputs=(
+                ("batch_size", r.spec.batch_size),
+                ("dataset", r.spec.dataset),
+                ("error", r.error),
+                ("mode", r.spec.mode),
+            ),
+        )
+        for r in failed
+    )
+    return TelemetrySnapshot(level="basic", counters=counters, decisions=decisions)

@@ -175,6 +175,10 @@ class StreamingPipeline:
         self._cursor: int = 0
         #: Metrics accumulated by :meth:`step` (reset by :meth:`run`).
         self.metrics = self._new_metrics()
+        #: The RunConfig that built this pipeline, when one did
+        #: (:meth:`~repro.pipeline.config.RunConfig.build_pipeline` sets it);
+        #: checkpoints embed it so resume can reject mismatched configs.
+        self.run_config = None
 
     def _new_metrics(self) -> RunMetrics:
         return RunMetrics(
@@ -316,21 +320,109 @@ class StreamingPipeline:
                 tel.count("pipeline.aggregated_batches", len(ctx.covered))
         return ctx.metrics
 
-    def run(self, num_batches: int | None = None, seed_offset: int = 0) -> RunMetrics:
+    def save_checkpoint(self, directory, keep: int = 3):
+        """Capture the pipeline's state and atomically write it to ``directory``.
+
+        Returns:
+            The :class:`~pathlib.Path` of the written checkpoint file.
+        """
+        from .checkpoint import PipelineCheckpoint
+
+        checkpoint = PipelineCheckpoint.capture(self)
+        path = checkpoint.save_to_dir(directory, keep=keep)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("checkpoint.saves")
+            tel.count("checkpoint.bytes", len(checkpoint.payload))
+            tel.decision(
+                "checkpoint",
+                choice="save",
+                batch_id=self._cursor - 1 if self._cursor else None,
+                cursor=self._cursor,
+                payload_bytes=len(checkpoint.payload),
+            )
+        return path
+
+    def run(
+        self,
+        num_batches: int | None = None,
+        seed_offset: int = 0,
+        *,
+        resume_from=None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_keep: int = 3,
+    ) -> RunMetrics:
         """Stream ``num_batches`` batches through the pipeline.
 
         Args:
             num_batches: batches to process (defaults to all the profile's
                 stream provides at this batch size).
-            seed_offset: shift the stream start (used to resume streams).
+            seed_offset: shift the stream start of a fresh run.
+            resume_from: a :class:`~repro.pipeline.checkpoint.PipelineCheckpoint`
+                or a path to one; the pipeline restores that state and
+                continues the stream from its cursor instead of starting at
+                ``seed_offset``.  The resumed run's final
+                :class:`~repro.pipeline.metrics.RunMetrics` are bit-identical
+                to the uninterrupted run's (stream generation is a pure
+                function of position, and all adaptive state travels in the
+                checkpoint).
+            checkpoint_dir: when set (with ``checkpoint_every`` > 0), write a
+                checkpoint into this directory every ``checkpoint_every``
+                batches via atomic write-then-rename.
+            checkpoint_every: batches between checkpoints; 0 disables.
+            checkpoint_keep: newest checkpoints retained in
+                ``checkpoint_dir`` (older ones are pruned).
 
         Returns:
             The run's :class:`~repro.pipeline.metrics.RunMetrics`.
+
+        Raises:
+            CheckpointError: ``resume_from`` is corrupt, was taken under a
+                different run config, or its cursor falls outside the
+                requested stream window.
         """
         if num_batches is None:
             num_batches = self.profile.num_batches(self.batch_size)
-        self._cursor = seed_offset
-        self.metrics = self._new_metrics()
-        for index in range(num_batches):
-            self.step(final=index == num_batches - 1)
+        end = seed_offset + num_batches
+        if resume_from is not None:
+            from ..errors import CheckpointError
+            from .checkpoint import PipelineCheckpoint
+
+            checkpoint = (
+                resume_from
+                if isinstance(resume_from, PipelineCheckpoint)
+                else PipelineCheckpoint.load(resume_from)
+            )
+            checkpoint.restore(self)
+            if not seed_offset <= self._cursor <= end:
+                raise CheckpointError(
+                    f"checkpoint cursor {self._cursor} is outside the requested "
+                    f"stream window [{seed_offset}, {end})"
+                )
+            tel = self.telemetry
+            if tel.enabled:
+                tel.count("checkpoint.resumes")
+                tel.decision(
+                    "checkpoint",
+                    choice="resume",
+                    batch_id=None,
+                    cursor=self._cursor,
+                    batches_done=checkpoint.batches_done,
+                )
+        else:
+            self._cursor = seed_offset
+            self.metrics = self._new_metrics()
+        since_checkpoint = 0
+        while self._cursor < end:
+            self.step(final=self._cursor == end - 1)
+            since_checkpoint += 1
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every > 0
+                and since_checkpoint >= checkpoint_every
+                and self._cursor < end
+            ):
+                self.save_checkpoint(checkpoint_dir, keep=checkpoint_keep)
+                since_checkpoint = 0
         return self.metrics

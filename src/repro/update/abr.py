@@ -117,3 +117,16 @@ class ABRController:
         self, stats: BatchUpdateStats, baseline_time: float, reorder_time: float
     ) -> None:
         """Hook for feedback-enabled subclasses; the base controller is static."""
+
+    def describe_state(self) -> dict:
+        """JSON-friendly digest of the controller's mutable state.
+
+        Used by checkpoint headers so an operator can inspect a run's ABR
+        mode without unpickling the payload.
+        """
+        return {
+            "reordering": bool(self.reordering),
+            "threshold": float(self.threshold),
+            "decisions_made": int(self.decisions_made),
+            "active_batches": int(self.active_batches),
+        }

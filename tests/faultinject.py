@@ -1,0 +1,147 @@
+"""Fault-injection harness for the executor and checkpoint test suites.
+
+Worker processes are forked, so they inherit this module and the parent's
+environment; every hook below is module-level (picklable by qualname) and
+reads its configuration from environment variables, which lets a test
+choose *where* a fault fires without shipping closures into workers:
+
+* ``REPRO_FAULT_MODE`` — ``raise`` | ``typeerror`` | ``exit`` | ``hang`` |
+  ``unpicklable`` (what :func:`fault_cell` does at a fault site);
+* ``REPRO_FAULT_CELLS`` — comma-separated item values that are fault sites;
+* ``REPRO_FAULT_DELAY`` — seconds a fault site sleeps *before* faulting, so
+  sibling cells already in flight can finish first (makes "the survivors
+  completed" deterministic);
+* ``REPRO_FAULT_HANG`` — seconds a ``hang`` fault sleeps (default 60);
+* ``REPRO_FAULT_LOG`` — append-only file receiving one line per invocation
+  (``O_APPEND`` writes are atomic across processes, so the parent can count
+  exactly how many times each item executed);
+* ``REPRO_FAULT_DATASET`` — dataset name whose cell :func:`faulty_run_cell`
+  kills (for ``run_matrix`` crash tests).
+
+The checkpoint kill tests use :func:`run_checkpointed_and_die` as a
+``multiprocessing.Process`` target: it streams a configured run with
+periodic checkpoints and hard-kills its own process (``os._exit``) when the
+stream cursor reaches a chosen batch — the closest reproducible stand-in
+for "the machine died mid-run".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+# Bound at import time, before any test monkeypatches
+# ``repro.pipeline.executor._run_cell`` to point at the hooks below —
+# otherwise the hooks would recurse into themselves.
+from repro.pipeline.executor import _run_cell as _real_run_cell
+
+
+def _log_invocation(tag) -> None:
+    path = os.environ.get("REPRO_FAULT_LOG")
+    if not path:
+        return
+    # One O_APPEND write per invocation: atomic even when many forked
+    # workers log concurrently, so line counts are exact.
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, f"{tag}\n".encode())
+    finally:
+        os.close(fd)
+
+
+def read_invocations(path) -> list[str]:
+    """The logged invocation tags, in write order."""
+    try:
+        with open(path) as handle:
+            return [line.strip() for line in handle if line.strip()]
+    except FileNotFoundError:
+        return []
+
+
+def _fault_sites() -> set[str]:
+    raw = os.environ.get("REPRO_FAULT_CELLS", "")
+    return {site for site in raw.split(",") if site}
+
+
+def fault_cell(item):
+    """Worker function: double the item, unless it is a fault site.
+
+    Fault sites first sleep ``REPRO_FAULT_DELAY`` (letting innocent cells
+    drain), then act out ``REPRO_FAULT_MODE``.
+    """
+    _log_invocation(item)
+    if str(item) in _fault_sites():
+        delay = float(os.environ.get("REPRO_FAULT_DELAY", "0") or 0)
+        if delay:
+            time.sleep(delay)
+        mode = os.environ.get("REPRO_FAULT_MODE", "raise")
+        if mode == "raise":
+            raise ValueError(f"injected fault at cell {item}")
+        if mode == "typeerror":
+            # The pre-fix executor caught TypeError from pool.map and re-ran
+            # the whole item list serially; keep this mode distinct so the
+            # double-execution regression test exercises exactly that type.
+            raise TypeError(f"injected fault at cell {item}")
+        if mode == "exit":
+            os._exit(1)
+        if mode == "hang":
+            time.sleep(float(os.environ.get("REPRO_FAULT_HANG", "60") or 60))
+        if mode == "unpicklable":
+            return lambda: item  # lambdas cannot cross the process boundary
+    return item * 2
+
+
+def faulty_run_cell(config):
+    """Stand-in for ``executor._run_cell`` that kills one dataset's worker.
+
+    Logs every invocation by dataset name, then runs the real cell — except
+    for ``REPRO_FAULT_DATASET``, whose worker process dies via ``os._exit``
+    after ``REPRO_FAULT_DELAY`` seconds.
+    """
+    _log_invocation(config.dataset)
+    if config.dataset == os.environ.get("REPRO_FAULT_DATASET"):
+        delay = float(os.environ.get("REPRO_FAULT_DELAY", "0") or 0)
+        if delay:
+            time.sleep(delay)
+        os._exit(1)
+    return _real_run_cell(config)
+
+
+def faulty_raise_run_cell(config):
+    """Like :func:`faulty_run_cell` but raises instead of killing the process.
+
+    Safe for ``jobs=1`` tests, where ``os._exit`` would take the test
+    process down with it.
+    """
+    _log_invocation(config.dataset)
+    if config.dataset == os.environ.get("REPRO_FAULT_DATASET"):
+        raise RuntimeError(f"injected cell failure for {config.dataset}")
+    return _real_run_cell(config)
+
+
+def run_checkpointed_and_die(config_json, checkpoint_dir, every, die_at) -> None:
+    """``multiprocessing.Process`` target: checkpointed run that dies mid-stream.
+
+    Builds the pipeline from a JSON-encoded RunConfig and drives the public
+    :meth:`StreamingPipeline.step` loop (the documented external-driver
+    pattern), checkpointing every ``every`` batches into ``checkpoint_dir``.
+    When the stream cursor reaches ``die_at`` the process exits with
+    ``os._exit(17)`` — no Python cleanup, no atexit, exactly like a kill -9
+    between batches.  Batches ``0..die_at-1`` complete; batch ``die_at``
+    never happens.
+    """
+    from repro.pipeline.config import RunConfig
+
+    config = RunConfig.from_json(config_json)
+    pipeline = config.build_pipeline()
+    num_batches = config.num_batches
+    since = 0
+    while pipeline._cursor < num_batches:
+        if pipeline._cursor >= die_at:
+            os._exit(17)
+        pipeline.step(final=pipeline._cursor == num_batches - 1)
+        since += 1
+        if since >= every and pipeline._cursor < num_batches:
+            pipeline.save_checkpoint(checkpoint_dir)
+            since = 0
+    os._exit(0)  # unreachable when die_at < num_batches

@@ -1,0 +1,229 @@
+"""Checkpoint/resume tests: atomic persistence, validation, bit-identity.
+
+The load-bearing property is the acceptance criterion: kill a checkpointed
+run mid-stream, resume from the newest checkpoint in a fresh process-like
+pipeline, and the final :class:`RunMetrics` — exact float comparisons, no
+tolerance — equal the uninterrupted run's.  That holds because stream
+generation is a pure function of the cursor and every piece of adaptive
+state (graph, ABR, OCA, incremental compute engines, metrics) travels in
+the checkpoint payload.
+"""
+
+import dataclasses
+import multiprocessing
+
+import pytest
+
+import faultinject
+from repro.errors import CheckpointError
+from repro.pipeline import PipelineCheckpoint, RunConfig, latest_checkpoint
+from repro.pipeline.checkpoint import checkpoint_path
+
+pytestmark = pytest.mark.faults
+
+CONFIG = RunConfig(
+    dataset="wiki", batch_size=200, num_batches=12,
+    algorithm="pr", mode="dynamic", use_oca=True,
+)
+
+
+def _run_uninterrupted(config=CONFIG):
+    return config.build_pipeline().run(config.num_batches)
+
+
+# -- file format ------------------------------------------------------------
+def test_checkpoint_file_round_trip(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(5)
+    checkpoint = PipelineCheckpoint.capture(pipeline)
+    path = checkpoint.save(tmp_path / "one.ckpt")
+    loaded = PipelineCheckpoint.load(path)
+    assert loaded.cursor == 5
+    assert loaded.batches_done == 5
+    assert loaded.config == CONFIG.to_dict()
+    assert loaded.payload == checkpoint.payload
+    assert loaded.summary["dataset"] == "wiki"
+    assert loaded.summary["abr"]["decisions_made"] >= 1
+
+
+def test_checkpoint_summary_is_json_header(tmp_path):
+    """The header line is human-readable JSON (inspectable sans unpickling)."""
+    import json
+
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(3)
+    path = PipelineCheckpoint.capture(pipeline).save(tmp_path / "one.ckpt")
+    with open(path, "rb") as handle:
+        assert handle.readline() == b"REPRO-CKPT\n"
+        header = json.loads(handle.readline())
+    assert header["cursor"] == 3
+    assert header["config"]["dataset"] == "wiki"
+
+
+def test_corrupt_payload_rejected(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(3)
+    path = PipelineCheckpoint.capture(pipeline).save(tmp_path / "one.ckpt")
+    blob = bytearray(path.read_bytes())
+    blob[-10] ^= 0xFF  # flip a payload bit; the CRC must catch it
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError, match="checksum"):
+        PipelineCheckpoint.load(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(3)
+    path = PipelineCheckpoint.capture(pipeline).save(tmp_path / "one.ckpt")
+    path.write_bytes(path.read_bytes()[:-40])
+    with pytest.raises(CheckpointError, match="truncated"):
+        PipelineCheckpoint.load(path)
+
+
+def test_not_a_checkpoint_rejected(tmp_path):
+    path = tmp_path / "bogus.ckpt"
+    path.write_bytes(b"hello world\n" * 10)
+    with pytest.raises(CheckpointError, match="magic"):
+        PipelineCheckpoint.load(path)
+
+
+def test_latest_checkpoint_skips_corrupt_newest(tmp_path):
+    """A file corrupted (or torn) after rename falls back to the previous one."""
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(3)
+    pipeline.save_checkpoint(tmp_path)
+    pipeline.run(6, resume_from=PipelineCheckpoint.capture(pipeline))
+    pipeline.save_checkpoint(tmp_path)
+    newest = checkpoint_path(tmp_path, 6)
+    blob = bytearray(newest.read_bytes())
+    blob[-1] ^= 0xFF
+    newest.write_bytes(bytes(blob))
+    found = latest_checkpoint(tmp_path)
+    assert found is not None
+    checkpoint, path = found
+    assert checkpoint.cursor == 3
+    assert path == checkpoint_path(tmp_path, 3)
+
+
+def test_latest_checkpoint_empty_dir(tmp_path):
+    assert latest_checkpoint(tmp_path) is None
+    assert latest_checkpoint(tmp_path / "missing") is None
+
+
+def test_retention_prunes_old_checkpoints(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(
+        10, checkpoint_dir=tmp_path, checkpoint_every=2, checkpoint_keep=2
+    )
+    names = sorted(p.name for p in tmp_path.glob("ckpt-*.ckpt"))
+    assert names == ["ckpt-00000006.ckpt", "ckpt-00000008.ckpt"]
+
+
+# -- validation -------------------------------------------------------------
+def test_config_mismatch_rejected(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(4)
+    checkpoint = PipelineCheckpoint.capture(pipeline)
+    other = dataclasses.replace(CONFIG, batch_size=500).build_pipeline()
+    with pytest.raises(CheckpointError, match="different run config"):
+        checkpoint.restore(other)
+
+
+def test_cursor_outside_window_rejected(tmp_path):
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(8)
+    checkpoint = PipelineCheckpoint.capture(pipeline)
+    fresh = CONFIG.build_pipeline()
+    with pytest.raises(CheckpointError, match="outside the requested"):
+        fresh.run(4, resume_from=checkpoint)
+
+
+# -- resume bit-identity ----------------------------------------------------
+def test_resume_bit_identical_in_process(tmp_path):
+    expected = _run_uninterrupted()
+    interrupted = CONFIG.build_pipeline()
+    interrupted.run(7, checkpoint_dir=tmp_path, checkpoint_every=3)
+    checkpoint, _ = latest_checkpoint(tmp_path)
+    assert checkpoint.cursor == 6
+    resumed = CONFIG.build_pipeline()
+    metrics = resumed.run(CONFIG.num_batches, resume_from=checkpoint)
+    assert metrics == expected  # frozen dataclass equality: exact floats
+
+
+@pytest.mark.parametrize("algorithm,mode,use_oca", [
+    ("pr", "sw_only", False),
+    ("sssp", "abr_usc", False),
+    ("none", "dynamic", True),
+])
+def test_resume_bit_identical_across_cells(tmp_path, algorithm, mode, use_oca):
+    config = dataclasses.replace(
+        CONFIG, algorithm=algorithm, mode=mode, use_oca=use_oca, num_batches=10
+    )
+    expected = _run_uninterrupted(config)
+    pipeline = config.build_pipeline()
+    pipeline.run(5)
+    checkpoint = PipelineCheckpoint.capture(pipeline)
+    resumed = config.build_pipeline()
+    assert resumed.run(10, resume_from=checkpoint) == expected
+
+
+def test_checkpoint_telemetry_counters(tmp_path):
+    config = dataclasses.replace(CONFIG, telemetry="full")
+    pipeline = config.build_pipeline()
+    pipeline.run(6, checkpoint_dir=tmp_path, checkpoint_every=2)
+    snapshot = pipeline.telemetry.snapshot()
+    assert snapshot.counters["checkpoint.saves"] == 2.0  # after batch 2 and 4
+    assert snapshot.counters["checkpoint.bytes"] > 0
+    resumed = config.build_pipeline()
+    resumed.run(6, resume_from=latest_checkpoint(tmp_path)[0])
+    snapshot = resumed.telemetry.snapshot()
+    assert snapshot.counters["checkpoint.resumes"] == 1.0
+    assert any(d.kind == "checkpoint" for d in snapshot.decisions)
+
+
+# -- the acceptance criterion: kill, resume, compare ------------------------
+def test_kill_and_resume_bit_identical(tmp_path):
+    """Hard-kill a checkpointed run mid-stream (os._exit in a child
+    process), resume from the newest on-disk checkpoint in a fresh
+    pipeline, and the final RunMetrics equal the uninterrupted run's."""
+    expected = _run_uninterrupted()
+
+    checkpoint_dir = tmp_path / "ckpts"
+    child = multiprocessing.Process(
+        target=faultinject.run_checkpointed_and_die,
+        args=(CONFIG.to_json(), str(checkpoint_dir), 2, 7),
+    )
+    child.start()
+    child.join(timeout=120)
+    assert child.exitcode == 17  # died at batch 7, as injected
+
+    found = latest_checkpoint(checkpoint_dir)
+    assert found is not None
+    checkpoint, _ = found
+    assert checkpoint.cursor == 6  # checkpoints at 2, 4, 6; died before 7
+
+    resumed = CONFIG.build_pipeline()
+    metrics = resumed.run(CONFIG.num_batches, resume_from=checkpoint)
+    assert metrics == expected
+    assert metrics.batches == expected.batches  # per-batch rows, exact
+
+
+def test_cli_checkpoint_resume(tmp_path, capsys):
+    """`repro run --checkpoint DIR` resumes automatically and reproduces
+    the uninterrupted run's printed totals."""
+    from repro.cli import main
+
+    args = [
+        "run", "wiki", "--batch-size", "200", "--num-batches", "10",
+        "--checkpoint", str(tmp_path / "ckpts"), "--every", "3",
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "resuming from" in second
+    # Identical metrics block (strip the resume banner line).
+    body = "\n".join(
+        line for line in second.splitlines() if not line.startswith("resuming")
+    )
+    assert body.strip() == first.strip()

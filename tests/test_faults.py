@@ -1,0 +1,227 @@
+"""Fault-injection tests for the per-cell failure isolation in the executor.
+
+Every test injects a fault through :mod:`faultinject`'s env knobs (workers
+are forked, so they inherit the environment set via monkeypatch) and then
+asserts the two invariants the executor guarantees:
+
+* completed cells are never re-executed (invocation counts via the
+  append-only fault log are exact across processes);
+* a failed cell surfaces as an error outcome for *that cell only* — the
+  surviving cells' results are identical to a serial run.
+
+The machine may have a single core; ``jobs=2`` is passed explicitly so the
+process-pool paths are exercised regardless of ``os.cpu_count()``.
+"""
+
+import pytest
+
+import faultinject
+from repro.pipeline.executor import (
+    CellExecutionError,
+    executor_telemetry,
+    map_cells,
+    run_matrix,
+)
+from repro.pipeline.config import RunConfig
+
+pytestmark = pytest.mark.faults
+
+ITEMS = list(range(6))
+
+
+@pytest.fixture
+def fault_env(tmp_path, monkeypatch):
+    """Arm the fault harness; returns the invocation-log path."""
+    log = tmp_path / "invocations.log"
+    monkeypatch.setenv("REPRO_FAULT_LOG", str(log))
+    monkeypatch.setenv("REPRO_FAULT_CELLS", "3")
+    monkeypatch.delenv("REPRO_FAULT_MODE", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_DELAY", raising=False)
+    # Faster pool-rebuild rounds than the 0.1s default.
+    monkeypatch.setenv("REPRO_EXECUTOR_BACKOFF", "0.01")
+    return log
+
+
+def _counts(log):
+    tags = faultinject.read_invocations(log)
+    return {tag: tags.count(tag) for tag in set(tags)}
+
+
+# -- worker raises ----------------------------------------------------------
+def test_worker_raise_fails_only_that_cell(fault_env, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_MODE", "raise")
+    results = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=2,
+        on_error=lambda item, exc: ("error", item, str(exc)),
+    )
+    assert results[3] == ("error", 3, "injected fault at cell 3")
+    for item in ITEMS:
+        if item != 3:
+            assert results[item] == item * 2
+    # Every cell — including the failing one — executed exactly once.
+    assert _counts(fault_env) == {str(item): 1 for item in ITEMS}
+
+
+def test_worker_raise_without_handler_raises_after_completion(
+    fault_env, monkeypatch
+):
+    """Regression for the double-execution bug.
+
+    The old ``map_cells`` caught ``TypeError`` (among others) escaping
+    ``pool.map`` and re-ran the *entire* item list serially, so a genuine
+    ``TypeError`` raised by ``fn`` executed every cell twice.  Now the
+    error re-raises without any cell running more than once.
+    """
+    monkeypatch.setenv("REPRO_FAULT_MODE", "typeerror")
+    with pytest.raises(TypeError, match="injected fault at cell 3"):
+        map_cells(faultinject.fault_cell, ITEMS, jobs=2)
+    assert _counts(fault_env) == {str(item): 1 for item in ITEMS}
+
+
+def test_serial_error_also_single_execution(fault_env, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_MODE", "typeerror")
+    with pytest.raises(TypeError):
+        map_cells(faultinject.fault_cell, ITEMS, jobs=1)
+    counts = _counts(fault_env)
+    assert all(count == 1 for count in counts.values())
+
+
+# -- worker dies ------------------------------------------------------------
+def test_worker_death_preserves_completed_cells(fault_env, monkeypatch):
+    """A worker dying via ``os._exit`` fails its own cell only.
+
+    The delay lets every innocent cell finish before the pool breaks, so
+    "completed cells are not re-executed" is deterministic: each innocent
+    runs exactly once, and only the dying cell is retried (bounded rounds
+    plus the final isolated attempt).
+    """
+    monkeypatch.setenv("REPRO_FAULT_MODE", "exit")
+    monkeypatch.setenv("REPRO_FAULT_DELAY", "1.5")
+    stats = {}
+    results = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=2,
+        on_error=lambda item, exc: ("error", item, exc),
+        stats=stats,
+    )
+    for item in ITEMS:
+        if item != 3:
+            assert results[item] == item * 2
+    kind, item, exc = results[3]
+    assert (kind, item) == ("error", 3)
+    assert isinstance(exc, CellExecutionError)
+    counts = _counts(fault_env)
+    assert all(counts[str(item)] == 1 for item in ITEMS if item != 3)
+    # Initial run + retry round(s) + the isolated attribution attempt.
+    assert counts["3"] >= 2
+    assert stats["pool_breaks"] >= 1
+    assert stats["isolated"] == 1
+
+
+# -- worker hangs -----------------------------------------------------------
+@pytest.mark.slow_faults
+def test_worker_hang_times_out(fault_env, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_MODE", "hang")
+    monkeypatch.setenv("REPRO_FAULT_HANG", "30")
+    stats = {}
+    results = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=2, timeout=1.0,
+        on_error=lambda item, exc: ("error", item, exc),
+        stats=stats,
+    )
+    for item in ITEMS:
+        if item != 3:
+            assert results[item] == item * 2
+    kind, item, exc = results[3]
+    assert isinstance(exc, CellExecutionError)
+    assert "timed out" in str(exc)
+    assert stats["timeouts"] >= 1
+    counts = _counts(fault_env)
+    assert all(counts[str(item)] == 1 for item in ITEMS if item != 3)
+
+
+# -- unpicklable result -----------------------------------------------------
+def test_unpicklable_result_fails_only_that_cell(fault_env, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_MODE", "unpicklable")
+    results = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=2,
+        on_error=lambda item, exc: ("error", item, exc),
+    )
+    for item in ITEMS:
+        if item != 3:
+            assert results[item] == item * 2
+    assert results[3][:2] == ("error", 3)
+    # The pool survives an unpicklable result: nothing was re-executed.
+    assert _counts(fault_env) == {str(item): 1 for item in ITEMS}
+
+
+# -- parallel/serial parity -------------------------------------------------
+def test_jobs_parity_for_surviving_cells(fault_env, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FAULT_MODE", "raise")
+    parallel = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=2,
+        on_error=lambda item, exc: ("error", item),
+    )
+    monkeypatch.setenv("REPRO_FAULT_LOG", str(tmp_path / "serial.log"))
+    serial = map_cells(
+        faultinject.fault_cell, ITEMS, jobs=1,
+        on_error=lambda item, exc: ("error", item),
+    )
+    assert parallel == serial
+
+
+# -- run_matrix acceptance criterion ---------------------------------------
+def _matrix_configs():
+    return [
+        RunConfig(dataset=name, batch_size=100, num_batches=4, algorithm="pr")
+        for name in ("wiki", "talk", "amazon")
+    ]
+
+
+def test_run_matrix_worker_crash_isolated(fault_env, monkeypatch):
+    """One injected worker crash: every other cell completes exactly once,
+    the dead cell reports its error, and nothing raises."""
+    monkeypatch.setenv("REPRO_FAULT_DATASET", "talk")
+    monkeypatch.setenv("REPRO_FAULT_DELAY", "1.5")
+    monkeypatch.setattr(
+        "repro.pipeline.executor._run_cell", faultinject.faulty_run_cell
+    )
+    stats = {}
+    results = run_matrix(_matrix_configs(), jobs=2, stats=stats)
+
+    assert [r.spec.dataset for r in results] == ["wiki", "talk", "amazon"]
+    dead = results[1]
+    assert not dead.ok
+    assert "CellExecutionError" in dead.error
+    assert dead.num_batches == 0 and dead.strategies == ()
+
+    # The surviving cells match an uninterrupted serial run bit-for-bit.
+    monkeypatch.delenv("REPRO_FAULT_DATASET")
+    monkeypatch.delenv("REPRO_FAULT_LOG")
+    expected = run_matrix(_matrix_configs(), jobs=1)
+    for got, want in zip(results, expected):
+        if got.ok:
+            assert got == want
+
+    # ...and each survivor executed exactly once despite the pool breaking.
+    counts = _counts(fault_env)
+    assert counts["wiki"] == 1 and counts["amazon"] == 1
+
+    # Executor health telemetry reflects the failure.
+    snapshot = executor_telemetry(results, stats)
+    assert snapshot.counters["executor.cells"] == 3.0
+    assert snapshot.counters["executor.cells_failed"] == 1.0
+    assert snapshot.counters.get("executor.pool_breaks", 0) >= 1
+    ledger = [d for d in snapshot.decisions if d.kind == "cell"]
+    assert len(ledger) == 1
+    assert dict(ledger[0].inputs)["dataset"] == "talk"
+
+
+def test_run_matrix_serial_cell_error_does_not_abort(fault_env, monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_DATASET", "talk")
+    monkeypatch.setattr(
+        "repro.pipeline.executor._run_cell",
+        faultinject.faulty_raise_run_cell,
+    )
+    results = run_matrix(_matrix_configs(), jobs=1)
+    assert [r.ok for r in results] == [True, False, True]
+    assert "injected" in results[1].error

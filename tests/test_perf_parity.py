@@ -230,3 +230,97 @@ def test_stream_cache_disabled_env(tmp_cache, monkeypatch):
     profile = get_dataset("fb")
     list(cached_batches(profile, 500, 2, seed=7))
     assert cache_stats()["entries"] == 0
+
+
+def test_stream_cache_mid_stream_short_batch(tmp_cache):
+    """Per-batch sizes survive the round trip even for short batches.
+
+    The pre-fix loader sliced a flat ``num_batches * batch_size`` prefix,
+    which silently misaligned every batch after a short one; the sizes
+    array must reproduce the exact boundaries instead.
+    """
+    from repro.datasets.stream import Batch
+    from repro.datasets.stream_cache import _load, _save, cache_dir
+
+    rng = np.random.default_rng(3)
+    sizes = [500, 120, 500]
+    saved = []
+    for i, size in enumerate(sizes):
+        saved.append(
+            Batch(
+                batch_id=i,
+                src=rng.integers(0, 100, size).astype(np.int64),
+                dst=rng.integers(0, 100, size).astype(np.int64),
+                weight=rng.random(size),
+                is_delete=(rng.random(size) < 0.25) if i == 1 else None,
+            )
+        )
+    path = cache_dir() / "short-batches.npz"
+    _save(path, saved, 500)
+    loaded = _load(path, 500, 3)
+    assert loaded is not None
+    assert [b.size for b in loaded] == sizes
+    for a, b in zip(saved, loaded):
+        _batch_fields_equal(a, b)
+
+
+def test_stream_cache_length_mismatch_is_miss(tmp_cache):
+    """Arrays inconsistent with the sizes metadata are rejected, not served."""
+    from repro.datasets.stream_cache import _entry_path, _load
+
+    profile = get_dataset("fb")
+    list(cached_batches(profile, 500, 3, seed=7))
+    path = _entry_path(profile, 500, 7)
+    data = dict(np.load(path))
+    data["src"] = data["src"][:-7]  # torn entry: flat array too short
+    np.savez(path, **data)
+    assert _load(path, 500, 3) is None
+    # cached_batches regenerates the real stream instead of misaligning.
+    fresh = list(profile.generator(seed=7).batches(500, 3))
+    again = list(cached_batches(profile, 500, 3, seed=7))
+    for a, b in zip(fresh, again):
+        _batch_fields_equal(a, b)
+
+
+def test_stream_cache_old_format_is_miss(tmp_cache):
+    """A v1 entry (3-element meta, no sizes array) loads as a cache miss."""
+    from repro.datasets.generators import GENERATOR_VERSION
+    from repro.datasets.stream_cache import _entry_path, _load
+
+    profile = get_dataset("fb")
+    fresh = list(profile.generator(seed=7).batches(500, 2))
+    path = _entry_path(profile, 500, 7)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(
+        path,
+        meta=np.array([2, 500, GENERATOR_VERSION], dtype=np.int64),
+        src=np.concatenate([b.src for b in fresh]),
+        dst=np.concatenate([b.dst for b in fresh]),
+        weight=np.concatenate([b.weight for b in fresh]),
+        has_delete=np.zeros(2, dtype=bool),
+        is_delete=np.zeros(1000, dtype=bool),
+    )
+    assert _load(path, 500, 2) is None
+
+
+def test_stream_cache_mutated_profile_misses_old_entry(tmp_cache):
+    """Editing a profile's generator parameters must invalidate the cache.
+
+    The pre-fix key was ``{name}-b{batch_size}-s{seed}-v{version}``: a
+    profile edited in place (without a GENERATOR_VERSION bump) silently
+    replayed the stale stream.  The fingerprint keys the entry to every
+    generator input.
+    """
+    import dataclasses
+
+    profile = get_dataset("fb")
+    list(cached_batches(profile, 500, 2, seed=7))
+    assert cache_stats()["entries"] == 1
+    mutated = dataclasses.replace(profile, num_vertices=profile.num_vertices * 2)
+    served = list(cached_batches(mutated, 500, 2, seed=7))
+    # The mutated profile generated (and cached) its own stream...
+    assert cache_stats()["entries"] == 2
+    # ...and it is the *mutated* generator's stream, not the stale one.
+    fresh = list(mutated.generator(seed=7).batches(500, 2))
+    for a, b in zip(fresh, served):
+        _batch_fields_equal(a, b)
