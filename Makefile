@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke report-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard report-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,7 +21,7 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint report-smoke test-faults
+test-fast: lint report-smoke bench-shard test-faults
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
@@ -50,6 +50,12 @@ bench-full:
 # measured speedups drop >20% below the committed BENCH_substrate.json.
 bench-smoke:
 	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_substrate.py --benchmark-only
+
+# Sharded-ingest smoke gate: bounds the 1-shard coordination tax against
+# the committed BENCH_shard.json and, on a multi-core box, enforces the
+# N-shard scaling floor (see benchmarks/test_perf_shard.py's honesty notes).
+bench-shard:
+	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_shard.py --benchmark-only
 
 fidelity:
 	python -m repro fidelity

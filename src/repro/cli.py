@@ -102,7 +102,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             run_kwargs["resume_from"] = checkpoint
         run_kwargs["checkpoint_dir"] = args.checkpoint
         run_kwargs["checkpoint_every"] = args.every
-    metrics = pipeline.run(config.num_batches, **run_kwargs)
+    try:
+        metrics = pipeline.run(config.num_batches, **run_kwargs)
+    finally:
+        close = getattr(pipeline, "close", None)
+        if close is not None:  # sharded pipelines own worker processes
+            close()
     if trace is not None:
         trace.close()
         print(f"trace: {trace.events_written} events -> {trace.path}")
@@ -149,6 +154,9 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
         return 2
     if args.checkpoint:
         print("--checkpoint requires a single dataset", file=sys.stderr)
+        return 2
+    if getattr(args, "shards", 1) > 1:
+        print("--shards requires a single dataset", file=sys.stderr)
         return 2
     stats: dict = {}
     results = run_matrix(configs, jobs=args.jobs, stats=stats)
@@ -450,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for multi-dataset runs (0 = all cores)",
+    )
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="vertex-partitioned shard worker processes for a single run's "
+        "update phase (results are bit-identical at any shard count; "
+        "single dataset only)",
     )
     run.add_argument(
         "--checkpoint", metavar="DIR",

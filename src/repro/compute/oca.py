@@ -90,6 +90,16 @@ class OCAController:
         num_workers: int = 28,
         telemetry=None,
     ):
+        if num_vertices < 1:
+            raise ConfigurationError(
+                f"OCA num_vertices must be >= 1, got {num_vertices}"
+            )
+        if num_workers < 1:
+            # Caught here rather than as a ZeroDivisionError deep inside the
+            # instrumentation cost math on the first measured batch.
+            raise ConfigurationError(
+                f"OCA num_workers must be >= 1, got {num_workers}"
+            )
         self.config = config or OCAConfig()
         self.costs = costs
         self.num_workers = num_workers
@@ -105,6 +115,20 @@ class OCAController:
         Must be called exactly once per batch, in stream order.
         """
         unique = batch.unique_vertices()
+        if len(unique):
+            # ``_latest_bid`` is indexed with raw batch ids below: an id at
+            # or above the configured universe would raise IndexError
+            # mid-run, and a negative id would silently alias via numpy
+            # wraparound and corrupt another vertex's overlap state.
+            lo, hi = int(unique[0]), int(unique[-1])  # unique() is sorted
+            if lo < 0 or hi >= len(self._latest_bid):
+                bad = lo if lo < 0 else hi
+                raise ConfigurationError(
+                    f"batch {batch.batch_id} contains vertex {bad}, outside "
+                    f"the OCA controller's universe of "
+                    f"{len(self._latest_bid)} vertices; configure "
+                    f"num_vertices to cover every id the stream produces"
+                )
         # Batch 1 is always measured (the earliest batch with a predecessor),
         # seeding the first decision just like ABR's batch-0 measurement;
         # afterwards measurement follows the ABR-active cadence.

@@ -75,6 +75,10 @@ class RunConfig:
         telemetry: instrumentation level — ``"off"`` (no-op backend),
             ``"basic"`` (counters/gauges/decision ledger) or ``"full"``
             (adds wall-clock spans and histograms).
+        num_shards: vertex-partitioned shard worker processes the single
+            run's update phase fans out over (1 = serial in-process; see
+            :mod:`repro.pipeline.sharding`).  Results are bit-identical at
+            any shard count.
     """
 
     dataset: str
@@ -93,6 +97,7 @@ class RunConfig:
     abr: ABRConfig | None = None
     oca: OCAConfig | None = None
     telemetry: str = "off"
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises ConfigurationError if unknown
@@ -110,6 +115,12 @@ class RunConfig:
         if self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.num_shards < 1:
+            # 0 would otherwise survive until a vertex % num_shards owner
+            # computation (ZeroDivisionError) deep inside the first batch.
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
             )
 
     # -- derived views --------------------------------------------------------
@@ -159,6 +170,7 @@ class RunConfig:
             use_oca=args.oca,
             num_batches=args.num_batches,
             telemetry=getattr(args, "telemetry", None) or "off",
+            num_shards=getattr(args, "shards", None) or 1,
         )
 
     @classmethod
@@ -227,7 +239,13 @@ class RunConfig:
             kwargs["costs"] = self.costs
         if self.compute_costs is not None:
             kwargs["compute_costs"] = self.compute_costs
-        pipeline = StreamingPipeline(
+        pipeline_cls = StreamingPipeline
+        if self.num_shards > 1:
+            from .sharding import ShardedPipeline
+
+            pipeline_cls = ShardedPipeline
+            kwargs["num_shards"] = self.num_shards
+        pipeline = pipeline_cls(
             profile,
             self.batch_size,
             algorithm=self.algorithm,
@@ -254,6 +272,12 @@ class RunConfig:
     def run(self, num_batches: int | None = None):
         """Build the pipeline and run it (``num_batches`` overrides the
         config's); returns the run's RunMetrics."""
-        return self.build_pipeline().run(
-            self.num_batches if num_batches is None else num_batches
-        )
+        pipeline = self.build_pipeline()
+        try:
+            return pipeline.run(
+                self.num_batches if num_batches is None else num_batches
+            )
+        finally:
+            close = getattr(pipeline, "close", None)
+            if close is not None:  # sharded pipelines own worker processes
+                close()

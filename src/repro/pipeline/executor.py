@@ -26,12 +26,16 @@ Environment knobs (all overridable per call):
 * ``REPRO_EXECUTOR_RETRIES`` — pool-rebuild rounds after a pool-level
   failure before the isolation pass (default 1);
 * ``REPRO_EXECUTOR_BACKOFF`` — base sleep in seconds between pool-rebuild
-  rounds (default 0.1, scaled linearly with the attempt number).
+  rounds (default 0.1, scaled linearly with the attempt number);
+* ``REPRO_MP_START`` — multiprocessing start method (``fork``,
+  ``forkserver`` or ``spawn``); see :func:`mp_context` for the default.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -39,6 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, TypeVar
 
+from ..errors import ConfigurationError
 from ..telemetry.core import Decision, TelemetrySnapshot, merge_snapshots
 
 __all__ = [
@@ -48,9 +53,54 @@ __all__ = [
     "run_matrix",
     "map_cells",
     "default_jobs",
+    "mp_context",
     "merged_telemetry",
     "executor_telemetry",
 ]
+
+_START_METHODS = ("fork", "forkserver", "spawn")
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every repro worker process is spawned from.
+
+    The platform default start method differs by OS (fork on Linux, spawn on
+    macOS/Windows), which makes worker behaviour and fault semantics
+    platform-dependent — and fork is unsafe once the parent holds threads
+    (POSIX only promises the forking thread survives; any lock another
+    thread held stays locked forever in the child).  So the method is pinned
+    explicitly:
+
+    * ``REPRO_MP_START`` (``fork``/``forkserver``/``spawn``) wins when set —
+      an unknown value raises :class:`~repro.errors.ConfigurationError`;
+    * otherwise ``fork`` where available *and* the process is still
+      single-threaded (cheap, inherits warm imports), else ``spawn``
+      (slow but always safe).  ``forkserver`` is never the default: its
+      long-lived server process would not observe environment variables set
+      after it starts, which the fault-injection hooks rely on.
+
+    Every worker process in the library — matrix-cell pool workers and
+    shard workers alike — must come from this context so a run's process
+    semantics are uniform and testable under both methods.
+    """
+    name = os.environ.get("REPRO_MP_START", "").strip().lower()
+    if name:
+        if name not in _START_METHODS:
+            raise ConfigurationError(
+                f"REPRO_MP_START must be one of {_START_METHODS}, got {name!r}"
+            )
+        if name not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                f"REPRO_MP_START={name!r} is not available on this platform "
+                f"(available: {multiprocessing.get_all_start_methods()})"
+            )
+        return multiprocessing.get_context(name)
+    if (
+        "fork" in multiprocessing.get_all_start_methods()
+        and threading.active_count() == 1
+    ):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -245,7 +295,7 @@ class _PoolRound:
     def run(self) -> list[int]:
         """Execute the round; returns the still-unfinished indices, sorted."""
         try:
-            pool = ProcessPoolExecutor(max_workers=self.jobs)
+            pool = ProcessPoolExecutor(max_workers=self.jobs, mp_context=mp_context())
         except (OSError, ValueError):
             self.unusable = True
             return sorted(self.unfinished)
@@ -306,7 +356,7 @@ def _run_isolated(fn, item, timeout, stats):
     """
     stats["isolated"] = stats.get("isolated", 0) + 1
     try:
-        pool = ProcessPoolExecutor(max_workers=1)
+        pool = ProcessPoolExecutor(max_workers=1, mp_context=mp_context())
     except (OSError, ValueError):
         return _Failure(
             CellExecutionError("worker pool unavailable for isolated retry")

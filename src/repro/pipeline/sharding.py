@@ -1,0 +1,783 @@
+"""Sharded single-run execution: vertex-partitioned update across processes.
+
+The paper's HAU eliminates update locks by routing every update task to core
+``src mod N`` (Section 4.4): tasks that touch the same vertex land on the
+same core, so no two cores ever write the same adjacency.  This module lifts
+that owner mapping from the simulated CMP to real OS processes, so one
+pipeline run's *update phase* — the real data-structure work in this library
+(DESIGN.md §2) — fans out over ``num_shards`` persistent workers:
+
+* shard ``k`` owns every vertex ``v`` with ``v % num_shards == k`` and holds
+  the full out-adjacency of its sources and the full in-adjacency of its
+  destinations — the two directions of one edge generally live on different
+  shards, exactly like the HAU's per-direction task routing;
+* each batch ships to the workers once (one shared-memory block where the
+  platform provides :mod:`multiprocessing.shared_memory`, an inline pickle
+  otherwise) and every worker slices out its own edges with a ``% N`` mask —
+  zero coordinator-side partitioning work, lock-free by construction;
+* per-shard :class:`~repro.graph.base.DirectionStats` merge back into the
+  exact arrays the serial graph would have produced (the vertex partition is
+  disjoint, so a concatenate + stable argsort *is* the serial sort order),
+  which makes every downstream modeled-time figure bit-identical;
+* compute stays serial on the coordinator: algorithm semantics (PageRank's
+  within-round float accumulation, CC's union-find operation counts) are
+  order-sensitive, so the coordinator reads adjacency through a lazily
+  mirrored view instead of re-deriving results from per-shard partials.
+  Updates parallelize; compute reads parity-exact state.
+
+The hard invariant: a run at any ``num_shards`` produces algorithm results
+and :class:`~repro.pipeline.metrics.RunMetrics` bit-identical to
+``num_shards=1`` (enforced by ``tests/test_sharding.py`` against the golden
+parity oracle).
+
+Environment knobs:
+
+* ``REPRO_MP_START`` — start method for shard workers (see
+  :func:`~repro.pipeline.executor.mp_context`);
+* ``REPRO_SHARD_SHM`` — set to ``0`` to force the inline pipe transport
+  even where shared memory is available;
+* ``REPRO_CELL_TIMEOUT`` — seconds the coordinator waits on a shard reply
+  before declaring the worker hung (unset/0 = wait forever), shared with
+  the matrix executor.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+
+from ..errors import ConfigurationError, GraphError
+from ..graph.adjacency_list import AdjacencyListGraph, _empty_direction_stats
+from ..graph.base import BatchUpdateStats, DirectionStats, DynamicGraph
+from ..telemetry.core import as_telemetry, make_telemetry, merge_snapshots
+from .executor import CellExecutionError, _env_float, mp_context
+from .runner import StreamingPipeline
+
+__all__ = ["ShardedGraph", "ShardedPipeline", "shard_owner"]
+
+try:  # pragma: no cover - availability probe
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm
+    _shared_memory = None
+
+
+def shard_owner(vertices: np.ndarray, num_shards: int) -> np.ndarray:
+    """Owner shard of each vertex — the paper's ``v mod N`` mapping."""
+    return vertices % num_shards
+
+
+def _shm_enabled() -> bool:
+    return (
+        _shared_memory is not None
+        and os.environ.get("REPRO_SHARD_SHM", "1").strip() != "0"
+    )
+
+
+# -- batch transport ---------------------------------------------------------
+#
+# One batch becomes five flat arrays (insert src/dst/weight, delete src/dst).
+# The shm path writes them back to back into a single segment and ships only
+# the segment name + lengths; workers rebuild zero-copy views and slice out
+# their own edges.  The inline path pickles the arrays through the pipe.
+
+_INT = np.dtype(np.int64)
+_FLT = np.dtype(np.float64)
+
+
+def _pack_shm(arrays):
+    """Write the five batch arrays into one fresh shared-memory block."""
+    total = sum(arr.nbytes for arr in arrays)
+    shm = _shared_memory.SharedMemory(create=True, size=total)
+    offset = 0
+    for arr in arrays:
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
+        view[:] = arr
+        offset += arr.nbytes
+    return shm
+
+
+def _attach_shm(name):
+    """Attach to a coordinator-owned segment without tracker side effects.
+
+    On Python < 3.13 attaching registers the segment with a resource
+    tracker, which is wrong either way the worker was started: a spawned
+    worker's own tracker would unlink the segment (and warn) when the
+    worker exits, and a forked worker shares the coordinator's tracker, so
+    an unregister-after-attach would cancel the owner's registration
+    instead.  Suppress the registration entirely — only the coordinator,
+    which created the segment, tracks its lifetime.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return _shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _unpack_shm(shm, n_ins: int, n_del: int):
+    """Rebuild the five arrays as views over an attached segment."""
+    buf = shm.buf
+    offset = 0
+    out = []
+    for count, dtype in (
+        (n_ins, _INT), (n_ins, _INT), (n_ins, _FLT), (n_del, _INT), (n_del, _INT),
+    ):
+        out.append(np.ndarray((count,), dtype=dtype, buffer=buf, offset=offset))
+        offset += count * dtype.itemsize
+    return out
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _slice_batch(arrays, shard: int, num_shards: int):
+    """Cut one shard's slices out of the five batch arrays.
+
+    Boolean-mask indexing *copies*, so the slices outlive any shared-memory
+    views behind ``arrays``; masks preserve batch order, which per-vertex
+    dict insertion-order parity depends on.  Out-direction slices are keyed
+    by source, in-direction slices by destination — one edge's two
+    directions generally route to two different shards.
+    """
+    ins_src, ins_dst, ins_w, del_src, del_dst = arrays
+    out_pick = ins_src % num_shards == shard
+    in_pick = ins_dst % num_shards == shard
+    dout_pick = del_src % num_shards == shard
+    din_pick = del_dst % num_shards == shard
+    return (
+        (ins_src[out_pick], ins_dst[out_pick], ins_w[out_pick]),
+        (ins_dst[in_pick], ins_src[in_pick], ins_w[in_pick]),
+        (del_src[dout_pick], del_dst[dout_pick]),
+        (del_dst[din_pick], del_src[din_pick]),
+    )
+
+
+def _worker_apply(graph, shard, num_shards, payload, tel):
+    """Apply this shard's slice of one batch; reply with stats + updates."""
+    if "shm" in payload:
+        shm = _attach_shm(payload["shm"])
+        arrays = None
+        try:
+            arrays = _unpack_shm(shm, payload["n_ins"], payload["n_del"])
+            slices = _slice_batch(arrays, shard, num_shards)
+        finally:
+            # Drop the zero-copy views before close(); a live export would
+            # make releasing the segment's buffer fail.
+            arrays = None  # noqa: F841
+            shm.close()
+    else:
+        slices = _slice_batch(payload["inline"], shard, num_shards)
+    (out_keys, out_vals, out_w), (in_keys, in_vals, in_w), dout, din = slices
+
+    out_stats = graph.apply_direction_edges(out_keys, out_vals, out_w, direction="out")
+    in_stats = graph.apply_direction_edges(in_keys, in_vals, in_w, direction="in")
+    removed_out = graph.delete_direction_edges(dout[0], dout[1], direction="out")
+    removed_in = graph.delete_direction_edges(din[0], din[1], direction="in")
+    deleted = sum(removed_out.values())
+    # Tracking exists here only to keep the worker on the tracked apply
+    # path (its per-vertex dict order differs from the fast path's); the
+    # coordinator rebuilds snapshots from scratch, so drop the journal
+    # rather than let it accumulate across batches.
+    graph.consume_delta()
+
+    updated_out = updated_in = None
+    if payload["include_updates"]:
+        touched_out = set(out_stats.vertices.tolist())
+        touched_out.update(removed_out)
+        touched_in = set(in_stats.vertices.tolist())
+        touched_in.update(removed_in)
+        updated_out = {v: graph.out_neighbors(v) for v in sorted(touched_out)}
+        updated_in = {v: graph.in_neighbors(v) for v in sorted(touched_in)}
+
+    if tel.enabled:
+        tel.count("shard.batches")
+        tel.count("shard.out_edges", len(out_keys))
+        tel.count("shard.in_edges", len(in_keys))
+        if len(out_stats.new_edges):
+            tel.count("shard.new_edges", int(out_stats.new_edges.sum()))
+        if deleted:
+            tel.count("shard.deleted_edges", deleted)
+    return (out_stats, in_stats, deleted, updated_out, updated_in)
+
+
+def _shard_worker_main(shard, num_shards, num_vertices, telemetry_level, conn):
+    """Shard worker process: owns one partition's adjacency, serves commands.
+
+    Module-level so the ``spawn`` start method can import it.  Protocol: the
+    coordinator sends ``(command, payload)`` tuples, the worker replies
+    ``("ok", result)`` or ``("error", (type_name, message))``; exceptions
+    never cross the pipe as live objects (arbitrary tracebacks may not
+    unpickle in the parent).
+    """
+    graph = AdjacencyListGraph(num_vertices)
+    tel = make_telemetry(telemetry_level)
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:  # coordinator vanished; nothing left to serve
+            break
+        try:
+            if command == "apply":
+                reply = _worker_apply(graph, shard, num_shards, payload, tel)
+            elif command == "fetch":
+                direction, vertices = payload
+                adjacency_of = (
+                    graph.out_neighbors if direction == "out" else graph.in_neighbors
+                )
+                if tel.enabled:
+                    tel.count("shard.fetches")
+                    tel.count("shard.fetched_vertices", len(vertices))
+                reply = {v: adjacency_of(v) for v in vertices}
+            elif command == "state":
+                reply = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+            elif command == "restore":
+                graph = pickle.loads(payload)
+                if graph.num_vertices != num_vertices:
+                    raise GraphError(
+                        f"restored shard graph has {graph.num_vertices} "
+                        f"vertices, worker was spawned for {num_vertices}"
+                    )
+                reply = None
+            elif command == "track":
+                graph.track_deltas(bool(payload))
+                reply = None
+            elif command == "telemetry":
+                reply = tel.snapshot()
+            elif command == "close":
+                conn.send(("ok", None))
+                break
+            else:
+                raise GraphError(f"unknown shard command {command!r}")
+        except Exception as exc:
+            conn.send(("error", (type(exc).__name__, str(exc))))
+            continue
+        conn.send(("ok", reply))
+    conn.close()
+
+
+# -- coordinator side --------------------------------------------------------
+
+
+def _merge_direction(parts) -> DirectionStats:
+    """Merge disjoint per-shard stats into the serial direction stats.
+
+    Every shard reports sorted vertices and the partition is disjoint, so a
+    stable argsort of the concatenation reproduces the serial (globally
+    sorted) order exactly; the per-vertex columns ride along unchanged.
+    """
+    parts = [p for p in parts if len(p.vertices)]
+    if not parts:
+        return _empty_direction_stats()
+    if len(parts) == 1:
+        return parts[0]
+    vertices = np.concatenate([p.vertices for p in parts])
+    order = np.argsort(vertices, kind="stable")
+    return DirectionStats(
+        vertices=vertices[order],
+        batch_degree=np.concatenate([p.batch_degree for p in parts])[order],
+        length_before=np.concatenate([p.length_before for p in parts])[order],
+        new_edges=np.concatenate([p.new_edges for p in parts])[order],
+    )
+
+
+class _ShardAdjacencyView:
+    """Read-only mapping view over one direction of a :class:`ShardedGraph`.
+
+    Looks like the dict the serial graph hands out — same outer key
+    *insertion order* (CC's rebuild iterates it), same inner dict order
+    (cached dicts are byte-for-byte copies of the owning worker's) — but
+    materializes adjacencies lazily from the owner shard on first access.
+    """
+
+    __slots__ = ("_graph", "_direction")
+
+    def __init__(self, graph: "ShardedGraph", direction: str):
+        self._graph = graph
+        self._direction = direction
+
+    def _order(self):
+        g = self._graph
+        return g._key_order_out if self._direction == "out" else g._key_order_in
+
+    def _keys(self):
+        g = self._graph
+        return g._key_set_out if self._direction == "out" else g._key_set_in
+
+    def __len__(self) -> int:
+        return len(self._order())
+
+    def __contains__(self, v) -> bool:
+        return v in self._keys()
+
+    def __iter__(self):
+        return iter(self._order())
+
+    def __getitem__(self, v):
+        if v not in self._keys():
+            raise KeyError(v)
+        return self._graph._adjacency_of(self._direction, v)
+
+    def get(self, v, default=None):
+        if v not in self._keys():
+            return default
+        return self._graph._adjacency_of(self._direction, v)
+
+    def keys(self):
+        return list(self._order())
+
+    def items(self):
+        graph, direction = self._graph, self._direction
+        graph._warm(direction)
+        for v in self._order():
+            yield v, graph._adjacency_of(direction, v)
+
+    def values(self):
+        for _v, entry in self.items():
+            yield entry
+
+
+class ShardedGraph(DynamicGraph):
+    """A dynamic graph whose update phase runs on ``num_shards`` processes.
+
+    Drop-in for :class:`~repro.graph.adjacency_list.AdjacencyListGraph`
+    inside a pipeline: :meth:`apply_batch` returns bit-identical
+    :class:`~repro.graph.base.BatchUpdateStats` and the read accessors
+    expose bit-identical adjacency (content *and* iteration order), so the
+    cost models and compute algorithms cannot tell the difference.  The
+    coordinator holds no authoritative adjacency — only merged bookkeeping
+    (edge counts, outer-key order, a read cache) — while each worker owns
+    its partition outright and applies its slices lock-free.
+
+    Picklable for checkpoints: pickling drains each worker's graph into a
+    per-shard payload; unpickling re-spawns workers lazily and pushes the
+    payloads back on first use.
+
+    Args:
+        num_vertices: vertex id universe.
+        num_shards: worker process count (>= 1).
+        telemetry_level: level for the shard-local backends (coordinator +
+            one per worker), kept separate from the pipeline's backend so
+            sharding does not perturb the run's own telemetry stream; read
+            the merged view with :meth:`shard_telemetry`.
+    """
+
+    def __init__(
+        self, num_vertices: int, num_shards: int, telemetry_level: str = "off"
+    ):
+        super().__init__(num_vertices)
+        if num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self.num_shards = num_shards
+        self._tel_level = telemetry_level
+        self._tel = make_telemetry(telemetry_level)
+        # Outer-key bookkeeping mirroring the serial dicts: insertion order
+        # (new keys arrive sorted within each batch, exactly like the serial
+        # setdefault pass) and O(1) membership for negative lookups that
+        # must not cross a process boundary.
+        self._key_order_out: list[int] = []
+        self._key_order_in: list[int] = []
+        self._key_set_out: set[int] = set()
+        self._key_set_in: set[int] = set()
+        self._touched: set[int] = set()
+        self._touched_sorted: list[int] | None = None
+        # Read cache: exact copies of worker adjacency dicts.  ``_mirror``
+        # flips on the first read access; from then on apply replies carry
+        # the updated dicts so the cache stays coherent without re-fetching.
+        self._cache_out: dict[int, dict[int, float]] = {}
+        self._cache_in: dict[int, dict[int, float]] = {}
+        self._mirror = False
+        self._view_out = _ShardAdjacencyView(self, "out")
+        self._view_in = _ShardAdjacencyView(self, "in")
+        self._conns = None
+        self._procs = None
+        self._pending_payloads: list[bytes] | None = None
+        self._track_deltas = False
+        self._closed = False
+
+    # -- worker lifecycle ---------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._conns is not None:
+            return
+        if self._closed:
+            raise GraphError("ShardedGraph has been closed")
+        ctx = mp_context()
+        conns, procs = [], []
+        try:
+            for shard in range(self.num_shards):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(
+                        shard, self.num_shards, self.num_vertices,
+                        self._tel_level, child,
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{shard}",
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+        except BaseException:
+            for proc in procs:
+                proc.terminate()
+            raise
+        self._conns, self._procs = conns, procs
+        if self._pending_payloads is not None:
+            for shard, payload in enumerate(self._pending_payloads):
+                self._conns[shard].send(("restore", payload))
+            for shard in range(self.num_shards):
+                self._recv(shard)
+            self._pending_payloads = None
+        if self._track_deltas:
+            for conn in self._conns:
+                conn.send(("track", True))
+            for shard in range(self.num_shards):
+                self._recv(shard)
+
+    def track_deltas(self, enabled: bool = True) -> None:
+        """Keep the shard workers on the *tracked* apply path.
+
+        The tracked and untracked ingest paths insert a vertex's new
+        targets in different dict orders (composite-sort dedup vs raw batch
+        order), so when a delta consumer attaches — ``DeltaSnapshotter``
+        does this for the static-recompute algorithms — the workers must
+        flip too, or their adjacency would diverge bit-for-bit from a
+        tracked serial graph's.  The journal itself never crosses the pipe:
+        workers drop it after every batch, :meth:`consume_delta` stays
+        ``None`` (the inherited default), and snapshots rebuild from the
+        coordinator's mirror.
+        """
+        self._track_deltas = enabled
+        if self._conns is not None:
+            self._request_all("track", enabled)
+
+    def _recv(self, shard: int):
+        conn = self._conns[shard]
+        timeout = _env_float("REPRO_CELL_TIMEOUT", 0.0)
+        try:
+            if timeout > 0 and not conn.poll(timeout):
+                raise CellExecutionError(
+                    f"shard worker {shard} gave no reply within {timeout:g}s"
+                )
+            status, value = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise CellExecutionError(
+                f"shard worker {shard} died (pipe closed: {exc!r}); its "
+                "partition's state is lost — resume from a checkpoint"
+            ) from exc
+        if status == "error":
+            type_name, message = value
+            raise GraphError(f"shard worker {shard} failed: {type_name}: {message}")
+        return value
+
+    def _send(self, shard: int, message) -> None:
+        try:
+            self._conns[shard].send(message)
+        except (OSError, ValueError) as exc:
+            # A killed worker surfaces as EPIPE on the *next* send; same
+            # diagnosis and remedy as a recv-side death.
+            raise CellExecutionError(
+                f"shard worker {shard} died (pipe closed: {exc!r}); its "
+                "partition's state is lost — resume from a checkpoint"
+            ) from exc
+
+    def _request_all(self, command: str, payload=None) -> list:
+        """Send one command to every worker, then gather replies in order."""
+        self._ensure_workers()
+        for shard in range(self.num_shards):
+            self._send(shard, (command, payload))
+        return [self._recv(shard) for shard in range(self.num_shards)]
+
+    def close(self) -> None:
+        """Shut the shard workers down; the graph is unusable afterwards."""
+        self._closed = True
+        if self._conns is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns = None
+        self._procs = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- checkpointing ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        self._ensure_workers()
+        payloads = self._request_all("state")
+        return {
+            "num_vertices": self.num_vertices,
+            "num_shards": self.num_shards,
+            "num_edges": self.num_edges,
+            "batches_applied": self.batches_applied,
+            "tel_level": self._tel_level,
+            "tel": self._tel,
+            "key_order_out": self._key_order_out,
+            "key_order_in": self._key_order_in,
+            "touched": self._touched,
+            "mirror": self._mirror,
+            "track": self._track_deltas,
+            "payloads": payloads,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.num_vertices = state["num_vertices"]
+        self.num_shards = state["num_shards"]
+        self.num_edges = state["num_edges"]
+        self.batches_applied = state["batches_applied"]
+        self._tel_level = state["tel_level"]
+        self._tel = state["tel"]
+        self._key_order_out = state["key_order_out"]
+        self._key_order_in = state["key_order_in"]
+        self._key_set_out = set(self._key_order_out)
+        self._key_set_in = set(self._key_order_in)
+        self._touched = state["touched"]
+        self._touched_sorted = None
+        self._cache_out = {}
+        self._cache_in = {}
+        self._mirror = state["mirror"]
+        self._view_out = _ShardAdjacencyView(self, "out")
+        self._view_in = _ShardAdjacencyView(self, "in")
+        self._conns = None
+        self._procs = None
+        # Worker graphs travel as opaque pickles and are pushed back into
+        # freshly spawned workers on first use (worker-side telemetry resets
+        # — only the coordinator backend survives a checkpoint).
+        self._pending_payloads = state["payloads"]
+        self._track_deltas = state["track"]
+        self._closed = False
+
+    # -- updates ------------------------------------------------------------
+    def apply_batch(self, batch) -> BatchUpdateStats:
+        self.check_vertices(batch.src, batch.dst)
+        self._ensure_workers()
+        inserts = batch.insertions
+        deletes = batch.deletions
+        arrays = (
+            np.ascontiguousarray(inserts.src, dtype=_INT),
+            np.ascontiguousarray(inserts.dst, dtype=_INT),
+            np.ascontiguousarray(inserts.weight, dtype=_FLT),
+            np.ascontiguousarray(deletes.src, dtype=_INT),
+            np.ascontiguousarray(deletes.dst, dtype=_INT),
+        )
+        payload = {"include_updates": self._mirror}
+        shm = None
+        if _shm_enabled() and sum(arr.nbytes for arr in arrays) > 0:
+            shm = _pack_shm(arrays)
+            payload.update(
+                shm=shm.name, n_ins=len(arrays[0]), n_del=len(arrays[3])
+            )
+        else:
+            payload["inline"] = arrays
+        try:
+            replies = self._request_all("apply", payload)
+        finally:
+            if shm is not None:
+                # Every worker has copied its slices by reply time; the
+                # coordinator owns the segment's whole lifetime.
+                shm.close()
+                shm.unlink()
+        out_stats = _merge_direction([reply[0] for reply in replies])
+        in_stats = _merge_direction([reply[1] for reply in replies])
+        deleted = sum(reply[2] for reply in replies)
+        inserted = int(out_stats.new_edges.sum()) if len(out_stats.new_edges) else 0
+        self.num_edges += inserted - deleted
+        self.batches_applied += 1
+        self._note_keys(
+            out_stats.vertices, self._key_set_out, self._key_order_out
+        )
+        self._note_keys(in_stats.vertices, self._key_set_in, self._key_order_in)
+        if self._mirror:
+            for reply in replies:
+                self._cache_out.update(reply[3])
+                self._cache_in.update(reply[4])
+        if self._tel.enabled:
+            self._tel.count("shard.coordinator_batches")
+            self._tel.count(
+                "shard.shm_batches" if shm is not None else "shard.inline_batches"
+            )
+        return BatchUpdateStats(
+            batch_id=batch.batch_id,
+            batch_size=batch.size,
+            out=out_stats,
+            inn=in_stats,
+            deleted_edges=deleted,
+        )
+
+    def _note_keys(self, vertices: np.ndarray, key_set: set, key_order: list) -> None:
+        """Append this batch's new outer keys in serial insertion order.
+
+        ``vertices`` arrives sorted, matching the order the serial graph's
+        setdefault pass materializes new outer keys in.
+        """
+        fresh = [v for v in vertices.tolist() if v not in key_set]
+        if not fresh:
+            return
+        key_set.update(fresh)
+        key_order.extend(fresh)
+        before = len(self._touched)
+        self._touched.update(fresh)
+        if len(self._touched) != before:
+            self._touched_sorted = None
+
+    # -- reads --------------------------------------------------------------
+    def _adjacency_of(self, direction: str, v: int) -> dict[int, float]:
+        """The (cached) adjacency dict of an existing outer key ``v``."""
+        cache = self._cache_out if direction == "out" else self._cache_in
+        entry = cache.get(v)
+        if entry is None:
+            self._mirror = True
+            entry = self._fetch(direction, [v])[v]
+            cache[v] = entry
+            if self._tel.enabled:
+                self._tel.count("shard.cache_misses")
+        return entry
+
+    def _fetch(self, direction: str, vertices: list) -> dict:
+        """Fetch adjacency dicts from their owner shards, grouped per owner."""
+        self._ensure_workers()
+        by_owner: dict[int, list] = {}
+        for v in vertices:
+            by_owner.setdefault(v % self.num_shards, []).append(v)
+        owners = sorted(by_owner)
+        for owner in owners:
+            self._send(owner, ("fetch", (direction, by_owner[owner])))
+        fetched: dict = {}
+        for owner in owners:
+            fetched.update(self._recv(owner))
+        return fetched
+
+    def _warm(self, direction: str) -> None:
+        """Pull every not-yet-cached adjacency of one direction at once."""
+        self._mirror = True
+        cache = self._cache_out if direction == "out" else self._cache_in
+        order = self._key_order_out if direction == "out" else self._key_order_in
+        missing = [v for v in order if v not in cache]
+        if not missing:
+            return
+        if self._tel.enabled:
+            self._tel.count("shard.cache_warms")
+            self._tel.count("shard.warmed_vertices", len(missing))
+        cache.update(self._fetch(direction, missing))
+
+    def out_neighbors(self, v: int) -> dict[int, float]:
+        self._mirror = True
+        return self._view_out.get(v, {})
+
+    def in_neighbors(self, v: int) -> dict[int, float]:
+        self._mirror = True
+        return self._view_in.get(v, {})
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if edge u->v is currently present."""
+        return v in self.out_neighbors(u)
+
+    def edge_weight(self, u: int, v: int) -> float | None:
+        """Current weight of u->v, or None if absent."""
+        return self.out_neighbors(u).get(v)
+
+    def adjacency_views(self):
+        self._mirror = True
+        return self._view_out, self._view_in
+
+    def vertices_with_edges(self) -> list[int]:
+        """Sorted vertices with any incident edge; pre-warms the read cache
+        (snapshot construction reads every vertex right after calling this)."""
+        self._warm("out")
+        self._warm("in")
+        if self._touched_sorted is None:
+            self._touched_sorted = sorted(self._touched)
+        return self._touched_sorted
+
+    def touched_count(self) -> int:
+        return len(self._touched)
+
+    def notify_external_mutation(self) -> None:
+        raise GraphError(
+            "ShardedGraph adjacency views are read-only mirrors; algorithms "
+            "that mutate views directly require num_shards=1"
+        )
+
+    def sum_search_cost(self, batch_degree, length_before, new_edges, per_element):
+        # The modeled duplicate-check cost is a pure function of the stats;
+        # delegate to the serial structure's linear-scan formula so sharded
+        # runs charge identical modeled time.
+        return AdjacencyListGraph.sum_search_cost(
+            self, batch_degree, length_before, new_edges, per_element
+        )
+
+    # -- telemetry ----------------------------------------------------------
+    def shard_telemetry(self):
+        """Merged shard telemetry: coordinator backend + workers, in shard
+        order (deterministic, mirroring the executor's snapshot merge)."""
+        if not self._tel.enabled:
+            return self._tel.snapshot()
+        snapshots = [self._tel.snapshot()]
+        snapshots.extend(self._request_all("telemetry"))
+        return merge_snapshots(snapshots)
+
+
+class ShardedPipeline(StreamingPipeline):
+    """A :class:`StreamingPipeline` whose graph updates fan out over shards.
+
+    The stage logic is inherited untouched — only the graph substrate
+    changes — which is what makes sharded metrics bit-identical by
+    construction.  Use as a context manager (or call :meth:`close`) so the
+    shard workers shut down promptly; abandoned workers are daemons and die
+    with the coordinator regardless.
+
+    Args:
+        num_shards: shard worker processes (>= 1).
+        (remaining arguments as :class:`StreamingPipeline`)
+    """
+
+    def __init__(self, profile, batch_size, *, num_shards, graph=None,
+                 telemetry=None, **kwargs):
+        if graph is None:
+            backend = as_telemetry(telemetry)
+            graph = ShardedGraph(
+                profile.num_vertices, num_shards, telemetry_level=backend.level
+            )
+        self.num_shards = num_shards
+        super().__init__(
+            profile, batch_size, graph=graph, telemetry=telemetry, **kwargs
+        )
+
+    def close(self) -> None:
+        """Shut down the shard workers backing this pipeline's graph."""
+        close = getattr(self.graph, "close", None)
+        if close is not None:
+            close()
+
+    def shard_telemetry(self):
+        """The graph's merged shard telemetry (see
+        :meth:`ShardedGraph.shard_telemetry`)."""
+        return self.graph.shard_telemetry()
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

@@ -106,3 +106,36 @@ def test_overlaps_recorded_for_reporting():
     controller.observe(make_batch([1], [2], batch_id=0))
     controller.observe(make_batch([1], [2], batch_id=1))
     assert controller.overlaps == [(1, 1.0)]
+
+
+def test_out_of_universe_vertex_rejected():
+    """A stream vertex beyond num_vertices must fail loudly at observe(),
+    not index past the per-vertex batch-id table."""
+    controller = _controller(num_vertices=100)
+    controller.observe(make_batch([1], [2], batch_id=0))
+    with pytest.raises(ConfigurationError, match="outside"):
+        controller.observe(make_batch([1], [100], batch_id=1))
+    with pytest.raises(ConfigurationError, match="outside"):
+        controller.observe(make_batch([250], [2], batch_id=2))
+
+
+def test_negative_vertex_rejected():
+    """Negative ids would silently alias real vertices via wrap-around."""
+    controller = _controller(num_vertices=100)
+    with pytest.raises(ConfigurationError, match="outside"):
+        controller.observe(make_batch([-1], [2], batch_id=0))
+
+
+def test_universe_boundary_vertex_accepted():
+    controller = _controller(num_vertices=100)
+    obs = controller.observe(make_batch([0], [99], batch_id=0))
+    assert obs is not None
+
+
+def test_degenerate_worker_and_universe_counts_rejected():
+    with pytest.raises(ConfigurationError):
+        OCAController(100, config=OCAConfig(), costs=CostParameters(), num_workers=0)
+    with pytest.raises(ConfigurationError):
+        OCAController(100, config=OCAConfig(), costs=CostParameters(), num_workers=-3)
+    with pytest.raises(ConfigurationError):
+        OCAController(0, config=OCAConfig(), costs=CostParameters(), num_workers=8)

@@ -174,6 +174,24 @@ def test_run_matrix_parallel_matches_serial():
     assert serial == parallel  # frozen dataclasses: full-value equality
 
 
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_run_matrix_start_method_parity(monkeypatch, method):
+    """Merged matrix results must not depend on the worker start method —
+    the executor pins one explicitly instead of trusting the platform
+    default (which Python changes across versions and OSes)."""
+    import multiprocessing
+
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{method} unavailable on this platform")
+    specs = [
+        CellSpec(dataset="fb", batch_size=1_000, algorithm=alg, num_batches=2)
+        for alg in ("pr", "sssp")
+    ]
+    serial = run_matrix(specs, jobs=1)
+    monkeypatch.setenv("REPRO_MP_START", method)
+    assert run_matrix(specs, jobs=2) == serial
+
+
 # -- stream cache --------------------------------------------------------------
 
 

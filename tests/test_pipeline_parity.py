@@ -91,6 +91,26 @@ def test_cell_matches_golden(cell):
     assert json.loads(json.dumps(serialize(metrics))) == expected
 
 
+_FB_CELLS = [c for c in CELLS if c["dataset"] == "fb"]
+
+
+@pytest.mark.parametrize(
+    "cell", _FB_CELLS,
+    ids=[capture_parity.cell_key(c) for c in _FB_CELLS],
+)
+def test_cell_matches_golden_sharded(cell):
+    """The golden record is shard-count-invariant: vertex-partitioned
+    execution (num_shards=2) must serialize to the exact same floats as
+    the recorded serial runs — sharding is a wall-clock lever, never a
+    modeled-results change."""
+    import dataclasses
+
+    config = dataclasses.replace(config_for(cell), num_shards=2)
+    metrics = config.run()
+    expected = GOLDEN[capture_parity.cell_key(cell)]
+    assert json.loads(json.dumps(serialize(metrics))) == expected
+
+
 @pytest.mark.parametrize(
     "cell",
     [CELLS[3], CELLS[9]],  # fb/abr_usc and fb/abr_usc+OCA
