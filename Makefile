@@ -46,16 +46,22 @@ bench:
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only
 
-# Substrate micro-benchmark with the regression gate armed: fails if the
-# measured speedups drop >20% below the committed BENCH_substrate.json.
+# Substrate + adjacency-format micro-benchmarks with the regression gate
+# armed: fails if the measured speedups drop >20% below the committed
+# BENCH_substrate.json / BENCH_adjacency.json.  Pins the hybrid format so
+# the gated numbers are the performance-optimal configuration.
 bench-smoke:
-	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_substrate.py --benchmark-only
+	REPRO_BENCH_ENFORCE=1 REPRO_ADJ_FORMAT=hybrid pytest \
+		benchmarks/test_perf_substrate.py benchmarks/test_perf_adjacency.py \
+		--benchmark-only
 
 # Sharded-ingest smoke gate: bounds the 1-shard coordination tax against
-# the committed BENCH_shard.json and, on a multi-core box, enforces the
-# N-shard scaling floor (see benchmarks/test_perf_shard.py's honesty notes).
+# the committed BENCH_shard.json and, when cpu_count >= num_shards,
+# enforces shard speedup > 1 (see benchmarks/test_perf_shard.py's honesty
+# notes — on fewer cores the scaling floor is vacuous and skipped).
 bench-shard:
-	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_shard.py --benchmark-only
+	REPRO_BENCH_ENFORCE=1 REPRO_ADJ_FORMAT=hybrid pytest \
+		benchmarks/test_perf_shard.py --benchmark-only
 
 fidelity:
 	python -m repro fidelity

@@ -1,0 +1,171 @@
+"""Wall-clock adjacency-format micro-benchmark: hub-heavy vs uniform ingest.
+
+The degree-adaptive hybrid format exists for exactly two regimes:
+
+* **uniform** — every vertex stays low-degree, so the hybrid format lives
+  entirely in its pooled array slices and the win is pure vectorization;
+* **hub-heavy** — ~90% of edges leave ~1K hot sources, so hot vertices
+  cross the promotion threshold and the win depends on the hash-dict hub
+  class (array slices alone would pay per-append relocation on every hub).
+
+Each workload is ingested by every registered adjacency format, timing
+best-of-ROUNDS interleaved (load drift biases neither format) and taking a
+separate tracemalloc pass for peak heap (instrumented runs are slower, so
+memory is never measured inside the timed region).  The summary lands in
+``results/BENCH_adjacency.json``; ``make bench-smoke`` compares against the
+committed ``benchmarks/BENCH_adjacency.json`` and fails on gross
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from _harness import RESULTS_DIR, emit
+from repro.analysis.report import render_table
+from repro.datasets.stream import Batch
+from repro.graph.formats import ADJACENCY_FORMATS, make_adjacency_graph
+
+NUM_VERTICES = 200_000
+BATCH_SIZE = 50_000
+NUM_BATCHES = 8
+NUM_HUBS = 1_000
+HUB_FRACTION = 0.9
+ROUNDS = 3  # best-of to shave scheduler noise
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_adjacency.json"
+
+
+def _uniform_batches() -> list[Batch]:
+    rng = np.random.default_rng(7)
+    return [
+        Batch(
+            batch_id=i,
+            src=rng.integers(0, NUM_VERTICES, size=BATCH_SIZE),
+            dst=rng.integers(0, NUM_VERTICES, size=BATCH_SIZE),
+            weight=rng.random(BATCH_SIZE),
+        )
+        for i in range(NUM_BATCHES)
+    ]
+
+
+def _hub_batches() -> list[Batch]:
+    rng = np.random.default_rng(11)
+    hubs = rng.choice(NUM_VERTICES, size=NUM_HUBS, replace=False)
+    batches = []
+    for i in range(NUM_BATCHES):
+        src = rng.integers(0, NUM_VERTICES, size=BATCH_SIZE)
+        from_hub = rng.random(BATCH_SIZE) < HUB_FRACTION
+        src[from_hub] = hubs[rng.integers(0, NUM_HUBS, size=int(from_hub.sum()))]
+        batches.append(
+            Batch(
+                batch_id=i,
+                src=src,
+                dst=rng.integers(0, NUM_VERTICES, size=BATCH_SIZE),
+                weight=rng.random(BATCH_SIZE),
+            )
+        )
+    return batches
+
+
+def _ingest_once(fmt: str, batches) -> float:
+    graph = make_adjacency_graph(fmt, NUM_VERTICES)
+    start = time.perf_counter()
+    for batch in batches:
+        graph.apply_batch(batch)
+    return time.perf_counter() - start
+
+
+def _peak_memory_mb(fmt: str, batches) -> float:
+    """Peak traced heap over one full ingest, in MiB."""
+    tracemalloc.start()
+    try:
+        graph = make_adjacency_graph(fmt, NUM_VERTICES)
+        for batch in batches:
+            graph.apply_batch(batch)
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / (1024 * 1024)
+
+
+def run_adjacency() -> dict:
+    workloads = {"uniform": _uniform_batches(), "hub": _hub_batches()}
+    formats = sorted(ADJACENCY_FORMATS)
+    times: dict[str, dict[str, float]] = {
+        w: {f: float("inf") for f in formats} for w in workloads
+    }
+    # Interleave format rounds inside each workload so machine-load drift
+    # biases neither side of any ratio.
+    for workload, batches in workloads.items():
+        for __ in range(ROUNDS):
+            for fmt in formats:
+                times[workload][fmt] = min(
+                    times[workload][fmt], _ingest_once(fmt, batches)
+                )
+    result: dict = {
+        "num_vertices": NUM_VERTICES,
+        "batch_size": BATCH_SIZE,
+        "num_batches": NUM_BATCHES,
+        "num_hubs": NUM_HUBS,
+        "hub_fraction": HUB_FRACTION,
+    }
+    for workload, batches in workloads.items():
+        for fmt in formats:
+            result[f"ingest_{workload}_{fmt}_s"] = times[workload][fmt]
+            result[f"peak_mem_{workload}_{fmt}_mb"] = _peak_memory_mb(
+                fmt, batches
+            )
+        result[f"speedup_{workload}_hybrid"] = (
+            times[workload]["dict"] / times[workload]["hybrid"]
+        )
+    return result
+
+
+def test_perf_adjacency(benchmark):
+    result = benchmark.pedantic(run_adjacency, rounds=1, iterations=1)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_adjacency.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    rows = []
+    for workload in ("uniform", "hub"):
+        for fmt in sorted(ADJACENCY_FORMATS):
+            rows.append([
+                f"{workload} ingest ({fmt})",
+                result[f"ingest_{workload}_{fmt}_s"],
+                result[f"peak_mem_{workload}_{fmt}_mb"],
+            ])
+    emit(
+        "perf_adjacency",
+        render_table(
+            ["workload", "seconds", "peak MiB"],
+            rows,
+            title="Adjacency-format ingest micro-benchmark",
+        ),
+    )
+    # The hybrid format must beat per-vertex dicts outright in the hub
+    # regime it was built for, on any machine.
+    assert result["speedup_hub_hybrid"] > 1.0
+    if os.environ.get("REPRO_BENCH_ENFORCE") == "1":
+        # ...and must not lose the uniform (all-array-class) regime either.
+        assert result["speedup_uniform_hybrid"] > 1.0
+        if BASELINE_PATH.exists():
+            baseline = json.loads(BASELINE_PATH.read_text())
+            for workload in ("uniform", "hub"):
+                key = f"speedup_{workload}_hybrid"
+                assert result[key] >= baseline[key] * 0.8, (
+                    f"{key} regressed >20% vs committed baseline: "
+                    f"{result[key]:.2f}x vs {baseline[key]:.2f}x"
+                )
+                key = f"ingest_{workload}_hybrid_s"
+                assert result[key] <= baseline[key] * 2.0, (
+                    f"{key} regressed >2x vs committed baseline: "
+                    f"{result[key]:.3f}s vs {baseline[key]:.3f}s"
+                )

@@ -35,6 +35,7 @@ from .analysis.report import render_kv, render_table
 from .datasets.profiles import BATCH_SIZES, DATASETS, get_dataset
 from .exec_model.machine import SIMULATED_MACHINE
 from .graph.adjacency_list import AdjacencyListGraph
+from .graph.formats import ADJACENCY_FORMATS, DEFAULT_ADJACENCY
 from .hau.simulator import HAUSimulator
 from .pipeline.config import RunConfig
 from .pipeline.modes import MODES
@@ -464,6 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="vertex-partitioned shard worker processes for a single run's "
         "update phase (results are bit-identical at any shard count; "
         "single dataset only)",
+    )
+    run.add_argument(
+        "--adjacency", choices=sorted(ADJACENCY_FORMATS), default=None,
+        help="adjacency format for the run's graph (results are "
+        "bit-identical across formats; default: $REPRO_ADJ_FORMAT or "
+        f"{DEFAULT_ADJACENCY!r})",
     )
     run.add_argument(
         "--checkpoint", metavar="DIR",

@@ -1,0 +1,73 @@
+"""Selectable adjacency-format registry.
+
+Two interchangeable substrates implement the batch-update graph protocol:
+
+* ``"dict"`` — :class:`~repro.graph.adjacency_list.AdjacencyListGraph`,
+  per-vertex Python dicts (the historical default);
+* ``"hybrid"`` — :class:`~repro.graph.hybrid.HybridAdjacencyGraph`,
+  degree-adaptive pooled numpy slices with hash-dict hubs and fully
+  vectorized apply/delete paths.
+
+Both produce bit-identical :class:`~repro.graph.base.BatchUpdateStats`,
+adjacency content and iteration order, so the choice is purely a
+wall-clock lever.  Select per run via ``RunConfig.adjacency`` /
+``repro run --adjacency``; the ``REPRO_ADJ_FORMAT`` environment variable
+supplies the default when no explicit choice is made (benchmark harnesses
+use it to sweep formats without touching configs).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..errors import ConfigurationError
+from .adjacency_list import AdjacencyListGraph
+from .hybrid import HybridAdjacencyGraph
+
+__all__ = [
+    "ADJACENCY_FORMATS",
+    "DEFAULT_ADJACENCY",
+    "make_adjacency_graph",
+    "resolve_adjacency_format",
+]
+
+ADJACENCY_FORMATS: dict[str, type] = {
+    "dict": AdjacencyListGraph,
+    "hybrid": HybridAdjacencyGraph,
+}
+
+DEFAULT_ADJACENCY = "dict"
+
+_ENV_VAR = "REPRO_ADJ_FORMAT"
+
+
+def resolve_adjacency_format(name: str | None = None) -> str:
+    """Resolve an adjacency-format choice to a registry key.
+
+    An explicit ``name`` wins; otherwise ``REPRO_ADJ_FORMAT`` is consulted,
+    falling back to :data:`DEFAULT_ADJACENCY`.  Unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    if not name:
+        name = os.environ.get(_ENV_VAR, "").strip() or DEFAULT_ADJACENCY
+    if name not in ADJACENCY_FORMATS:
+        raise ConfigurationError(
+            f"adjacency format must be one of {sorted(ADJACENCY_FORMATS)}, "
+            f"got {name!r}"
+        )
+    return name
+
+
+def make_adjacency_graph(
+    name: str | None, num_vertices: int, telemetry=None
+):
+    """Construct the named adjacency graph over ``num_vertices`` ids.
+
+    ``telemetry`` is forwarded to formats that can use it (the hybrid
+    format records promotion/demotion counters and apply spans); the dict
+    format ignores it.
+    """
+    resolved = resolve_adjacency_format(name)
+    if resolved == "hybrid":
+        return HybridAdjacencyGraph(num_vertices, telemetry=telemetry)
+    return AdjacencyListGraph(num_vertices)

@@ -25,6 +25,7 @@ from ..compute.registry import get_algorithm
 from ..costs import ComputeCostParameters, CostParameters
 from ..errors import ConfigurationError
 from ..exec_model.machine import HOST_MACHINE, SIMULATED_MACHINE, MachineConfig
+from ..graph.formats import ADJACENCY_FORMATS, resolve_adjacency_format
 from ..telemetry.core import TELEMETRY_LEVELS, make_telemetry
 from ..update.abr import ABRConfig
 from ..update.strategies import resolve_strategy
@@ -79,6 +80,11 @@ class RunConfig:
             run's update phase fans out over (1 = serial in-process; see
             :mod:`repro.pipeline.sharding`).  Results are bit-identical at
             any shard count.
+        adjacency: adjacency-format name (see
+            :data:`~repro.graph.formats.ADJACENCY_FORMATS`) — ``"dict"``
+            per-vertex dicts or ``"hybrid"`` degree-adaptive pooled
+            arrays.  Results are bit-identical across formats; only
+            wall-clock changes.
     """
 
     dataset: str
@@ -98,6 +104,7 @@ class RunConfig:
     oca: OCAConfig | None = None
     telemetry: str = "off"
     num_shards: int = 1
+    adjacency: str = "dict"
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises ConfigurationError if unknown
@@ -121,6 +128,11 @@ class RunConfig:
             # computation (ZeroDivisionError) deep inside the first batch.
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.adjacency not in ADJACENCY_FORMATS:
+            raise ConfigurationError(
+                f"adjacency must be one of {sorted(ADJACENCY_FORMATS)}, "
+                f"got {self.adjacency!r}"
             )
 
     # -- derived views --------------------------------------------------------
@@ -171,6 +183,9 @@ class RunConfig:
             num_batches=args.num_batches,
             telemetry=getattr(args, "telemetry", None) or "off",
             num_shards=getattr(args, "shards", None) or 1,
+            adjacency=resolve_adjacency_format(
+                getattr(args, "adjacency", None)
+            ),
         )
 
     @classmethod
@@ -245,6 +260,7 @@ class RunConfig:
 
             pipeline_cls = ShardedPipeline
             kwargs["num_shards"] = self.num_shards
+        kwargs["adjacency"] = self.adjacency
         pipeline = pipeline_cls(
             profile,
             self.batch_size,

@@ -32,8 +32,8 @@ from ..costs import (
 from ..datasets.profiles import DatasetProfile
 from ..datasets.stream import Batch
 from ..exec_model.machine import HOST_MACHINE, MachineConfig
-from ..graph.adjacency_list import AdjacencyListGraph
 from ..graph.base import DynamicGraph
+from ..graph.formats import make_adjacency_graph
 from ..telemetry.core import as_telemetry
 from ..update.abr import ABRConfig
 from ..update.engine import UpdateEngine, UpdatePolicy
@@ -94,8 +94,11 @@ class StreamingPipeline:
         abr_config: ABR parameters.
         oca_config: OCA parameters.
         hau: accelerator simulator (required for HAU policies).
-        graph: pre-built graph to reuse; defaults to a fresh adjacency list.
+        graph: pre-built graph to reuse; defaults to a fresh graph of the
+            selected adjacency format.
         seed: stream generator seed.
+        adjacency: adjacency-format name for the default graph (see
+            :mod:`repro.graph.formats`); ignored when ``graph`` is given.
         telemetry: optional :class:`~repro.telemetry.core.Telemetry`
             backend threaded through every stage and subsystem (engine,
             OCA, HAU, snapshotter); None runs uninstrumented at ~zero cost.
@@ -121,6 +124,7 @@ class StreamingPipeline:
         sssp_source: int | None = None,
         trace=None,
         telemetry=None,
+        adjacency: str | None = None,
     ):
         algorithm_cls = get_algorithm(algorithm)
         self.profile = profile
@@ -129,9 +133,12 @@ class StreamingPipeline:
         self.machine = machine
         self.costs = costs
         self.compute_costs = compute_costs
-        self.graph = graph or AdjacencyListGraph(profile.num_vertices)
-        #: Telemetry backend shared by every stage and subsystem.
+        #: Telemetry backend shared by every stage and subsystem (created
+        #: before the graph so format-level counters land on it too).
         self.telemetry = as_telemetry(telemetry)
+        self.graph = graph or make_adjacency_graph(
+            adjacency, profile.num_vertices, telemetry=self.telemetry
+        )
         self.engine = UpdateEngine(
             self.graph,
             policy=policy,

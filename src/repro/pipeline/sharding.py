@@ -51,6 +51,7 @@ import numpy as np
 from ..errors import ConfigurationError, GraphError
 from ..graph.adjacency_list import AdjacencyListGraph, _empty_direction_stats
 from ..graph.base import BatchUpdateStats, DirectionStats, DynamicGraph
+from ..graph.formats import make_adjacency_graph, resolve_adjacency_format
 from ..telemetry.core import as_telemetry, make_telemetry, merge_snapshots
 from .executor import CellExecutionError, _env_float, mp_context
 from .runner import StreamingPipeline
@@ -205,7 +206,9 @@ def _worker_apply(graph, shard, num_shards, payload, tel):
     return (out_stats, in_stats, deleted, updated_out, updated_in)
 
 
-def _shard_worker_main(shard, num_shards, num_vertices, telemetry_level, conn):
+def _shard_worker_main(
+    shard, num_shards, num_vertices, telemetry_level, conn, adjacency="dict"
+):
     """Shard worker process: owns one partition's adjacency, serves commands.
 
     Module-level so the ``spawn`` start method can import it.  Protocol: the
@@ -214,8 +217,8 @@ def _shard_worker_main(shard, num_shards, num_vertices, telemetry_level, conn):
     never cross the pipe as live objects (arbitrary tracebacks may not
     unpickle in the parent).
     """
-    graph = AdjacencyListGraph(num_vertices)
     tel = make_telemetry(telemetry_level)
+    graph = make_adjacency_graph(adjacency, num_vertices, telemetry=tel)
     while True:
         try:
             command, payload = conn.recv()
@@ -364,10 +367,17 @@ class ShardedGraph(DynamicGraph):
             one per worker), kept separate from the pipeline's backend so
             sharding does not perturb the run's own telemetry stream; read
             the merged view with :meth:`shard_telemetry`.
+        adjacency: adjacency-format name each worker builds its partition
+            with (see :mod:`repro.graph.formats`); parity holds at any
+            format, so this is a per-worker wall-clock lever.
     """
 
     def __init__(
-        self, num_vertices: int, num_shards: int, telemetry_level: str = "off"
+        self,
+        num_vertices: int,
+        num_shards: int,
+        telemetry_level: str = "off",
+        adjacency: str | None = None,
     ):
         super().__init__(num_vertices)
         if num_shards < 1:
@@ -375,6 +385,7 @@ class ShardedGraph(DynamicGraph):
                 f"num_shards must be >= 1, got {num_shards}"
             )
         self.num_shards = num_shards
+        self.adjacency = resolve_adjacency_format(adjacency)
         self._tel_level = telemetry_level
         self._tel = make_telemetry(telemetry_level)
         # Outer-key bookkeeping mirroring the serial dicts: insertion order
@@ -416,7 +427,7 @@ class ShardedGraph(DynamicGraph):
                     target=_shard_worker_main,
                     args=(
                         shard, self.num_shards, self.num_vertices,
-                        self._tel_level, child,
+                        self._tel_level, child, self.adjacency,
                     ),
                     daemon=True,
                     name=f"repro-shard-{shard}",
@@ -533,6 +544,7 @@ class ShardedGraph(DynamicGraph):
             "batches_applied": self.batches_applied,
             "tel_level": self._tel_level,
             "tel": self._tel,
+            "adjacency": self.adjacency,
             "key_order_out": self._key_order_out,
             "key_order_in": self._key_order_in,
             "touched": self._touched,
@@ -548,6 +560,8 @@ class ShardedGraph(DynamicGraph):
         self.batches_applied = state["batches_applied"]
         self._tel_level = state["tel_level"]
         self._tel = state["tel"]
+        # Checkpoints written before the format field default to dicts.
+        self.adjacency = state.get("adjacency", "dict")
         self._key_order_out = state["key_order_out"]
         self._key_order_in = state["key_order_in"]
         self._key_set_out = set(self._key_order_out)
@@ -749,15 +763,18 @@ class ShardedPipeline(StreamingPipeline):
 
     Args:
         num_shards: shard worker processes (>= 1).
+        adjacency: per-worker adjacency format (see
+            :mod:`repro.graph.formats`).
         (remaining arguments as :class:`StreamingPipeline`)
     """
 
     def __init__(self, profile, batch_size, *, num_shards, graph=None,
-                 telemetry=None, **kwargs):
+                 telemetry=None, adjacency=None, **kwargs):
         if graph is None:
             backend = as_telemetry(telemetry)
             graph = ShardedGraph(
-                profile.num_vertices, num_shards, telemetry_level=backend.level
+                profile.num_vertices, num_shards,
+                telemetry_level=backend.level, adjacency=adjacency,
             )
         self.num_shards = num_shards
         super().__init__(

@@ -182,16 +182,20 @@ def test_checkpoint_telemetry_counters(tmp_path):
 
 
 # -- the acceptance criterion: kill, resume, compare ------------------------
-def test_kill_and_resume_bit_identical(tmp_path):
+@pytest.mark.parametrize("adjacency", ["dict", "hybrid"])
+def test_kill_and_resume_bit_identical(tmp_path, adjacency):
     """Hard-kill a checkpointed run mid-stream (os._exit in a child
     process), resume from the newest on-disk checkpoint in a fresh
-    pipeline, and the final RunMetrics equal the uninterrupted run's."""
-    expected = _run_uninterrupted()
+    pipeline, and the final RunMetrics equal the uninterrupted run's.
+    Runs under both adjacency formats: the hybrid graph's pooled arrays
+    and hub dicts must survive the pickle round trip mid-promotion."""
+    config = dataclasses.replace(CONFIG, adjacency=adjacency)
+    expected = _run_uninterrupted(config)
 
     checkpoint_dir = tmp_path / "ckpts"
     child = multiprocessing.Process(
         target=faultinject.run_checkpointed_and_die,
-        args=(CONFIG.to_json(), str(checkpoint_dir), 2, 7),
+        args=(config.to_json(), str(checkpoint_dir), 2, 7),
     )
     child.start()
     child.join(timeout=120)
@@ -202,8 +206,8 @@ def test_kill_and_resume_bit_identical(tmp_path):
     checkpoint, _ = found
     assert checkpoint.cursor == 6  # checkpoints at 2, 4, 6; died before 7
 
-    resumed = CONFIG.build_pipeline()
-    metrics = resumed.run(CONFIG.num_batches, resume_from=checkpoint)
+    resumed = config.build_pipeline()
+    metrics = resumed.run(config.num_batches, resume_from=checkpoint)
     assert metrics == expected
     assert metrics.batches == expected.batches  # per-batch rows, exact
 

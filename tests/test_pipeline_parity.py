@@ -80,11 +80,18 @@ def test_golden_covers_every_cell():
     assert set(GOLDEN) == {capture_parity.cell_key(cell) for cell in CELLS}
 
 
+@pytest.mark.parametrize("adjacency", ["dict", "hybrid"])
 @pytest.mark.parametrize(
     "cell", CELLS, ids=[capture_parity.cell_key(c) for c in CELLS]
 )
-def test_cell_matches_golden(cell):
-    metrics = config_for(cell).run()
+def test_cell_matches_golden(cell, adjacency):
+    """The golden record is adjacency-format-invariant: the hybrid format
+    must serialize to the exact floats recorded with per-vertex dicts —
+    the format is a wall-clock lever, never a modeled-results change."""
+    import dataclasses
+
+    config = dataclasses.replace(config_for(cell), adjacency=adjacency)
+    metrics = config.run()
     expected = GOLDEN[capture_parity.cell_key(cell)]
     # JSON round-trip our side too so float comparison is repr-exact on
     # both: identical modeled results serialize to identical documents.
@@ -94,18 +101,22 @@ def test_cell_matches_golden(cell):
 _FB_CELLS = [c for c in CELLS if c["dataset"] == "fb"]
 
 
+@pytest.mark.parametrize("adjacency", ["dict", "hybrid"])
 @pytest.mark.parametrize(
     "cell", _FB_CELLS,
     ids=[capture_parity.cell_key(c) for c in _FB_CELLS],
 )
-def test_cell_matches_golden_sharded(cell):
+def test_cell_matches_golden_sharded(cell, adjacency):
     """The golden record is shard-count-invariant: vertex-partitioned
     execution (num_shards=2) must serialize to the exact same floats as
     the recorded serial runs — sharding is a wall-clock lever, never a
-    modeled-results change."""
+    modeled-results change.  Parametrized over the worker-side adjacency
+    format too: shard workers must be format-invariant as well."""
     import dataclasses
 
-    config = dataclasses.replace(config_for(cell), num_shards=2)
+    config = dataclasses.replace(
+        config_for(cell), num_shards=2, adjacency=adjacency
+    )
     metrics = config.run()
     expected = GOLDEN[capture_parity.cell_key(cell)]
     assert json.loads(json.dumps(serialize(metrics))) == expected
