@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard report-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -50,9 +50,17 @@ bench-full:
 # armed: fails if the measured speedups drop >20% below the committed
 # BENCH_substrate.json / BENCH_adjacency.json.  Pins the hybrid format so
 # the gated numbers are the performance-optimal configuration.
-bench-smoke:
+bench-smoke: bench-partition
 	REPRO_BENCH_ENFORCE=1 REPRO_ADJ_FORMAT=hybrid pytest \
 		benchmarks/test_perf_substrate.py benchmarks/test_perf_adjacency.py \
+		--benchmark-only
+
+# Partition-policy smoke gate: greedy must cut fewer edges than mod on the
+# hub-heavy profile (deterministic, asserted unconditionally) and the cut /
+# ingest numbers must stay within tolerance of the committed
+# BENCH_partition.json.
+bench-partition:
+	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_partition.py \
 		--benchmark-only
 
 # Sharded-ingest smoke gate: bounds the 1-shard coordination tax against

@@ -39,6 +39,8 @@ from .graph.formats import ADJACENCY_FORMATS, DEFAULT_ADJACENCY
 from .hau.simulator import HAUSimulator
 from .pipeline.config import RunConfig
 from .pipeline.modes import MODES
+from .pipeline.partition import PARTITION_POLICIES
+from .pipeline.transport import DEFAULT_TRANSPORT, SHARD_TRANSPORTS
 from .pipeline.runner import ALGORITHMS
 from .telemetry.core import TELEMETRY_LEVELS
 from .update.engine import UpdateEngine, UpdatePolicy
@@ -465,6 +467,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="vertex-partitioned shard worker processes for a single run's "
         "update phase (results are bit-identical at any shard count; "
         "single dataset only)",
+    )
+    run.add_argument(
+        "--shard-transport", choices=sorted(SHARD_TRANSPORTS), default=None,
+        metavar="NAME", dest="shard_transport",
+        help="how the coordinator reaches its shard workers: "
+        f"{', '.join(sorted(SHARD_TRANSPORTS))} (results are bit-identical "
+        "across transports; default: $REPRO_SHARD_TRANSPORT or "
+        f"{DEFAULT_TRANSPORT!r}; only meaningful with --shards > 1)",
+    )
+    run.add_argument(
+        "--shard-policy", choices=sorted(PARTITION_POLICIES), default=None,
+        metavar="NAME", dest="shard_policy",
+        help="vertex-placement policy materializing the shard owner map: "
+        f"{', '.join(sorted(PARTITION_POLICIES))} (results are "
+        "bit-identical across policies; default: 'mod', the paper's "
+        "mapping; only meaningful with --shards > 1)",
     )
     run.add_argument(
         "--adjacency", choices=sorted(ADJACENCY_FORMATS), default=None,

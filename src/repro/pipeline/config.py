@@ -30,6 +30,8 @@ from ..telemetry.core import TELEMETRY_LEVELS, make_telemetry
 from ..update.abr import ABRConfig
 from ..update.strategies import resolve_strategy
 from .modes import resolve_mode
+from .partition import PARTITION_POLICIES
+from .transport import SHARD_TRANSPORTS, resolve_shard_transport
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..datasets.profiles import DatasetProfile
@@ -80,6 +82,18 @@ class RunConfig:
             run's update phase fans out over (1 = serial in-process; see
             :mod:`repro.pipeline.sharding`).  Results are bit-identical at
             any shard count.
+        shard_transport: how the coordinator reaches its shard workers —
+            ``"inproc"`` (same-process), ``"shm"`` (pipes + SharedMemory,
+            default) or ``"tcp"`` (length-prefixed sockets); see
+            :data:`~repro.pipeline.transport.SHARD_TRANSPORTS`.  Ignored
+            when ``num_shards == 1``; results are bit-identical across
+            transports.
+        shard_policy: vertex-placement policy materializing the owner map
+            — ``"mod"`` (the paper's §4.4 mapping, default), ``"hash"`` or
+            ``"greedy"``; see
+            :data:`~repro.pipeline.partition.PARTITION_POLICIES`.  Ignored
+            when ``num_shards == 1``; results are bit-identical across
+            policies (placement trades communication, never correctness).
         adjacency: adjacency-format name (see
             :data:`~repro.graph.formats.ADJACENCY_FORMATS`) — ``"dict"``
             per-vertex dicts or ``"hybrid"`` degree-adaptive pooled
@@ -105,6 +119,8 @@ class RunConfig:
     telemetry: str = "off"
     num_shards: int = 1
     adjacency: str = "dict"
+    shard_transport: str = "shm"
+    shard_policy: str = "mod"
 
     def __post_init__(self) -> None:
         get_algorithm(self.algorithm)  # raises ConfigurationError if unknown
@@ -124,8 +140,8 @@ class RunConfig:
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
         if self.num_shards < 1:
-            # 0 would otherwise survive until a vertex % num_shards owner
-            # computation (ZeroDivisionError) deep inside the first batch.
+            # 0 would otherwise survive until the owner map is materialized
+            # (ZeroDivisionError) deep inside pipeline construction.
             raise ConfigurationError(
                 f"num_shards must be >= 1, got {self.num_shards}"
             )
@@ -133,6 +149,16 @@ class RunConfig:
             raise ConfigurationError(
                 f"adjacency must be one of {sorted(ADJACENCY_FORMATS)}, "
                 f"got {self.adjacency!r}"
+            )
+        if self.shard_transport not in SHARD_TRANSPORTS:
+            raise ConfigurationError(
+                f"shard_transport must be one of {sorted(SHARD_TRANSPORTS)}, "
+                f"got {self.shard_transport!r}"
+            )
+        if self.shard_policy not in PARTITION_POLICIES:
+            raise ConfigurationError(
+                f"shard_policy must be one of {sorted(PARTITION_POLICIES)}, "
+                f"got {self.shard_policy!r}"
             )
 
     # -- derived views --------------------------------------------------------
@@ -186,6 +212,10 @@ class RunConfig:
             adjacency=resolve_adjacency_format(
                 getattr(args, "adjacency", None)
             ),
+            shard_transport=resolve_shard_transport(
+                getattr(args, "shard_transport", None)
+            ),
+            shard_policy=getattr(args, "shard_policy", None) or "mod",
         )
 
     @classmethod
@@ -260,6 +290,8 @@ class RunConfig:
 
             pipeline_cls = ShardedPipeline
             kwargs["num_shards"] = self.num_shards
+            kwargs["shard_transport"] = self.shard_transport
+            kwargs["shard_policy"] = self.shard_policy
         kwargs["adjacency"] = self.adjacency
         pipeline = pipeline_cls(
             profile,

@@ -1,41 +1,49 @@
-"""Sharded single-run execution: vertex-partitioned update across processes.
+"""Sharded single-run execution: vertex-partitioned update across workers.
 
 The paper's HAU eliminates update locks by routing every update task to core
 ``src mod N`` (Section 4.4): tasks that touch the same vertex land on the
 same core, so no two cores ever write the same adjacency.  This module lifts
-that owner mapping from the simulated CMP to real OS processes, so one
+that owner mapping from the simulated CMP to real shard workers, so one
 pipeline run's *update phase* — the real data-structure work in this library
-(DESIGN.md §2) — fans out over ``num_shards`` persistent workers:
+(DESIGN.md §2) — fans out over ``num_shards`` persistent workers.
 
-* shard ``k`` owns every vertex ``v`` with ``v % num_shards == k`` and holds
-  the full out-adjacency of its sources and the full in-adjacency of its
-  destinations — the two directions of one edge generally live on different
-  shards, exactly like the HAU's per-direction task routing;
-* each batch ships to the workers once (one shared-memory block where the
-  platform provides :mod:`multiprocessing.shared_memory`, an inline pickle
-  otherwise) and every worker slices out its own edges with a ``% N`` mask —
-  zero coordinator-side partitioning work, lock-free by construction;
-* per-shard :class:`~repro.graph.base.DirectionStats` merge back into the
-  exact arrays the serial graph would have produced (the vertex partition is
-  disjoint, so a concatenate + stable argsort *is* the serial sort order),
-  which makes every downstream modeled-time figure bit-identical;
-* compute stays serial on the coordinator: algorithm semantics (PageRank's
-  within-round float accumulation, CC's union-find operation counts) are
-  order-sensitive, so the coordinator reads adjacency through a lazily
-  mirrored view instead of re-deriving results from per-shard partials.
-  Updates parallelize; compute reads parity-exact state.
+Since PR 7 the runtime is split into three separable layers:
 
-The hard invariant: a run at any ``num_shards`` produces algorithm results
-and :class:`~repro.pipeline.metrics.RunMetrics` bit-identical to
-``num_shards=1`` (enforced by ``tests/test_sharding.py`` against the golden
-parity oracle).
+* **placement** (:mod:`repro.pipeline.partition`) — *which shard owns each
+  vertex* is an explicit owner-map array materialized once by a registered
+  policy (``mod`` — the paper's mapping and the default — ``hash``, or the
+  ``greedy`` streaming partitioner).  Workers and coordinator slice and
+  route through the map; no ``v % N`` arithmetic exists outside the policy
+  module.
+* **transport** (:mod:`repro.pipeline.transport`) — *how coordinator and
+  workers talk* is a registered channel implementation: ``inproc`` direct
+  calls, ``shm`` pipes + SharedMemory (the default), or ``tcp``
+  length-prefixed sockets ready to cross host boundaries.
+* **coordination** (this module) — the owner-disjoint apply/merge protocol,
+  mirrored reads, checkpointing, and lifecycle, all agnostic to the other
+  two layers.
+
+The shard owning a vertex holds the full out-adjacency of its sources and
+the full in-adjacency of its destinations — the two directions of one edge
+generally live on different shards, exactly like the HAU's per-direction
+task routing.  Per-shard :class:`~repro.graph.base.DirectionStats` merge
+back into the exact arrays the serial graph would have produced: the vertex
+partition is disjoint, so a concatenate + stable argsort *is* the serial
+sort order **regardless of placement**.  Compute stays serial on the
+coordinator against lazily mirrored byte-exact adjacency views.
+
+The hard invariant: a run at any ``num_shards``, under any transport and
+any placement policy, produces algorithm results and
+:class:`~repro.pipeline.metrics.RunMetrics` bit-identical to
+``num_shards=1`` (enforced by the golden parity matrix in
+``tests/test_pipeline_parity.py`` and ``tests/test_sharding.py``).
 
 Environment knobs:
 
 * ``REPRO_MP_START`` — start method for shard workers (see
   :func:`~repro.pipeline.executor.mp_context`);
-* ``REPRO_SHARD_SHM`` — set to ``0`` to force the inline pipe transport
-  even where shared memory is available;
+* ``REPRO_SHARD_TRANSPORT`` / ``REPRO_SHARD_SHM`` /
+  ``REPRO_SHARD_CONNECT_TIMEOUT`` — see :mod:`repro.pipeline.transport`;
 * ``REPRO_CELL_TIMEOUT`` — seconds the coordinator waits on a shard reply
   before declaring the worker hung (unset/0 = wait forever), shared with
   the matrix executor.
@@ -43,7 +51,6 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
 import pickle
 
 import numpy as np
@@ -53,50 +60,32 @@ from ..graph.adjacency_list import AdjacencyListGraph, _empty_direction_stats
 from ..graph.base import BatchUpdateStats, DirectionStats, DynamicGraph
 from ..graph.formats import make_adjacency_graph, resolve_adjacency_format
 from ..telemetry.core import as_telemetry, make_telemetry, merge_snapshots
-from .executor import CellExecutionError, _env_float, mp_context
+from .executor import CellExecutionError, _env_float
+from .partition import (
+    GREEDY_SAMPLE_EDGES,
+    build_owner_map,
+    owner_map_checksum,
+    resolve_partition_policy,
+    shard_owner,  # noqa: F401  (canonical home is partition.py; re-exported)
+    validate_owner_map,
+)
 from .runner import StreamingPipeline
+from .transport import (
+    _shared_memory,
+    make_transport,
+    resolve_shard_transport,
+)
 
-__all__ = ["ShardedGraph", "ShardedPipeline", "shard_owner"]
+__all__ = ["ShardedGraph", "ShardedPipeline", "ShardWorker", "shard_owner"]
 
-try:  # pragma: no cover - availability probe
-    from multiprocessing import shared_memory as _shared_memory
-except ImportError:  # pragma: no cover - platforms without shm
-    _shared_memory = None
-
-
-def shard_owner(vertices: np.ndarray, num_shards: int) -> np.ndarray:
-    """Owner shard of each vertex — the paper's ``v mod N`` mapping."""
-    return vertices % num_shards
-
-
-def _shm_enabled() -> bool:
-    return (
-        _shared_memory is not None
-        and os.environ.get("REPRO_SHARD_SHM", "1").strip() != "0"
-    )
-
-
-# -- batch transport ---------------------------------------------------------
+# -- batch representation -----------------------------------------------------
 #
 # One batch becomes five flat arrays (insert src/dst/weight, delete src/dst).
-# The shm path writes them back to back into a single segment and ships only
-# the segment name + lengths; workers rebuild zero-copy views and slice out
-# their own edges.  The inline path pickles the arrays through the pipe.
+# The transport decides how they travel (SharedMemory segment, inline pipe
+# pickle, socket frame); the worker slices out its own edges either way.
 
 _INT = np.dtype(np.int64)
 _FLT = np.dtype(np.float64)
-
-
-def _pack_shm(arrays):
-    """Write the five batch arrays into one fresh shared-memory block."""
-    total = sum(arr.nbytes for arr in arrays)
-    shm = _shared_memory.SharedMemory(create=True, size=total)
-    offset = 0
-    for arr in arrays:
-        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset)
-        view[:] = arr
-        offset += arr.nbytes
-    return shm
 
 
 def _attach_shm(name):
@@ -133,11 +122,11 @@ def _unpack_shm(shm, n_ins: int, n_del: int):
     return out
 
 
-# -- worker side -------------------------------------------------------------
+# -- worker side --------------------------------------------------------------
 
 
-def _slice_batch(arrays, shard: int, num_shards: int):
-    """Cut one shard's slices out of the five batch arrays.
+def _slice_batch(arrays, shard: int, owners: np.ndarray):
+    """Cut one shard's slices out of the five batch arrays via the owner map.
 
     Boolean-mask indexing *copies*, so the slices outlive any shared-memory
     views behind ``arrays``; masks preserve batch order, which per-vertex
@@ -146,10 +135,10 @@ def _slice_batch(arrays, shard: int, num_shards: int):
     directions generally route to two different shards.
     """
     ins_src, ins_dst, ins_w, del_src, del_dst = arrays
-    out_pick = ins_src % num_shards == shard
-    in_pick = ins_dst % num_shards == shard
-    dout_pick = del_src % num_shards == shard
-    din_pick = del_dst % num_shards == shard
+    out_pick = owners[ins_src] == shard
+    in_pick = owners[ins_dst] == shard
+    dout_pick = owners[del_src] == shard
+    din_pick = owners[del_dst] == shard
     return (
         (ins_src[out_pick], ins_dst[out_pick], ins_w[out_pick]),
         (ins_dst[in_pick], ins_src[in_pick], ins_w[in_pick]),
@@ -158,112 +147,148 @@ def _slice_batch(arrays, shard: int, num_shards: int):
     )
 
 
-def _worker_apply(graph, shard, num_shards, payload, tel):
-    """Apply this shard's slice of one batch; reply with stats + updates."""
-    if "shm" in payload:
-        shm = _attach_shm(payload["shm"])
-        arrays = None
-        try:
-            arrays = _unpack_shm(shm, payload["n_ins"], payload["n_del"])
-            slices = _slice_batch(arrays, shard, num_shards)
-        finally:
-            # Drop the zero-copy views before close(); a live export would
-            # make releasing the segment's buffer fail.
-            arrays = None  # noqa: F841
-            shm.close()
-    else:
-        slices = _slice_batch(payload["inline"], shard, num_shards)
-    (out_keys, out_vals, out_w), (in_keys, in_vals, in_w), dout, din = slices
+class ShardWorker:
+    """One shard's state and command handlers, transport-agnostic.
 
-    out_stats = graph.apply_direction_edges(out_keys, out_vals, out_w, direction="out")
-    in_stats = graph.apply_direction_edges(in_keys, in_vals, in_w, direction="in")
-    removed_out = graph.delete_direction_edges(dout[0], dout[1], direction="out")
-    removed_in = graph.delete_direction_edges(din[0], din[1], direction="in")
-    deleted = sum(removed_out.values())
-    # Tracking exists here only to keep the worker on the tracked apply
-    # path (its per-vertex dict order differs from the fast path's); the
-    # coordinator rebuilds snapshots from scratch, so drop the journal
-    # rather than let it accumulate across batches.
-    graph.consume_delta()
+    Owns the partition's adjacency graph and a shard-local telemetry
+    backend.  Process transports run one of these behind
+    :func:`serve_shard_worker`; the ``inproc`` transport dispatches into
+    :meth:`handle` directly.
 
-    updated_out = updated_in = None
-    if payload["include_updates"]:
-        touched_out = set(out_stats.vertices.tolist())
-        touched_out.update(removed_out)
-        touched_in = set(in_stats.vertices.tolist())
-        touched_in.update(removed_in)
-        updated_out = {v: graph.out_neighbors(v) for v in sorted(touched_out)}
-        updated_in = {v: graph.in_neighbors(v) for v in sorted(touched_in)}
-
-    if tel.enabled:
-        tel.count("shard.batches")
-        tel.count("shard.out_edges", len(out_keys))
-        tel.count("shard.in_edges", len(in_keys))
-        if len(out_stats.new_edges):
-            tel.count("shard.new_edges", int(out_stats.new_edges.sum()))
-        if deleted:
-            tel.count("shard.deleted_edges", deleted)
-    return (out_stats, in_stats, deleted, updated_out, updated_in)
-
-
-def _shard_worker_main(
-    shard, num_shards, num_vertices, telemetry_level, conn, adjacency="dict"
-):
-    """Shard worker process: owns one partition's adjacency, serves commands.
-
-    Module-level so the ``spawn`` start method can import it.  Protocol: the
-    coordinator sends ``(command, payload)`` tuples, the worker replies
-    ``("ok", result)`` or ``("error", (type_name, message))``; exceptions
-    never cross the pipe as live objects (arbitrary tracebacks may not
-    unpickle in the parent).
+    The spec dict carries everything a freshly spawned process needs:
+    ``shard``, ``num_vertices``, ``telemetry_level``, ``adjacency`` and the
+    policy-materialized ``owner_map``.
     """
-    tel = make_telemetry(telemetry_level)
-    graph = make_adjacency_graph(adjacency, num_vertices, telemetry=tel)
+
+    def __init__(self, spec: dict):
+        self.shard = spec["shard"]
+        self.num_vertices = spec["num_vertices"]
+        self.owners = spec["owner_map"]
+        self.tel = make_telemetry(spec.get("telemetry_level", "off"))
+        self.graph = make_adjacency_graph(
+            spec.get("adjacency", "dict"), self.num_vertices, telemetry=self.tel
+        )
+
+    # -- command handlers -----------------------------------------------------
+    def handle(self, command: str, payload):
+        """Serve one protocol command; raises on failure (the channel layer
+        converts exceptions to ``("error", ...)`` replies)."""
+        if command == "apply":
+            return self._apply(payload)
+        if command == "fetch":
+            direction, vertices = payload
+            adjacency_of = (
+                self.graph.out_neighbors
+                if direction == "out"
+                else self.graph.in_neighbors
+            )
+            if self.tel.enabled:
+                self.tel.count("shard.fetches")
+                self.tel.count("shard.fetched_vertices", len(vertices))
+            return {v: adjacency_of(v) for v in vertices}
+        if command == "state":
+            return pickle.dumps(self.graph, protocol=pickle.HIGHEST_PROTOCOL)
+        if command == "restore":
+            graph = pickle.loads(payload)
+            if graph.num_vertices != self.num_vertices:
+                raise GraphError(
+                    f"restored shard graph has {graph.num_vertices} "
+                    f"vertices, worker was spawned for {self.num_vertices}"
+                )
+            self.graph = graph
+            return None
+        if command == "track":
+            self.graph.track_deltas(bool(payload))
+            return None
+        if command == "telemetry":
+            return self.tel.snapshot()
+        if command == "close":
+            return None
+        raise GraphError(f"unknown shard command {command!r}")
+
+    def _apply(self, payload):
+        """Apply this shard's slice of one batch; reply with stats + updates."""
+        graph, tel = self.graph, self.tel
+        if "shm" in payload:
+            shm = _attach_shm(payload["shm"])
+            arrays = None
+            try:
+                arrays = _unpack_shm(shm, payload["n_ins"], payload["n_del"])
+                slices = _slice_batch(arrays, self.shard, self.owners)
+            finally:
+                # Drop the zero-copy views before close(); a live export
+                # would make releasing the segment's buffer fail.
+                arrays = None  # noqa: F841
+                shm.close()
+        else:
+            slices = _slice_batch(payload["inline"], self.shard, self.owners)
+        (out_keys, out_vals, out_w), (in_keys, in_vals, in_w), dout, din = slices
+
+        out_stats = graph.apply_direction_edges(
+            out_keys, out_vals, out_w, direction="out"
+        )
+        in_stats = graph.apply_direction_edges(
+            in_keys, in_vals, in_w, direction="in"
+        )
+        removed_out = graph.delete_direction_edges(dout[0], dout[1], direction="out")
+        removed_in = graph.delete_direction_edges(din[0], din[1], direction="in")
+        deleted = sum(removed_out.values())
+        # Tracking exists here only to keep the worker on the tracked apply
+        # path (its per-vertex dict order differs from the fast path's); the
+        # coordinator rebuilds snapshots from scratch, so drop the journal
+        # rather than let it accumulate across batches.
+        graph.consume_delta()
+
+        updated_out = updated_in = None
+        if payload["include_updates"]:
+            touched_out = set(out_stats.vertices.tolist())
+            touched_out.update(removed_out)
+            touched_in = set(in_stats.vertices.tolist())
+            touched_in.update(removed_in)
+            updated_out = {v: graph.out_neighbors(v) for v in sorted(touched_out)}
+            updated_in = {v: graph.in_neighbors(v) for v in sorted(touched_in)}
+
+        if tel.enabled:
+            tel.count("shard.batches")
+            tel.count("shard.out_edges", len(out_keys))
+            tel.count("shard.in_edges", len(in_keys))
+            if len(out_stats.new_edges):
+                tel.count("shard.new_edges", int(out_stats.new_edges.sum()))
+            if deleted:
+                tel.count("shard.deleted_edges", deleted)
+        return (out_stats, in_stats, deleted, updated_out, updated_in)
+
+
+def serve_shard_worker(spec: dict, channel) -> None:
+    """Shard worker loop: serve protocol commands until close/disconnect.
+
+    Protocol: the coordinator sends ``(command, payload)`` tuples, the
+    worker replies ``("ok", result)`` or ``("error", (type_name,
+    message))``; exceptions never cross the channel as live objects
+    (arbitrary tracebacks may not unpickle in the parent).
+    """
+    worker = ShardWorker(spec)
     while True:
         try:
-            command, payload = conn.recv()
-        except EOFError:  # coordinator vanished; nothing left to serve
+            command, payload = channel.recv()
+        except (EOFError, OSError):  # coordinator vanished; nothing to serve
+            break
+        if command == "close":
+            try:
+                channel.send(("ok", None))
+            except (OSError, ValueError):  # pragma: no cover - racing close
+                pass
             break
         try:
-            if command == "apply":
-                reply = _worker_apply(graph, shard, num_shards, payload, tel)
-            elif command == "fetch":
-                direction, vertices = payload
-                adjacency_of = (
-                    graph.out_neighbors if direction == "out" else graph.in_neighbors
-                )
-                if tel.enabled:
-                    tel.count("shard.fetches")
-                    tel.count("shard.fetched_vertices", len(vertices))
-                reply = {v: adjacency_of(v) for v in vertices}
-            elif command == "state":
-                reply = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
-            elif command == "restore":
-                graph = pickle.loads(payload)
-                if graph.num_vertices != num_vertices:
-                    raise GraphError(
-                        f"restored shard graph has {graph.num_vertices} "
-                        f"vertices, worker was spawned for {num_vertices}"
-                    )
-                reply = None
-            elif command == "track":
-                graph.track_deltas(bool(payload))
-                reply = None
-            elif command == "telemetry":
-                reply = tel.snapshot()
-            elif command == "close":
-                conn.send(("ok", None))
-                break
-            else:
-                raise GraphError(f"unknown shard command {command!r}")
+            reply = worker.handle(command, payload)
         except Exception as exc:
-            conn.send(("error", (type(exc).__name__, str(exc))))
+            channel.send(("error", (type(exc).__name__, str(exc))))
             continue
-        conn.send(("ok", reply))
-    conn.close()
+        channel.send(("ok", reply))
+    channel.close()
 
 
-# -- coordinator side --------------------------------------------------------
+# -- coordinator side ---------------------------------------------------------
 
 
 def _merge_direction(parts) -> DirectionStats:
@@ -271,7 +296,8 @@ def _merge_direction(parts) -> DirectionStats:
 
     Every shard reports sorted vertices and the partition is disjoint, so a
     stable argsort of the concatenation reproduces the serial (globally
-    sorted) order exactly; the per-vertex columns ride along unchanged.
+    sorted) order exactly — whatever policy produced the partition; the
+    per-vertex columns ride along unchanged.
     """
     parts = [p for p in parts if len(p.vertices)]
     if not parts:
@@ -345,7 +371,7 @@ class _ShardAdjacencyView:
 
 
 class ShardedGraph(DynamicGraph):
-    """A dynamic graph whose update phase runs on ``num_shards`` processes.
+    """A dynamic graph whose update phase runs on ``num_shards`` workers.
 
     Drop-in for :class:`~repro.graph.adjacency_list.AdjacencyListGraph`
     inside a pipeline: :meth:`apply_batch` returns bit-identical
@@ -357,12 +383,14 @@ class ShardedGraph(DynamicGraph):
     its partition outright and applies its slices lock-free.
 
     Picklable for checkpoints: pickling drains each worker's graph into a
-    per-shard payload; unpickling re-spawns workers lazily and pushes the
-    payloads back on first use.
+    per-shard payload; unpickling re-launches the transport lazily and
+    pushes the payloads back on first use.  The owner map travels in the
+    checkpoint, so a resume under a different placement is rejected instead
+    of silently mis-routing.
 
     Args:
         num_vertices: vertex id universe.
-        num_shards: worker process count (>= 1).
+        num_shards: shard worker count (>= 1).
         telemetry_level: level for the shard-local backends (coordinator +
             one per worker), kept separate from the pipeline's backend so
             sharding does not perturb the run's own telemetry stream; read
@@ -370,6 +398,19 @@ class ShardedGraph(DynamicGraph):
         adjacency: adjacency-format name each worker builds its partition
             with (see :mod:`repro.graph.formats`); parity holds at any
             format, so this is a per-worker wall-clock lever.
+        transport: shard-transport name (see
+            :mod:`repro.pipeline.transport`); None resolves
+            ``REPRO_SHARD_TRANSPORT`` / the default.
+        policy: partition-policy name (see
+            :mod:`repro.pipeline.partition`); ignored for placement when
+            ``owner_map`` is given (it still labels the map's origin).
+        owner_map: pre-materialized owner map (policies that sample the
+            stream build it upstream); None materializes ``policy`` with
+            no edge sample.
+        run_telemetry: the *pipeline's* telemetry backend, used only for
+            partition-quality and transport-traffic counters
+            (``partition.*`` / ``transport.*``) that `repro report`
+            surfaces; None records none.
     """
 
     def __init__(
@@ -378,6 +419,10 @@ class ShardedGraph(DynamicGraph):
         num_shards: int,
         telemetry_level: str = "off",
         adjacency: str | None = None,
+        transport: str | None = None,
+        policy: str | None = None,
+        owner_map: np.ndarray | None = None,
+        run_telemetry=None,
     ):
         super().__init__(num_vertices)
         if num_shards < 1:
@@ -386,8 +431,14 @@ class ShardedGraph(DynamicGraph):
             )
         self.num_shards = num_shards
         self.adjacency = resolve_adjacency_format(adjacency)
+        self.transport_name = resolve_shard_transport(transport)
+        self.policy = resolve_partition_policy(policy).name
+        if owner_map is None:
+            owner_map = build_owner_map(self.policy, num_vertices, num_shards)
+        self.owner_map = validate_owner_map(owner_map, num_vertices, num_shards)
         self._tel_level = telemetry_level
         self._tel = make_telemetry(telemetry_level)
+        self._run_tel = as_telemetry(run_telemetry)
         # Outer-key bookkeeping mirroring the serial dicts: insertion order
         # (new keys arrive sorted within each batch, exactly like the serial
         # setdefault pass) and O(1) membership for negative lookups that
@@ -406,52 +457,66 @@ class ShardedGraph(DynamicGraph):
         self._mirror = False
         self._view_out = _ShardAdjacencyView(self, "out")
         self._view_in = _ShardAdjacencyView(self, "in")
-        self._conns = None
-        self._procs = None
+        self._transport = None
+        self._traffic_seen = (0, 0)
         self._pending_payloads: list[bytes] | None = None
         self._track_deltas = False
         self._closed = False
 
     # -- worker lifecycle ---------------------------------------------------
+    @property
+    def _conns(self):
+        """Live per-shard channels (None before launch / after close)."""
+        return None if self._transport is None else self._transport.channels
+
+    @property
+    def _procs(self):
+        """Live worker processes (empty for in-process transports)."""
+        return None if self._transport is None else self._transport.processes
+
+    def _worker_specs(self) -> list[dict]:
+        return [
+            {
+                "shard": shard,
+                "num_shards": self.num_shards,
+                "num_vertices": self.num_vertices,
+                "telemetry_level": self._tel_level,
+                "adjacency": self.adjacency,
+                "owner_map": self.owner_map,
+            }
+            for shard in range(self.num_shards)
+        ]
+
     def _ensure_workers(self) -> None:
-        if self._conns is not None:
+        if self._transport is not None:
             return
         if self._closed:
             raise GraphError("ShardedGraph has been closed")
-        ctx = mp_context()
-        conns, procs = [], []
+        transport = make_transport(self.transport_name)
         try:
-            for shard in range(self.num_shards):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(
-                        shard, self.num_shards, self.num_vertices,
-                        self._tel_level, child, self.adjacency,
-                    ),
-                    daemon=True,
-                    name=f"repro-shard-{shard}",
-                )
-                proc.start()
-                child.close()
-                conns.append(parent)
-                procs.append(proc)
+            transport.launch(self._worker_specs())
+            self._transport = transport
+            self._traffic_seen = (0, 0)
+            if self._pending_payloads is not None:
+                for shard, payload in enumerate(self._pending_payloads):
+                    self._send(shard, ("restore", payload))
+                for shard in range(self.num_shards):
+                    self._recv(shard)
+                self._pending_payloads = None
+            if self._track_deltas:
+                for shard in range(self.num_shards):
+                    self._send(shard, ("track", True))
+                for shard in range(self.num_shards):
+                    self._recv(shard)
         except BaseException:
-            for proc in procs:
-                proc.terminate()
+            # A partial launch (a worker that failed to spawn or connect,
+            # a restore payload the worker rejected) must never leak live
+            # shard processes: reap everything the transport started, then
+            # surface the original error.  close() is idempotent, so the
+            # caller's own try/finally close() remains safe.
+            self._transport = transport
+            self.close()
             raise
-        self._conns, self._procs = conns, procs
-        if self._pending_payloads is not None:
-            for shard, payload in enumerate(self._pending_payloads):
-                self._conns[shard].send(("restore", payload))
-            for shard in range(self.num_shards):
-                self._recv(shard)
-            self._pending_payloads = None
-        if self._track_deltas:
-            for conn in self._conns:
-                conn.send(("track", True))
-            for shard in range(self.num_shards):
-                self._recv(shard)
 
     def track_deltas(self, enabled: bool = True) -> None:
         """Keep the shard workers on the *tracked* apply path.
@@ -461,27 +526,27 @@ class ShardedGraph(DynamicGraph):
         order), so when a delta consumer attaches — ``DeltaSnapshotter``
         does this for the static-recompute algorithms — the workers must
         flip too, or their adjacency would diverge bit-for-bit from a
-        tracked serial graph's.  The journal itself never crosses the pipe:
-        workers drop it after every batch, :meth:`consume_delta` stays
-        ``None`` (the inherited default), and snapshots rebuild from the
-        coordinator's mirror.
+        tracked serial graph's.  The journal itself never crosses the
+        channel: workers drop it after every batch, :meth:`consume_delta`
+        stays ``None`` (the inherited default), and snapshots rebuild from
+        the coordinator's mirror.
         """
         self._track_deltas = enabled
-        if self._conns is not None:
+        if self._transport is not None:
             self._request_all("track", enabled)
 
     def _recv(self, shard: int):
-        conn = self._conns[shard]
+        channel = self._transport.channels[shard]
         timeout = _env_float("REPRO_CELL_TIMEOUT", 0.0)
         try:
-            if timeout > 0 and not conn.poll(timeout):
+            if timeout > 0 and not channel.poll(timeout):
                 raise CellExecutionError(
                     f"shard worker {shard} gave no reply within {timeout:g}s"
                 )
-            status, value = conn.recv()
+            status, value = channel.recv()
         except (EOFError, OSError) as exc:
             raise CellExecutionError(
-                f"shard worker {shard} died (pipe closed: {exc!r}); its "
+                f"shard worker {shard} died (channel closed: {exc!r}); its "
                 "partition's state is lost — resume from a checkpoint"
             ) from exc
         if status == "error":
@@ -491,12 +556,12 @@ class ShardedGraph(DynamicGraph):
 
     def _send(self, shard: int, message) -> None:
         try:
-            self._conns[shard].send(message)
+            self._transport.channels[shard].send(message)
         except (OSError, ValueError) as exc:
             # A killed worker surfaces as EPIPE on the *next* send; same
             # diagnosis and remedy as a recv-side death.
             raise CellExecutionError(
-                f"shard worker {shard} died (pipe closed: {exc!r}); its "
+                f"shard worker {shard} died (channel closed: {exc!r}); its "
                 "partition's state is lost — resume from a checkpoint"
             ) from exc
 
@@ -505,27 +570,28 @@ class ShardedGraph(DynamicGraph):
         self._ensure_workers()
         for shard in range(self.num_shards):
             self._send(shard, (command, payload))
-        return [self._recv(shard) for shard in range(self.num_shards)]
+        replies = [self._recv(shard) for shard in range(self.num_shards)]
+        if self._run_tel.enabled:
+            self._run_tel.count("transport.round_trips", self.num_shards)
+        return replies
 
     def close(self) -> None:
-        """Shut the shard workers down; the graph is unusable afterwards."""
+        """Shut the shard workers down; the graph is unusable afterwards.
+
+        Idempotent: safe to call repeatedly, after a partial launch
+        failure, and with already-dead workers (their broken channels are
+        tolerated and the processes reaped regardless).
+        """
         self._closed = True
-        if self._conns is None:
+        transport, self._transport = self._transport, None
+        if transport is None:
             return
-        for conn in self._conns:
+        for channel in transport.channels:
             try:
-                conn.send(("close", None))
-            except (OSError, BrokenPipeError):
+                channel.send(("close", None))
+            except (OSError, ValueError, EOFError):
                 pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - stuck worker
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._conns:
-            conn.close()
-        self._conns = None
-        self._procs = None
+        transport.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -534,6 +600,15 @@ class ShardedGraph(DynamicGraph):
             pass
 
     # -- checkpointing ------------------------------------------------------
+    def describe_shards(self) -> dict:
+        """Placement identity for checkpoint headers and reports."""
+        return {
+            "num_shards": self.num_shards,
+            "transport": self.transport_name,
+            "policy": self.policy,
+            "owner_map_crc32": owner_map_checksum(self.owner_map),
+        }
+
     def __getstate__(self) -> dict:
         self._ensure_workers()
         payloads = self._request_all("state")
@@ -544,7 +619,11 @@ class ShardedGraph(DynamicGraph):
             "batches_applied": self.batches_applied,
             "tel_level": self._tel_level,
             "tel": self._tel,
+            "run_tel": self._run_tel,
             "adjacency": self.adjacency,
+            "transport": self.transport_name,
+            "policy": self.policy,
+            "owner_map": self.owner_map,
             "key_order_out": self._key_order_out,
             "key_order_in": self._key_order_in,
             "touched": self._touched,
@@ -560,8 +639,20 @@ class ShardedGraph(DynamicGraph):
         self.batches_applied = state["batches_applied"]
         self._tel_level = state["tel_level"]
         self._tel = state["tel"]
-        # Checkpoints written before the format field default to dicts.
+        self._run_tel = state.get("run_tel", as_telemetry(None))
+        # Checkpoints written before these fields default to the layout
+        # every pre-refactor run used: dicts over pipes, mod placement.
         self.adjacency = state.get("adjacency", "dict")
+        self.transport_name = state.get("transport", "shm")
+        self.policy = state.get("policy", "mod")
+        owner_map = state.get("owner_map")
+        if owner_map is None:
+            owner_map = build_owner_map(
+                self.policy, self.num_vertices, self.num_shards
+            )
+        self.owner_map = validate_owner_map(
+            owner_map, self.num_vertices, self.num_shards
+        )
         self._key_order_out = state["key_order_out"]
         self._key_order_in = state["key_order_in"]
         self._key_set_out = set(self._key_order_out)
@@ -573,11 +664,11 @@ class ShardedGraph(DynamicGraph):
         self._mirror = state["mirror"]
         self._view_out = _ShardAdjacencyView(self, "out")
         self._view_in = _ShardAdjacencyView(self, "in")
-        self._conns = None
-        self._procs = None
+        self._transport = None
+        self._traffic_seen = (0, 0)
         # Worker graphs travel as opaque pickles and are pushed back into
-        # freshly spawned workers on first use (worker-side telemetry resets
-        # — only the coordinator backend survives a checkpoint).
+        # freshly launched workers on first use (worker-side telemetry
+        # resets — only the coordinator backend survives a checkpoint).
         self._pending_payloads = state["payloads"]
         self._track_deltas = state["track"]
         self._closed = False
@@ -595,23 +686,13 @@ class ShardedGraph(DynamicGraph):
             np.ascontiguousarray(deletes.src, dtype=_INT),
             np.ascontiguousarray(deletes.dst, dtype=_INT),
         )
-        payload = {"include_updates": self._mirror}
-        shm = None
-        if _shm_enabled() and sum(arr.nbytes for arr in arrays) > 0:
-            shm = _pack_shm(arrays)
-            payload.update(
-                shm=shm.name, n_ins=len(arrays[0]), n_del=len(arrays[3])
-            )
-        else:
-            payload["inline"] = arrays
+        fields, release, shipped = self._transport.pack_batch(arrays)
+        payload = {"include_updates": self._mirror, **fields}
         try:
             replies = self._request_all("apply", payload)
         finally:
-            if shm is not None:
-                # Every worker has copied its slices by reply time; the
-                # coordinator owns the segment's whole lifetime.
-                shm.close()
-                shm.unlink()
+            if release is not None:
+                release()
         out_stats = _merge_direction([reply[0] for reply in replies])
         in_stats = _merge_direction([reply[1] for reply in replies])
         deleted = sum(reply[2] for reply in replies)
@@ -629,8 +710,9 @@ class ShardedGraph(DynamicGraph):
         if self._tel.enabled:
             self._tel.count("shard.coordinator_batches")
             self._tel.count(
-                "shard.shm_batches" if shm is not None else "shard.inline_batches"
+                "shard.shm_batches" if "shm" in fields else "shard.inline_batches"
             )
+        self._record_partition_telemetry(arrays, shipped)
         return BatchUpdateStats(
             batch_id=batch.batch_id,
             batch_size=batch.size,
@@ -638,6 +720,33 @@ class ShardedGraph(DynamicGraph):
             inn=in_stats,
             deleted_edges=deleted,
         )
+
+    def _record_partition_telemetry(self, arrays, shipped: int) -> None:
+        """Partition-quality + transport-traffic counters on the *run's*
+        telemetry stream (``repro report`` renders them; see
+        docs/OBSERVABILITY.md).  Placement quality is observation-only —
+        it never feeds back into routing."""
+        tel = self._run_tel
+        if not tel.enabled:
+            return
+        owners = self.owner_map
+        src_own = owners[arrays[0]]
+        dst_own = owners[arrays[1]]
+        tel.count("partition.edges", len(src_own))
+        tel.count("partition.cut_edges", int(np.sum(src_own != dst_own)))
+        loads = np.bincount(src_own, minlength=self.num_shards) + np.bincount(
+            dst_own, minlength=self.num_shards
+        )
+        for shard in range(self.num_shards):
+            tel.count(f"partition.load.s{shard:02d}", int(loads[shard]))
+        sent = sum(c.bytes_sent for c in self._transport.channels)
+        received = sum(c.bytes_received for c in self._transport.channels)
+        last_sent, last_received = self._traffic_seen
+        tel.count("transport.bytes_sent", sent - last_sent)
+        tel.count("transport.bytes_received", received - last_received)
+        self._traffic_seen = (sent, received)
+        if shipped:
+            tel.count("transport.shm_bytes", shipped)
 
     def _note_keys(self, vertices: np.ndarray, key_set: set, key_order: list) -> None:
         """Append this batch's new outer keys in serial insertion order.
@@ -671,9 +780,10 @@ class ShardedGraph(DynamicGraph):
     def _fetch(self, direction: str, vertices: list) -> dict:
         """Fetch adjacency dicts from their owner shards, grouped per owner."""
         self._ensure_workers()
+        owner_map = self.owner_map
         by_owner: dict[int, list] = {}
         for v in vertices:
-            by_owner.setdefault(v % self.num_shards, []).append(v)
+            by_owner.setdefault(int(owner_map[v]), []).append(v)
         owners = sorted(by_owner)
         for owner in owners:
             self._send(owner, ("fetch", (direction, by_owner[owner])))
@@ -752,6 +862,29 @@ class ShardedGraph(DynamicGraph):
         return merge_snapshots(snapshots)
 
 
+def _sample_stream_edges(profile, batch_size: int, seed: int):
+    """Peek at the head of a profile's stream for edge-aware placement.
+
+    Stream generation is a pure function of ``(seed, batch_id)``, so
+    peeking consumes nothing and the sample — hence the owner map — is
+    identical on every (re)construction of the same run, which checkpoint
+    resume depends on.
+    """
+    generator = profile.generator(seed=seed)
+    limit = min(profile.num_batches(batch_size), 8)
+    src_parts, dst_parts, total = [], [], 0
+    for index in range(limit):
+        if total >= GREEDY_SAMPLE_EDGES:
+            break
+        inserts = generator.generate_batch(index, batch_size).insertions
+        src_parts.append(np.ascontiguousarray(inserts.src, dtype=np.int64))
+        dst_parts.append(np.ascontiguousarray(inserts.dst, dtype=np.int64))
+        total += len(inserts.src)
+    if not src_parts:
+        return None
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+
 class ShardedPipeline(StreamingPipeline):
     """A :class:`StreamingPipeline` whose graph updates fan out over shards.
 
@@ -762,23 +895,42 @@ class ShardedPipeline(StreamingPipeline):
     with the coordinator regardless.
 
     Args:
-        num_shards: shard worker processes (>= 1).
+        num_shards: shard workers (>= 1).
         adjacency: per-worker adjacency format (see
             :mod:`repro.graph.formats`).
+        shard_transport: transport name (see
+            :mod:`repro.pipeline.transport`); None resolves the
+            environment/default.
+        shard_policy: partition-policy name (see
+            :mod:`repro.pipeline.partition`); edge-aware policies sample
+            the head of the stream before the first batch runs.
         (remaining arguments as :class:`StreamingPipeline`)
     """
 
     def __init__(self, profile, batch_size, *, num_shards, graph=None,
-                 telemetry=None, adjacency=None, **kwargs):
+                 telemetry=None, adjacency=None, shard_transport=None,
+                 shard_policy=None, seed=7, **kwargs):
         if graph is None:
             backend = as_telemetry(telemetry)
+            policy = resolve_partition_policy(shard_policy)
+            edges = (
+                _sample_stream_edges(profile, batch_size, seed)
+                if policy.uses_edges
+                else None
+            )
+            owner_map = build_owner_map(
+                policy, profile.num_vertices, num_shards, edges=edges
+            )
             graph = ShardedGraph(
                 profile.num_vertices, num_shards,
                 telemetry_level=backend.level, adjacency=adjacency,
+                transport=shard_transport, policy=policy.name,
+                owner_map=owner_map, run_telemetry=backend,
             )
         self.num_shards = num_shards
         super().__init__(
-            profile, batch_size, graph=graph, telemetry=telemetry, **kwargs
+            profile, batch_size, graph=graph, telemetry=telemetry, seed=seed,
+            **kwargs
         )
 
     def close(self) -> None:

@@ -1,0 +1,474 @@
+"""Pluggable shard transports: how the coordinator talks to shard workers.
+
+The sharded runtime (:mod:`repro.pipeline.sharding`) is transport-agnostic:
+it speaks a small ``(command, payload)`` request/reply protocol to one
+channel per shard and never cares how the bytes move.  This module supplies
+the channels:
+
+* ``inproc`` — workers are plain objects in the coordinator process;
+  commands dispatch as direct function calls.  Zero processes, zero copies,
+  zero transport bytes: the baseline that isolates coordination logic from
+  IPC cost, and the fastest substrate for tests.
+* ``shm`` — one OS process per shard over :func:`multiprocessing.Pipe`,
+  with batch arrays shipped through a single
+  :mod:`~multiprocessing.shared_memory` segment per batch (the pipe carries
+  only the segment name); ``REPRO_SHARD_SHM=0`` forces the batch inline
+  through the pipe instead.  This is the one-host production path.
+* ``tcp`` — one OS process per shard connected back to the coordinator
+  over length-prefixed ``127.0.0.1`` sockets, with connect and read
+  timeouts.  Nothing in the framing assumes a shared kernel, so moving a
+  worker to another host is a launcher change, not a protocol change —
+  the stepping stone to the shared-nothing distributed runtime.
+
+Every transport yields the same protocol semantics, so RunMetrics are
+bit-identical across all of them (the golden parity matrix enforces it).
+
+Environment knobs:
+
+* ``REPRO_SHARD_TRANSPORT`` — default transport when a run does not pick
+  one explicitly (mirrors ``REPRO_ADJ_FORMAT``).
+* ``REPRO_SHARD_SHM`` — set to ``0`` to keep the ``shm`` transport on its
+  inline-pipe batch path.
+* ``REPRO_SHARD_CONNECT_TIMEOUT`` — seconds the ``tcp`` transport waits
+  for every worker to connect back (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import socket
+import struct
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .executor import CellExecutionError, _env_float, mp_context
+
+__all__ = [
+    "SHARD_TRANSPORTS",
+    "DEFAULT_TRANSPORT",
+    "Channel",
+    "ShardTransport",
+    "make_transport",
+    "register_transport",
+    "resolve_shard_transport",
+]
+
+DEFAULT_TRANSPORT = "shm"
+
+_ENV_VAR = "REPRO_SHARD_TRANSPORT"
+_CONNECT_TIMEOUT_VAR = "REPRO_SHARD_CONNECT_TIMEOUT"
+_DEFAULT_CONNECT_TIMEOUT = 30.0
+
+try:  # pragma: no cover - availability probe
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm
+    _shared_memory = None
+
+
+def _shm_enabled() -> bool:
+    return (
+        _shared_memory is not None
+        and os.environ.get("REPRO_SHARD_SHM", "1").strip() != "0"
+    )
+
+
+def _connect_timeout() -> float:
+    return _env_float(_CONNECT_TIMEOUT_VAR, _DEFAULT_CONNECT_TIMEOUT)
+
+
+# -- channels -----------------------------------------------------------------
+
+
+class Channel:
+    """One coordinator<->worker message channel.
+
+    All channels move whole Python objects (the protocol's ``(command,
+    payload)`` requests and ``(status, value)`` replies) and meter their
+    own traffic so the coordinator can expose transport cost as telemetry.
+
+    Attributes:
+        bytes_sent / bytes_received: serialized bytes through this channel
+            (0 for in-process channels — nothing is serialized).
+    """
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+    def send(self, obj) -> None:
+        raise NotImplementedError
+
+    def recv(self):
+        raise NotImplementedError
+
+    def poll(self, timeout: float) -> bool:
+        """True once a reply is ready within ``timeout`` seconds."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class PipeChannel(Channel):
+    """A :func:`multiprocessing.Pipe` connection with explicit framing.
+
+    Pickling explicitly (``send_bytes`` rather than ``send``) costs nothing
+    — ``Connection.send`` does the same internally — and buys exact byte
+    accounting.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, obj) -> None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._conn.send_bytes(data)
+        self.bytes_sent += len(data)
+
+    def recv(self):
+        data = self._conn.recv_bytes()
+        self.bytes_received += len(data)
+        return pickle.loads(data)
+
+    def poll(self, timeout: float) -> bool:
+        return self._conn.poll(timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+_FRAME_HEADER = struct.Struct(">Q")
+
+
+class SocketChannel(Channel):
+    """A length-prefixed pickle framing over one TCP socket.
+
+    8-byte big-endian length, then the pickle bytes.  ``TCP_NODELAY`` is
+    set because the protocol is strict request/reply — Nagle batching
+    would serialize every round trip behind a delayed ACK.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - exotic socket types
+            pass
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, obj) -> None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._sock.sendall(_FRAME_HEADER.pack(len(data)) + data)
+        self.bytes_sent += _FRAME_HEADER.size + len(data)
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks = []
+        while count:
+            chunk = self._sock.recv(min(count, 1 << 20))
+            if not chunk:
+                raise EOFError("socket closed mid-frame")
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self):
+        (length,) = _FRAME_HEADER.unpack(self._read_exact(_FRAME_HEADER.size))
+        data = self._read_exact(length)
+        self.bytes_received += _FRAME_HEADER.size + length
+        return pickle.loads(data)
+
+    def poll(self, timeout: float) -> bool:
+        readable, _, _ = select.select([self._sock], [], [], timeout)
+        return bool(readable)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+class InprocChannel(Channel):
+    """A worker living in the coordinator process; send = direct dispatch.
+
+    The worker object is built lazily on first send (mirroring process
+    transports, where workers come up on first use), replies queue for the
+    following :meth:`recv`, and errors convert to protocol ``("error",
+    ...)`` replies exactly like a remote worker's.
+    """
+
+    _NO_REPLY = object()
+
+    def __init__(self, spec: dict):
+        self._spec = spec
+        self._worker = None
+        self._reply = self._NO_REPLY
+        self._closed = False
+
+    def send(self, message) -> None:
+        if self._closed:
+            raise OSError("channel is closed")
+        if self._worker is None:
+            from .sharding import ShardWorker  # lazy: avoids import cycle
+
+            self._worker = ShardWorker(self._spec)
+        command, payload = message
+        try:
+            self._reply = ("ok", self._worker.handle(command, payload))
+        except Exception as exc:
+            self._reply = ("error", (type(exc).__name__, str(exc)))
+
+    def recv(self):
+        if self._reply is self._NO_REPLY:
+            raise EOFError("no pending reply")
+        reply, self._reply = self._reply, self._NO_REPLY
+        return reply
+
+    def poll(self, timeout: float) -> bool:
+        return self._reply is not self._NO_REPLY
+
+    def close(self) -> None:
+        self._closed = True
+        self._worker = None
+
+
+# -- worker entry points (module-level so ``spawn`` can import them) ----------
+
+
+def _pipe_worker_main(spec: dict, conn) -> None:
+    from .sharding import serve_shard_worker
+
+    serve_shard_worker(spec, PipeChannel(conn))
+
+
+def _tcp_worker_main(spec: dict, host: str, port: int, deadline: float) -> None:
+    import time
+
+    from .sharding import serve_shard_worker
+
+    end = time.monotonic() + deadline
+    sock = None
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=deadline)
+            break
+        except OSError:
+            if time.monotonic() >= end:
+                raise
+            time.sleep(0.05)
+    sock.settimeout(None)
+    channel = SocketChannel(sock)
+    channel.send(("hello", spec["shard"]))
+    serve_shard_worker(spec, channel)
+
+
+# -- transports ---------------------------------------------------------------
+
+
+class ShardTransport:
+    """One way of running and reaching shard workers.
+
+    Lifecycle: :meth:`launch` brings up one worker (and one
+    :class:`Channel`) per spec; :meth:`close` reaps everything it started,
+    is idempotent, and is safe to call after a *partial* launch failure —
+    the attributes below are populated incrementally exactly so a failed
+    launch leaves enough state behind to tear down.
+
+    Attributes:
+        name: registry key; doubles as ``RunConfig.shard_transport`` and
+            the CLI ``--shard-transport`` value.
+        channels: per-shard channels, in shard order (after launch).
+        processes: worker :class:`multiprocessing.Process` objects; empty
+            for in-process transports.
+    """
+
+    name: str = ""
+
+    def __init__(self):
+        self.channels: list[Channel] = []
+        self.processes: list = []
+
+    def launch(self, specs: list[dict]) -> None:
+        """Bring up one worker per spec (spec includes its ``shard`` id)."""
+        raise NotImplementedError
+
+    def pack_batch(self, arrays):
+        """Prepare one batch's five arrays for shipment.
+
+        Returns:
+            ``(fields, release, shipped_bytes)`` — ``fields`` merges into
+            the ``apply`` payload, ``release`` (or None) must run after all
+            replies arrive, ``shipped_bytes`` counts out-of-band bytes
+            (e.g. the shared-memory segment) for telemetry.
+        """
+        return {"inline": arrays}, None, 0
+
+    def close(self) -> None:
+        """Reap workers and release channels; idempotent."""
+        for channel in self.channels:
+            try:
+                channel.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self.channels = []
+        for proc in self.processes:
+            proc.join(timeout=5)
+        for proc in self.processes:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self.processes = []
+
+
+#: Registry: transport name -> transport class.
+SHARD_TRANSPORTS: dict[str, type] = {}
+
+
+def register_transport(cls: type[ShardTransport]) -> type[ShardTransport]:
+    """Class decorator adding a transport to the registry (last wins)."""
+    if not getattr(cls, "name", ""):
+        raise ConfigurationError(
+            f"shard transport {cls.__name__} must define a non-empty name"
+        )
+    SHARD_TRANSPORTS[cls.name] = cls
+    return cls
+
+
+def resolve_shard_transport(name: str | None = None) -> str:
+    """Resolve a transport choice to a registry key.
+
+    An explicit ``name`` wins; otherwise ``REPRO_SHARD_TRANSPORT`` is
+    consulted, falling back to :data:`DEFAULT_TRANSPORT`.
+    """
+    if not name:
+        name = os.environ.get(_ENV_VAR, "").strip() or DEFAULT_TRANSPORT
+    if name not in SHARD_TRANSPORTS:
+        raise ConfigurationError(
+            f"shard transport must be one of {sorted(SHARD_TRANSPORTS)}, "
+            f"got {name!r}"
+        )
+    return name
+
+
+def make_transport(name: str | None = None) -> ShardTransport:
+    """Construct the named transport (None = resolve env/default)."""
+    return SHARD_TRANSPORTS[resolve_shard_transport(name)]()
+
+
+@register_transport
+class InprocTransport(ShardTransport):
+    """Workers are in-process objects; the zero-overhead baseline."""
+
+    name = "inproc"
+
+    def launch(self, specs: list[dict]) -> None:
+        self.channels = [InprocChannel(spec) for spec in specs]
+
+
+@register_transport
+class ShmTransport(ShardTransport):
+    """Pipe-connected worker processes, batches via SharedMemory."""
+
+    name = "shm"
+
+    def launch(self, specs: list[dict]) -> None:
+        ctx = mp_context()
+        for spec in specs:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pipe_worker_main,
+                args=(spec, child),
+                daemon=True,
+                name=f"repro-shard-{spec['shard']}",
+            )
+            proc.start()
+            child.close()
+            self.channels.append(PipeChannel(parent))
+            self.processes.append(proc)
+
+    def pack_batch(self, arrays):
+        total = sum(arr.nbytes for arr in arrays)
+        if not _shm_enabled() or total == 0:
+            return {"inline": arrays}, None, 0
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+        offset = 0
+        for arr in arrays:
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=offset
+            )
+            view[:] = arr
+            offset += arr.nbytes
+        fields = {
+            "shm": shm.name, "n_ins": len(arrays[0]), "n_del": len(arrays[3]),
+        }
+
+        def release():
+            # Every worker has copied its slices by reply time; the
+            # coordinator owns the segment's whole lifetime.
+            shm.close()
+            shm.unlink()
+
+        return fields, release, total
+
+
+@register_transport
+class TcpTransport(ShardTransport):
+    """Socket-connected worker processes (host-boundary-ready framing)."""
+
+    name = "tcp"
+
+    def __init__(self):
+        super().__init__()
+        self._listener: socket.socket | None = None
+
+    def launch(self, specs: list[dict]) -> None:
+        timeout = _connect_timeout()
+        ctx = mp_context()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener = listener
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(len(specs))
+        host, port = listener.getsockname()
+        for spec in specs:
+            proc = ctx.Process(
+                target=_tcp_worker_main,
+                args=(spec, host, port, timeout),
+                daemon=True,
+                name=f"repro-shard-{spec['shard']}",
+            )
+            proc.start()
+            self.processes.append(proc)
+        by_shard: dict[int, SocketChannel] = {}
+        listener.settimeout(timeout)
+        for _ in specs:
+            try:
+                sock, _addr = listener.accept()
+            except (socket.timeout, OSError) as exc:
+                raise CellExecutionError(
+                    f"shard worker did not connect within {timeout:g}s "
+                    f"(REPRO_SHARD_CONNECT_TIMEOUT): {exc!r}"
+                ) from exc
+            channel = SocketChannel(sock)
+            status, shard = channel.recv()
+            if status != "hello":  # pragma: no cover - protocol guard
+                raise CellExecutionError(
+                    f"unexpected first frame from shard worker: {status!r}"
+                )
+            by_shard[shard] = channel
+        self.channels = [by_shard[spec["shard"]] for spec in specs]
+        listener.close()
+        self._listener = None
+
+    def close(self) -> None:
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._listener = None
+        super().close()

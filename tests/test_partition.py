@@ -1,0 +1,211 @@
+"""Partitioning-policy registry: owner-map invariants and placement quality.
+
+Every policy must produce a *total partition* — each vertex owned by exactly
+one shard, all shards nonempty whenever ``num_vertices >= num_shards`` — and
+be deterministic (checkpoint resume compares placements byte-for-byte).
+Placement choice may move communication cost, never correctness.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pipeline.partition import (
+    PARTITION_POLICIES,
+    PartitionPolicy,
+    build_owner_map,
+    cut_edge_fraction,
+    owner_map_checksum,
+    register_policy,
+    resolve_partition_policy,
+    shard_owner,
+    validate_owner_map,
+)
+
+POLICIES = sorted(PARTITION_POLICIES)
+
+
+def _edges(num_vertices: int, count: int, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, num_vertices, count),
+        rng.integers(0, num_vertices, count),
+    )
+
+
+# -- total-partition invariant (hypothesis) -----------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=0, max_value=300),
+    num_shards=st.integers(min_value=1, max_value=8),
+    policy=st.sampled_from(POLICIES),
+    n_edges=st.integers(min_value=0, max_value=200),
+    edge_seed=st.integers(min_value=0, max_value=5),
+)
+def test_owner_map_is_total_partition(
+    num_vertices, num_shards, policy, n_edges, edge_seed
+):
+    edges = (
+        _edges(num_vertices, n_edges, edge_seed)
+        if num_vertices and resolve_partition_policy(policy).uses_edges
+        else None
+    )
+    owners = build_owner_map(policy, num_vertices, num_shards, edges=edges)
+    # Total: every vertex owned by exactly one shard, in range.
+    assert owners.shape == (num_vertices,)
+    assert np.issubdtype(owners.dtype, np.integer)
+    if num_vertices:
+        assert int(owners.min()) >= 0
+        assert int(owners.max()) < num_shards
+    # All shards nonempty whenever the universe is big enough.
+    if num_vertices >= num_shards:
+        assert len(np.unique(owners)) == num_shards, (policy, num_shards)
+    # Deterministic: same inputs, same map.
+    again = build_owner_map(policy, num_vertices, num_shards, edges=edges)
+    assert np.array_equal(owners, again)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_owner_map_valid_without_edge_sample(policy):
+    """Every policy, including edge-aware ones, must work with edges=None."""
+    owners = build_owner_map(policy, 64, 4, edges=None)
+    assert len(np.unique(owners)) == 4
+
+
+# -- individual policies ------------------------------------------------------
+
+
+def test_mod_policy_matches_paper_mapping():
+    owners = build_owner_map("mod", 23, 4)
+    assert np.array_equal(owners, np.arange(23) % 4)
+    vertices = np.arange(17, dtype=np.int64)
+    assert np.array_equal(shard_owner(vertices, 4), vertices % 4)
+
+
+def test_hash_policy_decorrelates_but_balances():
+    owners = build_owner_map("hash", 10_000, 4)
+    assert not np.array_equal(owners, np.arange(10_000) % 4)
+    loads = np.bincount(owners, minlength=4)
+    assert loads.max() / loads.mean() < 1.1
+
+
+def test_greedy_respects_balance_slack():
+    num_vertices, num_shards = 1_000, 4
+    # Hub-heavy sample: every edge touches one of 3 hubs.
+    rng = np.random.default_rng(11)
+    hubs = rng.integers(0, 3, 5_000)
+    others = rng.integers(3, num_vertices, 5_000)
+    owners = build_owner_map(
+        "greedy", num_vertices, num_shards, edges=(hubs, others)
+    )
+    loads = np.bincount(owners, minlength=num_shards)
+    policy = PARTITION_POLICIES["greedy"]
+    cap = int(np.ceil(num_vertices * (1.0 + policy.slack) / num_shards))
+    assert loads.max() <= cap
+    assert loads.min() >= 1
+
+
+def test_greedy_cuts_fewer_edges_than_mod_on_hub_heavy():
+    num_vertices = 2_000
+    rng = np.random.default_rng(3)
+    hubs = rng.integers(0, 20, 20_000)
+    others = rng.integers(0, num_vertices, 20_000)
+    edges = (hubs, others)
+    mod_map = build_owner_map("mod", num_vertices, 4)
+    greedy_map = build_owner_map("greedy", num_vertices, 4, edges=edges)
+    assert cut_edge_fraction(greedy_map, *edges) < cut_edge_fraction(
+        mod_map, *edges
+    )
+
+
+def test_cut_edge_fraction_bounds():
+    owners = np.array([0, 0, 1, 1])
+    src = np.array([0, 0, 2])
+    dst = np.array([1, 2, 3])
+    assert cut_edge_fraction(owners, src, dst) == pytest.approx(1 / 3)
+    assert cut_edge_fraction(owners, np.array([], int), np.array([], int)) == 0.0
+
+
+# -- validation / registry ----------------------------------------------------
+
+
+def test_validate_owner_map_rejects_bad_maps():
+    with pytest.raises(ConfigurationError):
+        validate_owner_map(np.zeros(5, dtype=np.int64), 6, 2)  # wrong shape
+    with pytest.raises(ConfigurationError):
+        validate_owner_map(np.zeros(5, dtype=float), 5, 2)  # not integer
+    with pytest.raises(ConfigurationError):
+        validate_owner_map(np.full(5, 2, dtype=np.int64), 5, 2)  # out of range
+    with pytest.raises(ConfigurationError):
+        validate_owner_map(np.full(5, -1, dtype=np.int64), 5, 2)
+
+
+def test_build_owner_map_rejects_zero_shards():
+    with pytest.raises(ConfigurationError):
+        build_owner_map("mod", 10, 0)
+
+
+def test_owner_map_checksum_is_placement_identity():
+    a = build_owner_map("mod", 100, 4)
+    b = build_owner_map("hash", 100, 4)
+    assert owner_map_checksum(a) == owner_map_checksum(a.astype(np.int32))
+    assert owner_map_checksum(a) != owner_map_checksum(b)
+
+
+def test_resolve_partition_policy():
+    assert resolve_partition_policy(None).name == "mod"
+    assert resolve_partition_policy("greedy").name == "greedy"
+    instance = PARTITION_POLICIES["hash"]
+    assert resolve_partition_policy(instance) is instance
+    with pytest.raises(ConfigurationError):
+        resolve_partition_policy("alphabetical")
+
+
+def test_register_policy_extensibility():
+    @register_policy
+    class _AllZero(PartitionPolicy):
+        name = "_test_all_zero"
+
+        def owner_map(self, num_vertices, num_shards, edges=None):
+            return np.zeros(num_vertices, dtype=np.int64)
+
+    try:
+        owners = build_owner_map("_test_all_zero", 4, 1)
+        assert np.array_equal(owners, np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            register_policy(type("Anon", (PartitionPolicy,), {}))
+    finally:
+        del PARTITION_POLICIES["_test_all_zero"]
+
+
+# -- the centralization regression --------------------------------------------
+
+
+def test_no_vertex_modulo_outside_partition_module():
+    """Owner-map arithmetic is centralized: no `% num_shards` (or
+    `% self.num_shards`) on raw vertex ids survives anywhere in the
+    pipeline package outside partition.py."""
+    pipeline_dir = (
+        Path(__file__).resolve().parent.parent
+        / "src" / "repro" / "pipeline"
+    )
+    pattern = re.compile(r"%\s*(self\.)?num_shards\b")
+    offenders = []
+    for path in sorted(pipeline_dir.glob("*.py")):
+        if path.name == "partition.py":
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if pattern.search(line):
+                offenders.append(f"{path.name}:{lineno}: {line.strip()}")
+    assert not offenders, "\n".join(offenders)

@@ -122,6 +122,46 @@ def test_cell_matches_golden_sharded(cell, adjacency):
     assert json.loads(json.dumps(serialize(metrics))) == expected
 
 
+_TRANSPORTS = ["inproc", "shm", "tcp"]
+_POLICIES = ["mod", "hash", "greedy"]
+
+
+@pytest.mark.parametrize("policy", _POLICIES)
+@pytest.mark.parametrize("transport", _TRANSPORTS)
+@pytest.mark.parametrize("adjacency", ["dict", "hybrid"])
+def test_matrix_gate_transport_policy_two_shards(transport, policy, adjacency):
+    """The standing matrix gate: every (transport x policy x adjacency)
+    combination serializes to the exact golden floats at num_shards=2.
+    Transports move bytes and policies move vertices; neither may move a
+    modeled result by even the last bit."""
+    import dataclasses
+
+    cell = CELLS[3]  # fb / abr_usc — the representative acceptance cell
+    config = dataclasses.replace(
+        config_for(cell), num_shards=2, adjacency=adjacency,
+        shard_transport=transport, shard_policy=policy,
+    )
+    metrics = config.run()
+    expected = GOLDEN[capture_parity.cell_key(cell)]
+    assert json.loads(json.dumps(serialize(metrics))) == expected
+
+
+@pytest.mark.parametrize("policy", _POLICIES)
+@pytest.mark.parametrize("transport", _TRANSPORTS)
+def test_matrix_gate_transport_policy_four_shards(transport, policy):
+    """The acceptance shard count: the same gate at num_shards=4."""
+    import dataclasses
+
+    cell = CELLS[3]
+    config = dataclasses.replace(
+        config_for(cell), num_shards=4,
+        shard_transport=transport, shard_policy=policy,
+    )
+    metrics = config.run()
+    expected = GOLDEN[capture_parity.cell_key(cell)]
+    assert json.loads(json.dumps(serialize(metrics))) == expected
+
+
 @pytest.mark.parametrize(
     "cell",
     [CELLS[3], CELLS[9]],  # fb/abr_usc and fb/abr_usc+OCA

@@ -53,6 +53,10 @@ configs = st.builds(
     abr=st.none() | abr_configs,
     oca=st.none() | oca_configs,
     telemetry=st.sampled_from(["off", "basic", "full"]),
+    num_shards=st.integers(1, 8),
+    adjacency=st.sampled_from(["dict", "hybrid"]),
+    shard_transport=st.sampled_from(["inproc", "shm", "tcp"]),
+    shard_policy=st.sampled_from(["mod", "hash", "greedy"]),
 )
 
 
@@ -108,6 +112,9 @@ def test_from_cell_spec_defaults_extras():
         {"machine": "tpu"},
         {"batch_size": 0},
         {"telemetry": "verbose"},
+        {"num_shards": 0},
+        {"shard_transport": "udp"},
+        {"shard_policy": "metis"},
     ],
 )
 def test_invalid_fields_raise(kwargs):
@@ -148,6 +155,23 @@ def test_from_cli_args():
     assert config.telemetry == "off"
     args.telemetry = "basic"
     assert RunConfig.from_cli_args(args).telemetry == "basic"
+    # Namespaces without shard flags (older callers) default to shm/mod.
+    assert config.shard_transport == "shm"
+    assert config.shard_policy == "mod"
+    args.shard_transport = "tcp"
+    args.shard_policy = "greedy"
+    lifted = RunConfig.from_cli_args(args)
+    assert lifted.shard_transport == "tcp"
+    assert lifted.shard_policy == "greedy"
+
+
+def test_from_cli_args_resolves_transport_env(monkeypatch):
+    args = argparse.Namespace(
+        dataset=["fb"], batch_size=500, algorithm="pr", mode="baseline",
+        oca=False, num_batches=2,
+    )
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "inproc")
+    assert RunConfig.from_cli_args(args).shard_transport == "inproc"
 
 
 def test_build_pipeline_creates_telemetry_backend(flat_profile):

@@ -328,8 +328,12 @@ def test_sharded_graph_pickle_round_trip():
             restored.close()
 
 
-def test_kill_and_resume_matches_uninterrupted(tmp_path):
-    config = _config("pr", 2, num_batches=6)
+@pytest.mark.parametrize("transport", ["shm", "tcp"])
+@pytest.mark.parametrize("policy", ["mod", "greedy"])
+def test_kill_and_resume_matches_uninterrupted(tmp_path, transport, policy):
+    config = _config(
+        "pr", 2, num_batches=6, shard_transport=transport, shard_policy=policy
+    )
     uninterrupted, _ = _run_cell(config)
 
     pipeline = config.build_pipeline()
@@ -370,6 +374,31 @@ def test_resume_rejects_different_shard_count(tmp_path):
         other.build_pipeline().run(4, resume_from=checkpoint)
 
 
+def test_resume_rejects_different_placement(tmp_path):
+    """The checkpoint carries the owner map; a resume whose fresh pipeline
+    materialized a different placement must be rejected, not silently run
+    under the checkpointed one."""
+    from repro.errors import CheckpointError
+
+    config = _config("none", 2, num_batches=4, shard_policy="mod")
+    pipeline = config.build_pipeline()
+    pipeline.step(final=False)
+    pipeline.save_checkpoint(tmp_path)
+    pipeline.close()
+    checkpoint, _path = latest_checkpoint(tmp_path)
+    other = _config("none", 2, num_batches=4, shard_policy="hash")
+    resumed = other.build_pipeline()
+    try:
+        with pytest.raises(CheckpointError):
+            resumed.run(4, resume_from=checkpoint)
+    finally:
+        resumed.close()
+    # The header carries the placement identity for offline inspection.
+    assert checkpoint.summary["shards"]["policy"] == "mod"
+    assert checkpoint.summary["shards"]["num_shards"] == 2
+    assert isinstance(checkpoint.summary["shards"]["owner_map_crc32"], int)
+
+
 # -- validation and failure surfacing -----------------------------------------
 
 
@@ -403,6 +432,7 @@ def test_dead_worker_surfaces_as_cell_execution_error():
         with pytest.raises(CellExecutionError):
             sharded.apply_batch(_mixed_batches()[1])
     finally:
-        sharded._closed = True
-        sharded._conns = None
-        sharded._procs = None
+        # close() tolerates already-dead workers and reaps them regardless.
+        sharded.close()
+        assert sharded._conns is None
+        assert sharded._procs is None

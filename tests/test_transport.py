@@ -1,0 +1,314 @@
+"""Shard-transport layer: parity, registry resolution, metering, reaping.
+
+Every transport speaks the same ``(command, payload)`` protocol, so a
+sharded graph behaves identically over any of them; what differs — and what
+these tests pin down — is lifecycle (process reaping on failure paths),
+traffic metering, and environment resolution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from conftest import make_batch
+from repro.errors import CheckpointError, ConfigurationError, GraphError
+from repro.graph.adjacency_list import AdjacencyListGraph
+from repro.pipeline import executor
+from repro.pipeline.executor import CellExecutionError
+from repro.pipeline.partition import build_owner_map
+from repro.pipeline.sharding import ShardedGraph
+from repro.pipeline.transport import (
+    DEFAULT_TRANSPORT,
+    SHARD_TRANSPORTS,
+    InprocTransport,
+    ShardTransport,
+    make_transport,
+    register_transport,
+    resolve_shard_transport,
+)
+
+N_VERTICES = 32
+TRANSPORTS = sorted(SHARD_TRANSPORTS)
+
+
+def _batches():
+    return [
+        make_batch(
+            [0, 1, 2, 3, 1, 0], [1, 2, 3, 0, 2, 1],
+            [1.0, 2.0, 3.0, 4.0, 9.0, 5.0], batch_id=0,
+        ),
+        make_batch(
+            [1, 2, 0, 7], [2, 3, 1, 8], [8.0, 3.5, 1.5, 2.5], batch_id=1,
+            is_delete=[False, True, False, False],
+        ),
+    ]
+
+
+def _assert_parity(sharded: ShardedGraph):
+    serial = AdjacencyListGraph(N_VERTICES)
+    for batch in _batches():
+        serial.apply_batch(batch)
+    assert sharded.num_edges == serial.num_edges
+    for v in serial.vertices_with_edges():
+        assert sharded.out_neighbors(v) == serial.out_neighbors(v)
+        assert list(sharded.in_neighbors(v)) == list(serial.in_neighbors(v))
+
+
+# -- per-transport behavior ---------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_graph_parity_over_every_transport(transport):
+    sharded = ShardedGraph(N_VERTICES, 3, transport=transport)
+    try:
+        for batch in _batches():
+            sharded.apply_batch(batch)
+        _assert_parity(sharded)
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_close_is_idempotent_and_reaps(transport):
+    sharded = ShardedGraph(N_VERTICES, 2, transport=transport)
+    sharded.apply_batch(_batches()[0])
+    procs = list(sharded._procs)
+    sharded.close()
+    sharded.close()  # idempotent
+    assert sharded._conns is None
+    assert all(not p.is_alive() for p in procs)
+    with pytest.raises(GraphError):
+        sharded.apply_batch(_batches()[0])
+
+
+def test_inproc_spawns_no_processes():
+    before = set(multiprocessing.active_children())
+    sharded = ShardedGraph(N_VERTICES, 4, transport="inproc")
+    try:
+        for batch in _batches():
+            sharded.apply_batch(batch)
+        _assert_parity(sharded)
+        assert sharded._procs == []
+        assert set(multiprocessing.active_children()) == before
+        # Nothing is serialized in-process.
+        assert all(c.bytes_sent == 0 for c in sharded._conns)
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("transport", ["shm", "tcp"])
+def test_process_transports_meter_traffic(transport):
+    sharded = ShardedGraph(N_VERTICES, 2, transport=transport)
+    try:
+        sharded.apply_batch(_batches()[0])
+        assert sum(c.bytes_sent for c in sharded._conns) > 0
+        assert sum(c.bytes_received for c in sharded._conns) > 0
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("transport", ["tcp", "inproc"])
+def test_pickle_round_trip_preserves_transport(transport):
+    original = ShardedGraph(N_VERTICES, 2, transport=transport)
+    restored = None
+    try:
+        original.apply_batch(_batches()[0])
+        restored = pickle.loads(pickle.dumps(original))
+        assert restored.transport_name == transport
+        restored.apply_batch(_batches()[1])
+        _assert_parity(restored)
+    finally:
+        original.close()
+        if restored is not None:
+            restored.close()
+
+
+def test_tcp_dead_worker_surfaces_as_cell_execution_error():
+    sharded = ShardedGraph(N_VERTICES, 2, transport="tcp")
+    try:
+        sharded.apply_batch(_batches()[0])
+        for proc in sharded._procs:
+            proc.kill()
+        with pytest.raises(CellExecutionError):
+            sharded.apply_batch(_batches()[1])
+    finally:
+        sharded.close()
+
+
+def test_tcp_connect_timeout_reaps_workers(monkeypatch):
+    """A transport whose workers cannot connect in time must fail the
+    construction *and* leave no live child processes behind."""
+    monkeypatch.setenv("REPRO_SHARD_CONNECT_TIMEOUT", "0.2")
+    # Workers dial a listener that never answers: bind a socket, keep the
+    # real port secret by pointing workers at a dead one via a stub main.
+    import repro.pipeline.transport as transport_mod
+
+    def _never_connects(spec, host, port, deadline):  # pragma: no cover
+        import time
+
+        time.sleep(30)
+
+    monkeypatch.setattr(transport_mod, "_tcp_worker_main", _never_connects)
+    before = set(multiprocessing.active_children())
+    sharded = ShardedGraph(N_VERTICES, 2, transport="tcp")
+    with pytest.raises(CellExecutionError, match="REPRO_SHARD_CONNECT_TIMEOUT"):
+        sharded.apply_batch(_batches()[0])
+    leaked = set(multiprocessing.active_children()) - before
+    assert not leaked
+    sharded.close()
+
+
+# -- worker reaping on partial launch failure ---------------------------------
+
+
+class _ExplodingSecondProcess:
+    """mp-context stand-in whose second Process() constructor raises."""
+
+    def __init__(self, real_ctx):
+        self._real = real_ctx
+        self.spawned = 0
+
+    def Pipe(self):
+        return self._real.Pipe()
+
+    def Process(self, *args, **kwargs):
+        self.spawned += 1
+        if self.spawned >= 2:
+            raise OSError("simulated fork failure")
+        return self._real.Process(*args, **kwargs)
+
+
+@pytest.mark.parametrize("transport", ["shm", "tcp"])
+def test_partial_launch_failure_reaps_started_workers(monkeypatch, transport):
+    """If worker 2 of 3 fails to spawn, worker 1 must not outlive the
+    failed construction."""
+    import repro.pipeline.transport as transport_mod
+
+    exploding = _ExplodingSecondProcess(executor.mp_context())
+    monkeypatch.setattr(transport_mod, "mp_context", lambda: exploding)
+    before = set(multiprocessing.active_children())
+    sharded = ShardedGraph(N_VERTICES, 3, transport=transport)
+    with pytest.raises(OSError, match="simulated fork failure"):
+        sharded.apply_batch(_batches()[0])
+    leaked = set(multiprocessing.active_children()) - before
+    assert not leaked, [p.name for p in leaked]
+    # close() stays safe after the failed construction.
+    sharded.close()
+
+
+def test_failed_restore_reaps_workers():
+    """A worker that rejects its restore payload mid-_ensure_workers must
+    not leak the already-launched processes."""
+    original = ShardedGraph(N_VERTICES, 2, transport="shm")
+    original.apply_batch(_batches()[0])
+    state = original.__getstate__()
+    original.close()
+    state["payloads"] = [b"not a pickle", b"also not"]
+    broken = ShardedGraph.__new__(ShardedGraph)
+    broken.__setstate__(state)
+    before = set(multiprocessing.active_children())
+    with pytest.raises(GraphError):
+        broken.apply_batch(_batches()[1])
+    leaked = set(multiprocessing.active_children()) - before
+    assert not leaked, [p.name for p in leaked]
+    broken.close()
+
+
+# -- registry / resolution ----------------------------------------------------
+
+
+def test_resolve_transport_explicit_env_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARD_TRANSPORT", raising=False)
+    assert resolve_shard_transport(None) == DEFAULT_TRANSPORT
+    assert resolve_shard_transport("tcp") == "tcp"
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "inproc")
+    assert resolve_shard_transport(None) == "inproc"
+    assert resolve_shard_transport("shm") == "shm"  # explicit beats env
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "carrier-pigeon")
+    with pytest.raises(ConfigurationError):
+        resolve_shard_transport(None)
+
+
+def test_env_transport_reaches_graph(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "inproc")
+    sharded = ShardedGraph(N_VERTICES, 2)
+    try:
+        assert sharded.transport_name == "inproc"
+        sharded.apply_batch(_batches()[0])
+        assert sharded._procs == []
+    finally:
+        sharded.close()
+
+
+def test_register_transport_extensibility():
+    @register_transport
+    class _Named(InprocTransport):
+        name = "_test_inproc2"
+
+    try:
+        assert isinstance(make_transport("_test_inproc2"), _Named)
+        with pytest.raises(ConfigurationError):
+            register_transport(type("Anon", (ShardTransport,), {}))
+    finally:
+        del SHARD_TRANSPORTS["_test_inproc2"]
+
+
+# -- placement guard unit (owner-map mismatch without config mismatch) --------
+
+
+def test_checkpoint_placement_guard_compares_owner_maps():
+    from repro.pipeline.checkpoint import _check_shard_placement
+
+    a = ShardedGraph(N_VERTICES, 2, transport="inproc", policy="mod")
+    b = ShardedGraph(
+        N_VERTICES, 2, transport="inproc",
+        owner_map=build_owner_map("hash", N_VERTICES, 2),
+    )
+    same = ShardedGraph(N_VERTICES, 2, transport="inproc", policy="mod")
+    serial = AdjacencyListGraph(N_VERTICES)
+    try:
+        _check_shard_placement(a, same)  # identical placement: fine
+        _check_shard_placement(serial, serial)  # unsharded both sides: fine
+        with pytest.raises(CheckpointError):
+            _check_shard_placement(a, b)
+        with pytest.raises(CheckpointError):
+            _check_shard_placement(a, serial)
+        with pytest.raises(CheckpointError):
+            _check_shard_placement(
+                a, ShardedGraph(N_VERTICES, 3, transport="inproc")
+            )
+    finally:
+        a.close()
+        b.close()
+        same.close()
+
+
+# -- run-telemetry counters ---------------------------------------------------
+
+
+def test_partition_and_transport_counters_reach_run_telemetry():
+    from repro.telemetry.core import make_telemetry
+
+    run_tel = make_telemetry("basic")
+    sharded = ShardedGraph(
+        N_VERTICES, 2, transport="shm", run_telemetry=run_tel
+    )
+    try:
+        for batch in _batches():
+            sharded.apply_batch(batch)
+        counters = run_tel.snapshot().counters
+        assert counters["partition.edges"] == 9  # 6 + 3 insertions
+        assert counters["partition.cut_edges"] <= counters["partition.edges"]
+        # Every inserted edge contributes both its directions to the loads.
+        assert counters["partition.load.s00"] + counters[
+            "partition.load.s01"
+        ] == 2 * counters["partition.edges"]
+        assert counters["transport.round_trips"] >= 4
+        assert counters["transport.bytes_sent"] > 0
+        assert counters["transport.bytes_received"] > 0
+    finally:
+        sharded.close()
