@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke timeline-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,7 +21,7 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint report-smoke bench-shard test-faults
+test-fast: lint report-smoke timeline-smoke bench-shard test-faults
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
@@ -39,6 +39,26 @@ report-smoke:
 		--algorithm none --mode abr_usc --trace $$tmp/run.jsonl >/dev/null && \
 	python -m repro report $$tmp/run.jsonl >/dev/null && \
 	rm -rf $$tmp && echo "report-smoke: OK"
+
+# Cross-process timeline smoke: a 2-shard tcp run must yield a Chrome
+# trace with coordinator + both worker tracks, a live heartbeat that
+# `repro top` can render, and a trace whose embedded timeline re-exports.
+timeline-smoke:
+	@tmp=$$(mktemp -d) && \
+	python -m repro run fb --batch-size 500 --num-batches 4 \
+		--algorithm none --shards 2 --shard-transport tcp \
+		--trace $$tmp/run.jsonl --timeline $$tmp/timeline.json \
+		--heartbeat $$tmp/hb.json >/dev/null && \
+	python -m repro top $$tmp/hb.json --once >/dev/null && \
+	python -m repro report $$tmp/run.jsonl \
+		--timeline $$tmp/timeline2.json >/dev/null && \
+	python -c "import json, sys; \
+doc = json.load(open(sys.argv[1])); \
+tracks = {(e['pid'], e['tid']) for e in doc['traceEvents'] if e['ph'] == 'X'}; \
+assert len(tracks) == 3, tracks; \
+assert json.load(open(sys.argv[2]))['traceEvents']" \
+		$$tmp/timeline.json $$tmp/timeline2.json && \
+	rm -rf $$tmp && echo "timeline-smoke: OK"
 
 bench:
 	pytest benchmarks/ --benchmark-only

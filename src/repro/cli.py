@@ -16,7 +16,10 @@ Commands:
 * ``fidelity`` — paper-reported vs measured summary, joined from the JSON
   records the benchmarks leave under ``results/``.
 * ``report`` — analyze one recorded trace (per-stage/per-strategy
-  breakdowns, counters, decision ledger) or A/B-compare two traces.
+  breakdowns, counters, anomaly flags, decision ledger) or A/B-compare two
+  traces; ``--timeline OUT`` re-exports the trace's flight-recorder
+  timeline as Chrome trace-event JSON (viewable in Perfetto).
+* ``top`` — live view of an in-flight run via its ``--heartbeat`` file.
 * ``cache`` — inspect or clear the on-disk stream cache.
 
 ``run`` and ``characterize`` accept ``--jobs N`` to fan independent cells
@@ -76,7 +79,12 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _resolve_telemetry_level(args: argparse.Namespace) -> None:
     """Default ``--telemetry`` to full when an exporter needs data."""
     if getattr(args, "telemetry", None) is None:
-        wants_export = bool(args.trace or getattr(args, "prom", None))
+        wants_export = bool(
+            args.trace
+            or getattr(args, "prom", None)
+            or getattr(args, "timeline", None)
+            or getattr(args, "heartbeat", None)
+        )
         args.telemetry = "full" if wants_export else "off"
 
 
@@ -92,6 +100,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace = TraceWriter(args.trace)
     pipeline = config.build_pipeline(trace=trace)
     run_kwargs = {}
+    if args.heartbeat or args.prom:
+        from .telemetry.heartbeat import HeartbeatMonitor
+
+        run_kwargs["monitor"] = HeartbeatMonitor(
+            args.heartbeat or None,
+            prom_path=args.prom or None,
+            prom_labels={"dataset": config.dataset, "mode": config.mode},
+            run_id=pipeline.run_id,
+            label=(
+                f"{config.dataset} @ {config.batch_size} "
+                f"[{config.algorithm}, {config.mode}]"
+            ),
+            total_batches=config.num_batches,
+        )
     if args.checkpoint:
         from .pipeline.checkpoint import latest_checkpoint
 
@@ -114,6 +136,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if trace is not None:
         trace.close()
         print(f"trace: {trace.events_written} events -> {trace.path}")
+    if args.timeline:
+        from .telemetry.timeline import write_chrome_trace
+
+        # Workers were harvested at close(); the coordinator recorder is
+        # still live, so the export sees every process.
+        snapshots = pipeline.timeline_snapshots()
+        if snapshots:
+            write_chrome_trace(args.timeline, snapshots)
+            events = sum(len(s.events) for s in snapshots)
+            print(
+                f"timeline: {events} events from {len(snapshots)} "
+                f"process(es) -> {args.timeline}"
+            )
+        else:
+            print(
+                "no timeline recorded (the flight recorder requires "
+                "--telemetry full)",
+                file=sys.stderr,
+            )
+    if args.heartbeat:
+        print(f"heartbeat -> {args.heartbeat}")
     if args.prom and pipeline.telemetry.enabled:
         from .telemetry.export import write_prometheus_textfile
 
@@ -147,7 +190,12 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
     pipeline) does not abort the matrix: the surviving cells print
     normally, failed cells print their error, and the exit code is 1.
     """
-    from .pipeline.executor import executor_telemetry, merged_telemetry, run_matrix
+    from .pipeline.executor import (
+        executor_telemetry,
+        merged_telemetry,
+        merged_timelines,
+        run_matrix,
+    )
 
     configs = [RunConfig.from_cli_args(args, dataset=name) for name in args.dataset]
     if any(config.requires_hau for config in configs) or args.trace:
@@ -157,6 +205,9 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
         return 2
     if args.checkpoint:
         print("--checkpoint requires a single dataset", file=sys.stderr)
+        return 2
+    if args.heartbeat:
+        print("--heartbeat requires a single dataset", file=sys.stderr)
         return 2
     if getattr(args, "shards", 1) > 1:
         print("--shards requires a single dataset", file=sys.stderr)
@@ -200,6 +251,23 @@ def _cmd_run_matrix(args: argparse.Namespace) -> int:
         snapshot = health if merged is None else merged.merged(health)
         write_prometheus_textfile(snapshot, args.prom)
         print(f"prometheus metrics (all cells merged) -> {args.prom}")
+    if args.timeline:
+        from .telemetry.timeline import write_chrome_trace
+
+        snapshots = merged_timelines(results)
+        if snapshots:
+            write_chrome_trace(args.timeline, snapshots)
+            events = sum(len(s.events) for s in snapshots)
+            print(
+                f"timeline: {events} events from {len(snapshots)} "
+                f"process(es) -> {args.timeline}"
+            )
+        else:
+            print(
+                "no timeline recorded (the flight recorder requires "
+                "--telemetry full)",
+                file=sys.stderr,
+            )
     return 1 if failed else 0
 
 
@@ -207,11 +275,62 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .telemetry.report import load_report, render_compare, render_report
 
     base = load_report(args.trace)
+    if getattr(args, "timeline_out", None):
+        from .telemetry.timeline import write_chrome_trace
+
+        timelines = base.document.timelines
+        if not timelines:
+            print(
+                f"{args.trace}: no timeline lines in trace (record with "
+                "`repro run --trace ... --telemetry full`)",
+                file=sys.stderr,
+            )
+            return 1
+        write_chrome_trace(args.timeline_out, timelines)
+        events = sum(len(s.events) for s in timelines)
+        print(
+            f"timeline: {events} events from {len(timelines)} "
+            f"process(es) -> {args.timeline_out}"
+        )
     if args.trace_b is None:
         print(render_report(base))
     else:
         print(render_compare(base, load_report(args.trace_b)))
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render the live heartbeat of an in-flight run, ``top``-style."""
+    import time
+
+    from .telemetry.heartbeat import read_heartbeat, render_heartbeat
+
+    def frame() -> str | None:
+        data = read_heartbeat(args.path)
+        if data is None:
+            return None
+        return render_heartbeat(data, max_age=args.max_age)
+
+    if args.once:
+        text = frame()
+        if text is None:
+            print(f"{args.path}: no readable heartbeat", file=sys.stderr)
+            return 1
+        print(text)
+        return 0
+    try:
+        while True:
+            text = frame()
+            # ANSI: clear screen + home, so the view refreshes in place.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            if text is None:
+                sys.stdout.write(f"waiting for heartbeat at {args.path} ...\n")
+            else:
+                sys.stdout.write(text + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -456,7 +575,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--prom", metavar="FILE",
-        help="export telemetry counters to this Prometheus textfile",
+        help="export telemetry counters to this Prometheus textfile "
+        "(refreshed in-run every batch when --heartbeat is also set)",
+    )
+    run.add_argument(
+        "--timeline", metavar="FILE",
+        help="export the run's cross-process flight-recorder timeline as "
+        "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+    run.add_argument(
+        "--heartbeat", metavar="FILE",
+        help="atomically rewrite a live heartbeat JSON file every batch; "
+        "watch it with `repro top FILE` (single dataset only)",
     )
     run.add_argument(
         "--jobs", type=int, default=1,
@@ -543,6 +673,33 @@ def build_parser() -> argparse.ArgumentParser:
         "trace_b", nargs="?", default=None,
         help="second trace; compare A (first) against B with regression deltas",
     )
+    report.add_argument(
+        "--timeline", dest="timeline_out", metavar="OUT",
+        help="re-export the trace's embedded flight-recorder timeline as "
+        "Chrome trace-event JSON",
+    )
+
+    top = sub.add_parser(
+        "top", help="live view of an in-flight run via its heartbeat file"
+    )
+    top.add_argument(
+        "path",
+        help="heartbeat file from `repro run --heartbeat` (or the "
+        "directory containing heartbeat.json)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit instead of refreshing",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh period (default: 1.0)",
+    )
+    top.add_argument(
+        "--max-age", type=float, default=30.0, metavar="SECONDS",
+        help="flag the run as STALLED when the heartbeat is older than "
+        "this (default: 30)",
+    )
 
     cache = sub.add_parser("cache", help="inspect or clear the stream cache")
     cache.add_argument(
@@ -565,6 +722,7 @@ def main(argv: list[str] | None = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "fidelity": _cmd_fidelity,
         "report": _cmd_report,
+        "top": _cmd_top,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

@@ -55,6 +55,7 @@ __all__ = [
     "default_jobs",
     "mp_context",
     "merged_telemetry",
+    "merged_timelines",
     "executor_telemetry",
 ]
 
@@ -140,6 +141,10 @@ class CellResult:
         telemetry: the cell pipeline's telemetry snapshot, when the run was
             instrumented (``telemetry != "off"``); None otherwise.  Frozen
             plain data, so it ships back from worker processes unchanged.
+        timelines: the cell's flight-recorder timeline snapshots (one per
+            process of the cell run; empty below telemetry ``full``).
+            Like ``telemetry``, excluded from comparison so jobs=N parity
+            on the metric fields is unaffected.
         error: None for a successful cell; otherwise a short
             ``"ExceptionType: message"`` string describing why the cell
             failed (its metric fields are all zero in that case).
@@ -151,6 +156,7 @@ class CellResult:
     compute_time: float
     strategies: tuple[tuple[str, int], ...]
     telemetry: TelemetrySnapshot | None = field(default=None, compare=False)
+    timelines: tuple = field(default=(), compare=False)
     error: str | None = None
 
     @property
@@ -197,6 +203,10 @@ def _run_cell(config) -> CellResult:
     """
     pipeline = config.build_pipeline()
     metrics = pipeline.run(config.num_batches)
+    timelines = tuple(pipeline.timeline_snapshots())
+    close = getattr(pipeline, "close", None)
+    if close is not None:
+        close()
     return CellResult(
         spec=config.to_cell_spec(),
         num_batches=metrics.num_batches,
@@ -206,6 +216,7 @@ def _run_cell(config) -> CellResult:
         telemetry=(
             pipeline.telemetry.snapshot() if pipeline.telemetry.enabled else None
         ),
+        timelines=timelines,
     )
 
 
@@ -570,6 +581,18 @@ def merged_telemetry(results: Sequence[CellResult]) -> TelemetrySnapshot | None:
     """
     snapshots = [r.telemetry for r in results if r.telemetry is not None]
     return merge_snapshots(snapshots) if snapshots else None
+
+
+def merged_timelines(results: Sequence[CellResult]) -> list:
+    """Every cell's timeline snapshots, in result (= submission) order.
+
+    Executor workers stamp events with the machine-wide monotonic clock
+    (``perf_counter`` is CLOCK_MONOTONIC on Linux), so cross-process
+    snapshots from one host are already clock-aligned; each keeps its own
+    (run_id, pid) track in the Chrome trace export.  Empty below
+    telemetry level ``full``.
+    """
+    return [snap for r in results for snap in r.timelines]
 
 
 def executor_telemetry(

@@ -16,6 +16,8 @@ a :class:`BatchContext`.
 
 from __future__ import annotations
 
+import time
+import uuid
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -125,6 +127,7 @@ class StreamingPipeline:
         trace=None,
         telemetry=None,
         adjacency: str | None = None,
+        run_id: str | None = None,
     ):
         algorithm_cls = get_algorithm(algorithm)
         self.profile = profile
@@ -162,11 +165,19 @@ class StreamingPipeline:
         self.generator = profile.generator(seed=seed)
         self.pr_tolerance = pr_tolerance
         self.pr_max_rounds = pr_max_rounds
+        #: Identifier shared by every process of this run (timeline tracks).
+        self.run_id = run_id or f"{profile.name}-{uuid.uuid4().hex[:8]}"
+        timeline = getattr(self.telemetry, "timeline", None)
+        if timeline is not None:
+            timeline.configure(run_id=self.run_id, process="coordinator")
         #: Optional TraceWriter receiving one event per batch.
         self.trace = trace
         if trace is not None and getattr(trace, "telemetry", None) is None:
             # The writer appends a telemetry summary line on close.
             trace.telemetry = self.telemetry
+        if trace is not None and getattr(trace, "timeline_provider", None) is None:
+            # close() then embeds every process's flight-recorder timeline.
+            trace.timeline_provider = self.timeline_snapshots
         self._compute_ctx = AlgorithmContext(
             graph=self.graph,
             pr_tolerance=pr_tolerance,
@@ -180,6 +191,8 @@ class StreamingPipeline:
         self._pending_batches: list[Batch] = []
         #: Next stream position :meth:`step` will consume.
         self._cursor: int = 0
+        #: Size of the most recently applied batch (heartbeat throughput).
+        self.last_batch_edges: int = 0
         #: Metrics accumulated by :meth:`step` (reset by :meth:`run`).
         self.metrics = self._new_metrics()
         #: The RunConfig that built this pipeline, when one did
@@ -307,16 +320,19 @@ class StreamingPipeline:
         ctx = BatchContext(index=self._cursor, final=final)
         self._cursor += 1
         tel = self.telemetry
-        with tel.span("stage.generate"):
-            self._stage_generate(ctx)
-        with tel.span("stage.update"):
-            self._stage_update(ctx)
-        with tel.span("stage.observe"):
-            self._stage_observe(ctx)
-        with tel.span("stage.compute"):
-            self._stage_compute(ctx)
-        with tel.span("stage.record"):
-            self._stage_record(ctx)
+        tel.set_batch(ctx.index)
+        with tel.span("pipeline.batch"):
+            with tel.span("stage.generate"):
+                self._stage_generate(ctx)
+            with tel.span("stage.update"):
+                self._stage_update(ctx)
+            with tel.span("stage.observe"):
+                self._stage_observe(ctx)
+            with tel.span("stage.compute"):
+                self._stage_compute(ctx)
+            with tel.span("stage.record"):
+                self._stage_record(ctx)
+        self.last_batch_edges = ctx.batch.size
         if tel.enabled:
             tel.count("pipeline.batches")
             tel.observe("pipeline.batch_edges", ctx.batch.size)
@@ -350,6 +366,23 @@ class StreamingPipeline:
             )
         return path
 
+    def timeline_snapshots(self):
+        """Every process's flight-recorder timeline for this run.
+
+        The coordinator's own recorder plus — for sharded graphs — the
+        clock-aligned worker timelines (live workers are queried through
+        the transport; after ``close()`` the snapshots harvested at
+        shutdown are returned).  Empty below telemetry level ``full``.
+        """
+        snapshots = []
+        own = self.telemetry.timeline_snapshot()
+        if own is not None:
+            snapshots.append(own)
+        worker_timelines = getattr(self.graph, "worker_timelines", None)
+        if worker_timelines is not None:
+            snapshots.extend(worker_timelines())
+        return snapshots
+
     def run(
         self,
         num_batches: int | None = None,
@@ -359,6 +392,7 @@ class StreamingPipeline:
         checkpoint_dir=None,
         checkpoint_every: int = 0,
         checkpoint_keep: int = 3,
+        monitor=None,
     ) -> RunMetrics:
         """Stream ``num_batches`` batches through the pipeline.
 
@@ -380,6 +414,11 @@ class StreamingPipeline:
             checkpoint_every: batches between checkpoints; 0 disables.
             checkpoint_keep: newest checkpoints retained in
                 ``checkpoint_dir`` (older ones are pruned).
+            monitor: optional
+                :class:`~repro.telemetry.heartbeat.HeartbeatMonitor`
+                beaten after every batch (live heartbeat file and in-run
+                Prometheus refresh); the monitor only observes, so it
+                never perturbs the run's metrics.
 
         Returns:
             The run's :class:`~repro.pipeline.metrics.RunMetrics`.
@@ -422,7 +461,10 @@ class StreamingPipeline:
             self.metrics = self._new_metrics()
         since_checkpoint = 0
         while self._cursor < end:
+            batch_id = self._cursor
+            started = time.perf_counter()
             self.step(final=self._cursor == end - 1)
+            wall = time.perf_counter() - started
             since_checkpoint += 1
             if (
                 checkpoint_dir is not None
@@ -432,4 +474,13 @@ class StreamingPipeline:
             ):
                 self.save_checkpoint(checkpoint_dir, keep=checkpoint_keep)
                 since_checkpoint = 0
+                if monitor is not None:
+                    monitor.note_checkpoint()
+            if monitor is not None:
+                monitor.beat(
+                    self.telemetry,
+                    batch_id=batch_id,
+                    batch_edges=self.last_batch_edges,
+                    wall_seconds=wall,
+                )
         return self.metrics

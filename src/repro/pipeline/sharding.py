@@ -52,6 +52,8 @@ Environment knobs:
 from __future__ import annotations
 
 import pickle
+import time
+import uuid
 
 import numpy as np
 
@@ -165,6 +167,13 @@ class ShardWorker:
         self.num_vertices = spec["num_vertices"]
         self.owners = spec["owner_map"]
         self.tel = make_telemetry(spec.get("telemetry_level", "off"))
+        timeline = getattr(self.tel, "timeline", None)
+        if timeline is not None:
+            timeline.configure(
+                run_id=spec.get("run_id", ""),
+                process=f"shard-{self.shard}",
+                shard=self.shard,
+            )
         self.graph = make_adjacency_graph(
             spec.get("adjacency", "dict"), self.num_vertices, telemetry=self.tel
         )
@@ -202,12 +211,23 @@ class ShardWorker:
             return None
         if command == "telemetry":
             return self.tel.snapshot()
+        if command == "timeline":
+            # Clock-offset handshake: the local perf_counter reading rides
+            # back with the snapshot so the coordinator can express worker
+            # timestamps on its own clock (offset = midpoint(t0, t1) - t_w).
+            return (time.perf_counter(), self.tel.timeline_snapshot())
         if command == "close":
             return None
         raise GraphError(f"unknown shard command {command!r}")
 
     def _apply(self, payload):
         """Apply this shard's slice of one batch; reply with stats + updates."""
+        tel = self.tel
+        tel.set_batch(payload.get("batch_id"))
+        with tel.span("shard.apply"):
+            return self._apply_slices(payload)
+
+    def _apply_slices(self, payload):
         graph, tel = self.graph, self.tel
         if "shm" in payload:
             shm = _attach_shm(payload["shm"])
@@ -423,6 +443,7 @@ class ShardedGraph(DynamicGraph):
         policy: str | None = None,
         owner_map: np.ndarray | None = None,
         run_telemetry=None,
+        run_id: str | None = None,
     ):
         super().__init__(num_vertices)
         if num_shards < 1:
@@ -462,6 +483,10 @@ class ShardedGraph(DynamicGraph):
         self._pending_payloads: list[bytes] | None = None
         self._track_deltas = False
         self._closed = False
+        #: Run identifier propagated into worker specs (timeline tracks).
+        self.run_id = run_id or f"shards-{uuid.uuid4().hex[:8]}"
+        #: Worker timelines harvested at (or before) close.
+        self._worker_timelines: list = []
 
     # -- worker lifecycle ---------------------------------------------------
     @property
@@ -483,6 +508,7 @@ class ShardedGraph(DynamicGraph):
                 "telemetry_level": self._tel_level,
                 "adjacency": self.adjacency,
                 "owner_map": self.owner_map,
+                "run_id": self.run_id,
             }
             for shard in range(self.num_shards)
         ]
@@ -575,14 +601,66 @@ class ShardedGraph(DynamicGraph):
             self._run_tel.count("transport.round_trips", self.num_shards)
         return replies
 
+    def _harvest_worker_timelines(self) -> list:
+        """Fetch every live worker's timeline with a clock handshake.
+
+        For each worker the coordinator stamps ``t0``/``t1`` around the
+        round trip and the worker replies with its own ``perf_counter``
+        reading ``t_w``; ``offset = (t0 + t1)/2 - t_w`` expresses the
+        worker's timestamps on the coordinator's clock (exact up to half
+        the round-trip asymmetry, and ~0 for same-clock transports).
+        Best-effort by design — dead or hung workers are skipped so close()
+        and crash paths never stall on observability.
+        """
+        if self._transport is None:
+            return self._worker_timelines
+        snapshots = []
+        for shard in range(self.num_shards):
+            try:
+                channel = self._transport.channels[shard]
+                t0 = time.perf_counter()
+                channel.send(("timeline", None))
+                if not channel.poll(10.0):
+                    continue
+                status, value = channel.recv()
+                t1 = time.perf_counter()
+            except Exception:
+                continue
+            if status != "ok" or value is None:
+                continue
+            t_worker, snap = value
+            if snap is not None:
+                snapshots.append(snap.shifted((t0 + t1) / 2.0 - t_worker))
+        if snapshots:
+            self._worker_timelines = snapshots
+        return self._worker_timelines
+
+    def worker_timelines(self) -> list:
+        """Clock-aligned worker timelines (live harvest, else the snapshots
+        cached by :meth:`close`; empty below telemetry level ``full``)."""
+        if self._tel_level != "full":
+            return []
+        if self._transport is not None:
+            return list(self._harvest_worker_timelines())
+        return list(self._worker_timelines)
+
     def close(self) -> None:
         """Shut the shard workers down; the graph is unusable afterwards.
 
         Idempotent: safe to call repeatedly, after a partial launch
         failure, and with already-dead workers (their broken channels are
         tolerated and the processes reaped regardless).
+
+        Worker flight-recorder timelines are harvested (best effort) just
+        before shutdown, so :meth:`worker_timelines` — and through it the
+        trace writer's close — still sees them afterwards.
         """
         self._closed = True
+        if self._transport is not None and self._tel_level == "full":
+            try:
+                self._harvest_worker_timelines()
+            except Exception:
+                pass
         transport, self._transport = self._transport, None
         if transport is None:
             return
@@ -630,6 +708,7 @@ class ShardedGraph(DynamicGraph):
             "mirror": self._mirror,
             "track": self._track_deltas,
             "payloads": payloads,
+            "run_id": self.run_id,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -672,6 +751,8 @@ class ShardedGraph(DynamicGraph):
         self._pending_payloads = state["payloads"]
         self._track_deltas = state["track"]
         self._closed = False
+        self.run_id = state.get("run_id") or f"shards-{uuid.uuid4().hex[:8]}"
+        self._worker_timelines = []
 
     # -- updates ------------------------------------------------------------
     def apply_batch(self, batch) -> BatchUpdateStats:
@@ -687,7 +768,11 @@ class ShardedGraph(DynamicGraph):
             np.ascontiguousarray(deletes.dst, dtype=_INT),
         )
         fields, release, shipped = self._transport.pack_batch(arrays)
-        payload = {"include_updates": self._mirror, **fields}
+        payload = {
+            "include_updates": self._mirror,
+            "batch_id": batch.batch_id,
+            **fields,
+        }
         try:
             replies = self._request_all("apply", payload)
         finally:
@@ -910,7 +995,11 @@ class ShardedPipeline(StreamingPipeline):
     def __init__(self, profile, batch_size, *, num_shards, graph=None,
                  telemetry=None, adjacency=None, shard_transport=None,
                  shard_policy=None, seed=7, **kwargs):
+        # One run id spans coordinator and workers so their timeline
+        # snapshots merge into a single clock-aligned trace.
+        run_id = kwargs.pop("run_id", None)
         if graph is None:
+            run_id = run_id or f"{profile.name}-{uuid.uuid4().hex[:8]}"
             backend = as_telemetry(telemetry)
             policy = resolve_partition_policy(shard_policy)
             edges = (
@@ -925,12 +1014,14 @@ class ShardedPipeline(StreamingPipeline):
                 profile.num_vertices, num_shards,
                 telemetry_level=backend.level, adjacency=adjacency,
                 transport=shard_transport, policy=policy.name,
-                owner_map=owner_map, run_telemetry=backend,
+                owner_map=owner_map, run_telemetry=backend, run_id=run_id,
             )
+        else:
+            run_id = run_id or getattr(graph, "run_id", None)
         self.num_shards = num_shards
         super().__init__(
             profile, batch_size, graph=graph, telemetry=telemetry, seed=seed,
-            **kwargs
+            run_id=run_id, **kwargs
         )
 
     def close(self) -> None:

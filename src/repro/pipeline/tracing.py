@@ -12,6 +12,11 @@ Schema v2 line types (the ``type`` field):
 
 * ``header`` — first line; carries ``schema_version``.
 * ``batch`` — one :class:`TraceEvent` per processed batch.
+* ``timeline`` — one
+  :class:`~repro.telemetry.timeline.TimelineSnapshot` document per process
+  of the run (coordinator plus shard workers), written at close when the
+  run recorded a flight-recorder timeline.  ``repro report --timeline``
+  re-exports these as Chrome trace-event JSON.
 * ``summary`` — last line; a
   :class:`~repro.telemetry.core.TelemetrySnapshot` document (only written
   when the writer was given an enabled telemetry backend).
@@ -34,6 +39,7 @@ from pathlib import Path
 
 from ..errors import AnalysisError
 from ..telemetry.core import TelemetrySnapshot
+from ..telemetry.timeline import TimelineSnapshot
 from .metrics import BatchMetrics
 
 __all__ = [
@@ -106,12 +112,15 @@ class TraceDocument:
         schema_version: declared schema (1 for bare-event legacy files).
         events: the per-batch records, in stream order.
         summary: the run's telemetry snapshot, when the trace carries one.
+        timelines: per-process flight-recorder timelines, in file order
+            (empty for runs recorded without the timeline layer).
     """
 
     path: Path
     schema_version: int = 1
     events: list[TraceEvent] = field(default_factory=list)
     summary: TelemetrySnapshot | None = None
+    timelines: list[TimelineSnapshot] = field(default_factory=list)
 
 
 class TraceWriter:
@@ -141,6 +150,11 @@ class TraceWriter:
         self.events_written = 0
         #: Telemetry backend snapshotted into the summary record on close.
         self.telemetry = telemetry
+        #: Optional zero-arg callable returning the run's
+        #: :class:`~repro.telemetry.timeline.TimelineSnapshot` list; the
+        #: pipeline wires in its own ``timeline_snapshots`` so close()
+        #: captures every process's timeline (workers included).
+        self.timeline_provider = None
         self._handle.write(
             json.dumps({"type": "header", "schema_version": SCHEMA_VERSION})
             + "\n"
@@ -150,11 +164,34 @@ class TraceWriter:
         self._handle.write(
             json.dumps({"type": "batch", **asdict(event)}) + "\n"
         )
+        # Flush (no fsync) per batch: a SIGKILLed run keeps every batch
+        # line the OS received, and the reader tolerates a torn tail.
+        self._handle.flush()
         self.events_written += 1
+
+    def write_timeline(self, snapshot: TimelineSnapshot) -> None:
+        """Append one process's timeline as a ``timeline`` record."""
+        if snapshot is None or self._handle.closed:
+            return
+        self._handle.write(
+            json.dumps({
+                "type": "timeline",
+                "schema_version": SCHEMA_VERSION,
+                **snapshot.to_dict(),
+            }) + "\n"
+        )
 
     def close(self) -> None:
         if self._handle.closed:
             return
+        if self.timeline_provider is not None:
+            # Timelines are fetched best-effort: a dead worker must not
+            # cost us the summary record below.
+            try:
+                for snapshot in self.timeline_provider():
+                    self.write_timeline(snapshot)
+            except Exception:
+                pass
         if self.telemetry is not None and getattr(
             self.telemetry, "enabled", False
         ):
@@ -221,6 +258,8 @@ def read_trace_document(path: str | Path) -> TraceDocument:
                 )
             elif kind == "summary":
                 document.summary = TelemetrySnapshot.from_dict(data)
+            elif kind == "timeline":
+                document.timelines.append(TimelineSnapshot.from_dict(data))
             # Unknown types: skip for forward compatibility.
         except (TypeError, ValueError, KeyError) as exc:
             raise AnalysisError(

@@ -4,6 +4,12 @@ See ``docs/OBSERVABILITY.md`` for naming conventions and the trace schema.
 
 * :mod:`repro.telemetry.core` — counters, gauges, histograms, timed spans,
   the decision ledger, and the no-op null backend;
+* :mod:`repro.telemetry.timeline` — the flight-recorder timeline (bounded
+  ring of timestamped events) and the Chrome trace-event exporter;
+* :mod:`repro.telemetry.heartbeat` — the atomic live-run heartbeat file
+  and the ``repro top`` renderer;
+* :mod:`repro.telemetry.anomaly` — rolling-median/MAD flags on per-batch
+  series;
 * :mod:`repro.telemetry.export` — Prometheus textfile exporter and the
   human-readable summary;
 * :mod:`repro.telemetry.report` — the offline analyzer behind
@@ -11,6 +17,7 @@ See ``docs/OBSERVABILITY.md`` for naming conventions and the trace schema.
   keep ``import repro`` light).
 """
 
+from .anomaly import AnomalyFlag, rolling_mad_flags
 from .core import (
     NULL_TELEMETRY,
     TELEMETRY_LEVELS,
@@ -25,20 +32,38 @@ from .core import (
     merge_snapshots,
 )
 from .export import render_summary, to_prometheus, write_prometheus_textfile
+from .heartbeat import HeartbeatMonitor, read_heartbeat, render_heartbeat
+from .timeline import (
+    TimelineRecorder,
+    TimelineSnapshot,
+    merge_timeline_snapshots,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "NULL_TELEMETRY",
     "TELEMETRY_LEVELS",
+    "AnomalyFlag",
     "Decision",
+    "HeartbeatMonitor",
     "HistogramStat",
     "NullTelemetry",
     "SpanStat",
     "Telemetry",
     "TelemetrySnapshot",
+    "TimelineRecorder",
+    "TimelineSnapshot",
     "as_telemetry",
     "make_telemetry",
     "merge_snapshots",
+    "merge_timeline_snapshots",
+    "read_heartbeat",
+    "render_heartbeat",
     "render_summary",
+    "rolling_mad_flags",
+    "to_chrome_trace",
     "to_prometheus",
+    "write_chrome_trace",
     "write_prometheus_textfile",
 ]

@@ -1,0 +1,93 @@
+"""Rolling-median / MAD anomaly flags for per-batch series.
+
+``repro report`` uses this to call out batches whose stage latency or
+throughput deviates from the recent trend, instead of leaving regressions
+and stragglers to be eyeballed out of totals.  The detector is the robust
+z-score: for each point, take the median and the median absolute deviation
+(MAD) of the preceding ``window`` points and flag when
+
+    |value - median| / (1.4826 * MAD)  >  z_threshold
+
+1.4826 scales the MAD to the standard deviation of a normal distribution,
+so ``z_threshold`` reads like a sigma count.  Unlike mean/stddev, the
+median/MAD baseline is itself immune to the outliers it is hunting.  Two
+practical guards:
+
+* the first ``min_history`` points are never flagged (no baseline yet);
+* the MAD is floored at 5% of the median so a perfectly flat history
+  (MAD = 0) doesn't flag measurement noise as infinite-z anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AnomalyFlag", "rolling_mad_flags"]
+
+#: Normal-consistency constant: MAD * 1.4826 estimates one sigma.
+MAD_SCALE = 1.4826
+
+#: MAD floor as a fraction of the rolling median (flat-history guard).
+RELATIVE_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class AnomalyFlag:
+    """One flagged point of a per-batch series.
+
+    Attributes:
+        index: position in the series (the batch number).
+        value: the offending observation.
+        baseline: rolling median of the preceding window.
+        z: robust z-score (sigmas from the baseline).
+    """
+
+    index: int
+    value: float
+    baseline: float
+    z: float
+
+    @property
+    def ratio(self) -> float:
+        """value / baseline (1.0 = on trend)."""
+        return self.value / self.baseline if self.baseline else float("inf")
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def rolling_mad_flags(values, *, window: int = 9, z_threshold: float = 3.5,
+                      min_history: int = 4) -> list[AnomalyFlag]:
+    """Flag points deviating from their trailing rolling-median baseline.
+
+    Args:
+        values: the per-batch series, in stream order.
+        window: trailing points forming each baseline.
+        z_threshold: robust z-score above which a point is flagged.
+        min_history: points required before flagging starts.
+
+    Returns flags in series order (empty list for short/clean series).
+    """
+    series = [float(v) for v in values]
+    flags: list[AnomalyFlag] = []
+    for index in range(len(series)):
+        history = series[max(0, index - window):index]
+        if len(history) < min_history:
+            continue
+        baseline = _median(history)
+        mad = _median([abs(v - baseline) for v in history])
+        scale = max(MAD_SCALE * mad, RELATIVE_FLOOR * abs(baseline), 1e-12)
+        z = abs(series[index] - baseline) / scale
+        if z > z_threshold:
+            flags.append(
+                AnomalyFlag(
+                    index=index, value=series[index],
+                    baseline=baseline, z=z,
+                )
+            )
+    return flags

@@ -55,7 +55,8 @@ __all__ = [
 TELEMETRY_LEVELS = ("off", "basic", "full")
 
 #: Ledger entries kept per run; beyond this, entries are dropped and the
-#: ``telemetry.decisions_dropped`` counter records how many.
+#: ``ledger.dropped`` counter records how many (``repro report`` warns when
+#: it is nonzero).
 MAX_DECISIONS = 100_000
 
 
@@ -155,6 +156,41 @@ class HistogramStat:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the power-of-two buckets.
+
+        Finds the bucket holding rank ``q * count`` and interpolates
+        linearly inside it, clamping the bucket range to the observed
+        min/max so single-bucket histograms stay exact at the extremes.
+        The estimate is bounded by the bucket resolution: at most a factor
+        of 2 off, exact when the bucket holds one distinct value.
+        """
+        if self.count <= 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        rank = q * self.count
+        cumulative = 0
+        for exponent, count in self.buckets:
+            if cumulative + count >= rank:
+                lo = 0.0 if exponent == 0 else float(2 ** (exponent - 1))
+                hi = float(2 ** exponent)
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                fraction = (rank - cumulative) / count
+                return lo + fraction * (hi - lo)
+            cumulative += count
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 estimates, keyed for rendering."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
 
     def merged(self, other: "HistogramStat") -> "HistogramStat":
         combined = dict(self.buckets)
@@ -313,6 +349,9 @@ class _Span:
                 record[2] = elapsed
             if elapsed > record[3]:
                 record[3] = elapsed
+        timeline = tel.timeline
+        if timeline is not None:
+            timeline.span(self._name, self._start, elapsed, tel._batch)
         return False
 
 
@@ -343,6 +382,15 @@ class Telemetry:
         self._span_depth = 0
         self._max_span_depth = 0
         self._full = level == "full"
+        self._batch: int | None = None
+        # Every full-level backend carries a flight-recorder timeline so
+        # shard/executor workers (built via make_telemetry) participate
+        # without extra plumbing.  Imported lazily to avoid a cycle.
+        if self._full:
+            from .timeline import TimelineRecorder
+            self.timeline = TimelineRecorder()
+        else:
+            self.timeline = None
 
     # -- primitives ---------------------------------------------------------
     def count(self, name: str, value: float = 1.0) -> None:
@@ -377,11 +425,15 @@ class Telemetry:
             return _NULL_SPAN
         return _Span(self, name)
 
+    def set_batch(self, batch_id: int | None) -> None:
+        """Tag subsequent timeline events with the current batch id."""
+        self._batch = batch_id
+
     def decision(self, kind: str, choice: str, batch_id: int | None = None,
                  **inputs) -> None:
         """Append one entry to the decision ledger."""
         if len(self._decisions) >= MAX_DECISIONS:
-            self.count("telemetry.decisions_dropped")
+            self.count("ledger.dropped")
             return
         self._decisions.append(
             Decision(
@@ -391,6 +443,15 @@ class Telemetry:
                 inputs=tuple(sorted(inputs.items())),
             )
         )
+        if self.timeline is not None:
+            self.timeline.instant(
+                f"decision.{kind}:{choice}",
+                self._batch if batch_id is None else batch_id,
+            )
+
+    def timeline_snapshot(self):
+        """Freeze the flight-recorder timeline (``None`` below full)."""
+        return None if self.timeline is None else self.timeline.snapshot()
 
     # -- aggregation --------------------------------------------------------
     def snapshot(self) -> TelemetrySnapshot:
@@ -423,6 +484,7 @@ class NullTelemetry:
 
     enabled = False
     level = "off"
+    timeline = None
 
     __slots__ = ()
 
@@ -438,12 +500,18 @@ class NullTelemetry:
     def span(self, name: str):
         return _NULL_SPAN
 
+    def set_batch(self, batch_id: int | None) -> None:
+        pass
+
     def decision(self, kind: str, choice: str, batch_id: int | None = None,
                  **inputs) -> None:
         pass
 
     def snapshot(self) -> TelemetrySnapshot:
         return TelemetrySnapshot(level="off")
+
+    def timeline_snapshot(self):
+        return None
 
 
 #: Shared no-op backend used wherever telemetry was not requested.

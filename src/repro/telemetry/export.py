@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from .core import TelemetrySnapshot
+from .core import MAX_DECISIONS, TelemetrySnapshot
 
 __all__ = ["to_prometheus", "write_prometheus_textfile", "render_summary"]
 
@@ -115,10 +115,23 @@ def render_summary(snapshot: TelemetrySnapshot) -> str:
                      f"{total:.4f}s recorded")
     if snapshot.counters:
         lines.append(f"  counters: {len(snapshot.counters)}")
+    for name, stat in sorted(snapshot.histograms.items()):
+        p = stat.percentiles()
+        lines.append(
+            f"  {name}: n={stat.count} mean={stat.mean:.4g} "
+            f"p50~{p['p50']:.4g} p95~{p['p95']:.4g} p99~{p['p99']:.4g} "
+            f"max={stat.max:.4g}"
+        )
     if snapshot.decisions:
         kinds: dict[str, int] = {}
         for decision in snapshot.decisions:
             kinds[decision.kind] = kinds.get(decision.kind, 0) + 1
         rendered = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
         lines.append(f"  decisions: {rendered}")
+    dropped = snapshot.counter("ledger.dropped")
+    if dropped:
+        lines.append(
+            f"  WARNING: {dropped:.0f} decisions dropped past the "
+            f"{MAX_DECISIONS}-entry ledger cap"
+        )
     return "\n".join(lines)

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..analysis.report import render_kv, render_table
 from ..pipeline.tracing import TraceDocument, read_trace_document
+from .anomaly import rolling_mad_flags
 from .core import TelemetrySnapshot
 
 __all__ = ["TraceReport", "load_report", "render_report", "render_compare"]
@@ -119,6 +120,19 @@ class TraceReport:
         mean = sum(values) / len(values)
         return max(values) / mean if mean else None
 
+    def batch_wall_seconds(self) -> dict[int, float]:
+        """batch id -> wall-clock seconds, from the coordinator's
+        flight-recorder ``pipeline.batch`` spans (empty without a
+        recorded timeline)."""
+        out: dict[int, float] = {}
+        for snapshot in self.document.timelines:
+            if snapshot.process != "coordinator":
+                continue
+            for start, end, batch_id in snapshot.spans_named("pipeline.batch"):
+                if batch_id is not None:
+                    out[batch_id] = end - start
+        return out
+
     @property
     def transport_bytes(self) -> float | None:
         """Total transport bytes (both directions + shm segments)."""
@@ -206,6 +220,71 @@ def _span_section(summary: TelemetrySnapshot) -> list[str]:
     ]
 
 
+def _histogram_section(summary: TelemetrySnapshot) -> list[str]:
+    """Approximate quantiles from the power-of-two histogram buckets."""
+    if not summary.histograms:
+        return []
+    rows = []
+    for name, hist in sorted(summary.histograms.items()):
+        p = hist.percentiles()
+        rows.append([
+            name, hist.count, hist.mean, p["p50"], p["p95"], p["p99"],
+            hist.max,
+        ])
+    return [
+        render_table(
+            ["histogram", "n", "mean", "p50~", "p95~", "p99~", "max"],
+            rows,
+            title="value distributions (quantiles approximated from "
+            "power-of-two buckets)",
+            float_format="{:.4g}",
+        )
+    ]
+
+
+def _anomaly_section(report: TraceReport) -> list[str]:
+    """Rolling-median/MAD outlier flags on the per-batch series.
+
+    Robust to the level shifts a streaming run produces (strategy
+    switches, graph growth): each batch is judged against the median of a
+    trailing window, and deviation is scaled by the window's MAD rather
+    than a standard deviation an outlier could inflate.
+    """
+    events = report.events
+    series: list[tuple[str, str, list[float]]] = [
+        ("update time", "tu", [e.update_time for e in events]),
+        ("total time", "tu",
+         [e.update_time + e.compute_time for e in events]),
+    ]
+    wall = report.batch_wall_seconds()
+    if wall:
+        ordered = sorted(wall)
+        series.append(
+            ("batch wall clock", "s", [wall[b] for b in ordered])
+        )
+        series.append(
+            ("batch throughput", "edges/s",
+             [e.batch_size / wall[e.batch_id] for e in events
+              if e.batch_id in wall and wall[e.batch_id] > 0])
+        )
+    lines = ["anomaly flags (rolling-median / MAD, |z| > 3.5)"]
+    flagged = 0
+    for name, unit, values in series:
+        for flag in rolling_mad_flags(values):
+            flagged += 1
+            lines.append(
+                f"  batch {flag.index}: {name} {flag.value:.4g} {unit} "
+                f"vs rolling median {flag.baseline:.4g} "
+                f"({flag.ratio:.1f}x, z={flag.z:.1f})"
+            )
+    if not flagged:
+        lines.append(
+            f"  none over {len(events)} batches "
+            f"({len(series)} series checked)"
+        )
+    return ["\n".join(lines)]
+
+
 def _counter_section(summary: TelemetrySnapshot) -> list[str]:
     if not summary.counters:
         return []
@@ -275,6 +354,13 @@ def _decision_section(report: TraceReport) -> list[str]:
     lines.append(
         f"  batches executed reordered: {reordered}/{len(events)}"
     )
+    if summary is not None:
+        dropped = summary.counter("ledger.dropped")
+        if dropped:
+            lines.append(
+                f"  WARNING: {dropped:.0f} decisions dropped past the "
+                f"ledger cap — the ledger holds the first entries only"
+            )
     if summary is None:
         lines.append(
             "  (no telemetry summary in trace — v1 trace or telemetry off; "
@@ -286,17 +372,27 @@ def _decision_section(report: TraceReport) -> list[str]:
 def render_report(report: TraceReport) -> str:
     """Render the full single-trace report."""
     doc = report.document
-    sections = [
+    header = (
         f"trace report: {report.label}\n"
         f"  file: {doc.path} (schema v{doc.schema_version}, "
         f"{report.num_batches} batch events)"
-    ]
+    )
+    if doc.timelines:
+        timeline_events = sum(len(s.events) for s in doc.timelines)
+        header += (
+            f"\n  timeline: {timeline_events} flight-recorder events from "
+            f"{len(doc.timelines)} process(es) — export with "
+            f"`repro report ... --timeline out.json`"
+        )
+    sections = [header]
     sections += _modeled_section(report)
     sections += _strategy_section(report)
     if report.summary is not None:
         sections += _span_section(report.summary)
+        sections += _histogram_section(report.summary)
         sections += _counter_section(report.summary)
     sections += _partition_section(report)
+    sections += _anomaly_section(report)
     sections += _decision_section(report)
     return "\n\n".join(sections)
 

@@ -103,7 +103,7 @@ def test_decision_ledger_caps():
         core.MAX_DECISIONS = original
     snap = tel.snapshot()
     assert len(snap.decisions) == 5
-    assert snap.counter("telemetry.decisions_dropped") == 3
+    assert snap.counter("ledger.dropped") == 3
 
 
 # -- null backend -------------------------------------------------------------
@@ -293,6 +293,52 @@ def test_prometheus_textfile_is_atomic(tmp_path):
     content = target.read_text()
     assert "repro_edges_total" in content
     assert not list(target.parent.glob("*.tmp"))
+
+
+# -- histogram quantiles ------------------------------------------------------
+
+def test_histogram_quantiles_from_buckets():
+    tel = Telemetry("full")
+    for value in range(1, 101):  # 1..100
+        tel.observe("h", value)
+    hist = tel.snapshot().histograms["h"]
+    # Bucketed quantiles are approximate: within the right power-of-two
+    # bucket, clamped to observed [min, max].
+    assert hist.quantile(0.0) == hist.min == 1
+    assert hist.quantile(1.0) == hist.max == 100
+    assert 32 <= hist.quantile(0.5) <= 64
+    assert 64 <= hist.quantile(0.95) <= 100
+    assert hist.quantile(0.5) <= hist.quantile(0.95) <= hist.quantile(0.99)
+    p = hist.percentiles()
+    assert set(p) == {"p50", "p95", "p99"}
+    assert p["p50"] == hist.quantile(0.5)
+
+
+def test_histogram_quantile_degenerate_cases():
+    tel = Telemetry("full")
+    tel.observe("single", 7.0)
+    hist = tel.snapshot().histograms["single"]
+    assert hist.quantile(0.5) == 7.0
+    assert hist.percentiles() == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+
+def test_render_summary_includes_percentiles_and_drop_warning():
+    from repro.telemetry import core
+    from repro.telemetry.export import render_summary
+
+    tel = Telemetry("full")
+    for value in (1, 2, 4, 8):
+        tel.observe("sizes", value)
+    original = core.MAX_DECISIONS
+    core.MAX_DECISIONS = 2
+    try:
+        for i in range(5):
+            tel.decision("abr", choice="x", batch_id=i)
+    finally:
+        core.MAX_DECISIONS = original
+    text = render_summary(tel.snapshot())
+    assert "p50~" in text and "p95~" in text and "p99~" in text
+    assert "WARNING" in text and "3" in text
 
 
 # -- math sanity --------------------------------------------------------------

@@ -312,3 +312,31 @@ def test_partition_and_transport_counters_reach_run_telemetry():
         assert counters["transport.bytes_received"] > 0
     finally:
         sharded.close()
+
+
+def test_byte_metering_is_consistent_across_transports():
+    """Identical work over shm and tcp meters comparable traffic: both
+    nonzero, same round-trip count, and shm's pipe bytes strictly smaller
+    because batch arrays ship out-of-band through shared memory."""
+    from repro.telemetry.core import make_telemetry
+
+    def metered(transport):
+        run_tel = make_telemetry("basic")
+        sharded = ShardedGraph(
+            N_VERTICES, 2, transport=transport, run_telemetry=run_tel
+        )
+        try:
+            for batch in _batches():
+                sharded.apply_batch(batch)
+            return dict(run_tel.snapshot().counters)
+        finally:
+            sharded.close()
+
+    shm, tcp = metered("shm"), metered("tcp")
+    for counters in (shm, tcp):
+        assert counters["transport.bytes_sent"] > 0
+        assert counters["transport.bytes_received"] > 0
+    assert shm["transport.round_trips"] == tcp["transport.round_trips"]
+    assert shm.get("transport.shm_bytes", 0) > 0
+    assert "transport.shm_bytes" not in tcp
+    assert tcp["transport.bytes_sent"] > shm["transport.bytes_sent"]
