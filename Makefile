@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke timeline-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke timeline-smoke serve-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,7 +21,7 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint report-smoke timeline-smoke bench-shard test-faults
+test-fast: lint report-smoke timeline-smoke serve-smoke bench-shard test-faults
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
@@ -59,6 +59,19 @@ assert len(tracks) == 3, tracks; \
 assert json.load(open(sys.argv[2]))['traceEvents']" \
 		$$tmp/timeline.json $$tmp/timeline2.json && \
 	rm -rf $$tmp && echo "timeline-smoke: OK"
+
+# Live-ingest service smoke: boot `repro serve` as a subprocess, drive it
+# with 2 concurrent loadgen clients plus a query client, SIGINT it, and
+# assert a graceful drain (admission closed, partial batch flushed,
+# checkpoint written, exit 0).  Then the serving benchmark with the
+# regression gate armed against the committed BENCH_serve.json.
+# PYTHONPATH=src keeps the outer driver import-clean on checkouts where
+# the package isn't pip-installed; the driver re-injects it for the
+# server subprocess.
+serve-smoke:
+	PYTHONPATH=src python -m repro.serve.smoke
+	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_serve.py \
+		--benchmark-only
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -20,6 +20,11 @@ Commands:
   traces; ``--timeline OUT`` re-exports the trace's flight-recorder
   timeline as Chrome trace-event JSON (viewable in Perfetto).
 * ``top`` — live view of an in-flight run via its ``--heartbeat`` file.
+* ``serve`` — long-running live edge-ingest service: TCP line-JSON
+  clients stream edges through multi-tenant admission into CAD-sized
+  micro-batches; queries are answered from the latest snapshot
+  (docs/SERVE.md).
+* ``loadgen`` — synthetic multi-client driver for a running ``serve``.
 * ``cache`` — inspect or clear the on-disk stream cache.
 
 ``run`` and ``characterize`` accept ``--jobs N`` to fan independent cells
@@ -129,6 +134,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_kwargs["checkpoint_every"] = args.every
     try:
         metrics = pipeline.run(config.num_batches, **run_kwargs)
+    except KeyboardInterrupt:
+        # The pipeline stops at a batch boundary on the first Ctrl-C (and
+        # has already written a final checkpoint when --checkpoint is on),
+        # so this is a clean early exit, not a crash: conventional 130.
+        if trace is not None:
+            trace.close()
+        if args.checkpoint:
+            print(
+                "interrupted — progress checkpointed at the last batch "
+                f"boundary in {args.checkpoint}; rerun to resume",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted", file=sys.stderr)
+        return 130
     finally:
         close = getattr(pipeline, "close", None)
         if close is not None:  # sharded pipelines own worker processes
@@ -318,7 +338,12 @@ def _cmd_top(args: argparse.Namespace) -> int:
             return 1
         print(text)
         return 0
+    # The refresh loop draws on the alternate screen buffer so Ctrl-C
+    # hands the terminal back exactly as it was, instead of leaving the
+    # user's scrollback replaced by a cleared screen.  An unreadable or
+    # half-written heartbeat (frame() -> None) renders as "waiting".
     try:
+        sys.stdout.write("\x1b[?1049h")
         while True:
             text = frame()
             # ANSI: clear screen + home, so the view refreshes in place.
@@ -331,6 +356,144 @@ def _cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
+    finally:
+        sys.stdout.write("\x1b[?1049l")
+        sys.stdout.flush()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived live-ingest service (see docs/SERVE.md)."""
+    import asyncio
+    import os
+    import signal
+    from pathlib import Path
+
+    from .serve import ServeServer, ServeSettings
+
+    if getattr(args, "telemetry", None) is None:
+        args.telemetry = "basic"
+    config = RunConfig.from_serve_args(args)
+    settings = ServeSettings.from_env(
+        batch_target=args.serve_batch or args.batch_size,
+        batch_min=args.serve_batch_min,
+        flush_interval=(
+            args.flush_ms / 1000.0 if args.flush_ms is not None else None
+        ),
+        queue_depth=args.queue_depth,
+        max_pending=args.max_pending,
+        fair_share=args.fair_share,
+        rate=args.rate,
+        burst=args.burst,
+        max_delay=args.max_delay,
+    )
+    if args.fixed_batching:
+        settings.adaptive = False
+    if args.checkpoint:
+        settings.checkpoint_dir = args.checkpoint
+        settings.checkpoint_every = args.every
+    monitor = None
+    if args.heartbeat or args.prom:
+        from .telemetry.heartbeat import HeartbeatMonitor
+
+        monitor = HeartbeatMonitor(
+            args.heartbeat or None,
+            prom_path=args.prom or None,
+            prom_labels={"dataset": config.dataset, "mode": config.mode},
+            label=(
+                f"serve {config.dataset} [{config.algorithm}, {config.mode}]"
+            ),
+        )
+
+    async def _main() -> int:
+        server = ServeServer(config, settings, monitor=monitor)
+        host, port = await server.start(args.host, args.port)
+        if args.port_file:
+            # Atomic write: a watching launcher never reads a torn port.
+            target = Path(args.port_file)
+            tmp = target.with_suffix(target.suffix + ".tmp")
+            tmp.write_text(f"{port}\n", encoding="utf-8")
+            os.replace(tmp, target)
+        print(
+            f"serving {config.dataset} [{config.algorithm}, {config.mode}] "
+            f"on {host}:{port} (batch target {settings.batch_target}, "
+            f"pending cap {settings.max_pending})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("draining: admission closed, flushing buffered edges ...",
+              flush=True)
+        await server.drain()
+        final = server._stats()
+        print(
+            render_kv(
+                "serve summary",
+                {
+                    "edges ingested": final["visible_seq"],
+                    "micro-batches": final["batches"],
+                    "queries served": final["queries_served"],
+                    "rejected requests": final["rejected_requests"],
+                    "ingest-to-visible p99 (s)": final[
+                        "ingest_to_visible_s"
+                    ]["p99"],
+                },
+            )
+        )
+        return 0
+
+    return asyncio.run(_main())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running ``repro serve`` with synthetic clients."""
+    import asyncio
+    import json
+
+    from .serve.client import run_loadgen
+
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                args.host,
+                args.port,
+                clients=args.clients,
+                edges=args.edges,
+                submit_size=args.submit_size,
+                seed=args.seed,
+                query=args.query,
+                query_interval=args.query_interval,
+            )
+        )
+    except ConnectionError as exc:
+        print(
+            f"loadgen: cannot reach {args.host}:{args.port} ({exc}); "
+            "is `repro serve` running?",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    summary = {
+        "clients": report["clients"],
+        "edges sent": report["edges_sent"],
+        "wall (s)": report["wall_seconds"],
+        "edges/s": report["edges_per_second"],
+        "requests/s": report["requests_per_second"],
+        "ack p99 (s)": report["ack_latency_s"]["p99"],
+        "visible p99 (s)": report["server"]["ingest_to_visible_s"]["p99"],
+    }
+    if "queries" in report:
+        summary["queries served"] = report["queries"]["served"]
+        summary["query p99 (s)"] = report["queries"]["latency_s"]["p99"]
+    print(render_kv("loadgen", summary))
+    return 0
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -631,6 +794,141 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 5)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="long-running live edge-ingest service (docs/SERVE.md)"
+    )
+    serve.add_argument(
+        "dataset", choices=sorted(DATASETS),
+        help="dataset profile supplying the vertex universe",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default: 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--port-file", metavar="FILE",
+        help="atomically write the bound port here once listening "
+        "(launchers poll this instead of parsing stdout)",
+    )
+    serve.add_argument("--batch-size", type=int, default=10_000,
+                       help="pipeline batch-size knob (cost models)")
+    serve.add_argument("--algorithm", choices=ALGORITHMS, default="pr")
+    serve.add_argument("--mode", choices=sorted(MODES), default="abr_usc")
+    serve.add_argument(
+        "--telemetry", choices=TELEMETRY_LEVELS, default=None,
+        help="instrumentation level (default: basic)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard worker processes for the update phase",
+    )
+    serve.add_argument(
+        "--shard-transport", choices=sorted(SHARD_TRANSPORTS), default=None,
+        metavar="NAME", dest="shard_transport",
+    )
+    serve.add_argument(
+        "--shard-policy", choices=sorted(PARTITION_POLICIES), default=None,
+        metavar="NAME", dest="shard_policy",
+    )
+    serve.add_argument(
+        "--adjacency", choices=sorted(ADJACENCY_FORMATS), default=None,
+    )
+    serve.add_argument(
+        "--serve-batch", type=int, default=None, metavar="EDGES",
+        help="micro-batch target size (default: --batch-size or "
+        "$REPRO_SERVE_BATCH)",
+    )
+    serve.add_argument(
+        "--serve-batch-min", type=int, default=None, metavar="EDGES",
+        help="smallest CAD early-cut batch ($REPRO_SERVE_BATCH_MIN)",
+    )
+    serve.add_argument(
+        "--flush-ms", type=float, default=None, metavar="MS",
+        help="max milliseconds a buffered edge may linger "
+        "($REPRO_SERVE_FLUSH_MS; default: 250)",
+    )
+    serve.add_argument(
+        "--fixed-batching", action="store_true",
+        help="disable the CAD-aware early cut (fixed-size micro-batches)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="bounded hand-off queue length in batches ($REPRO_SERVE_QUEUE)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="EDGES",
+        help="global admitted-but-not-visible cap "
+        "($REPRO_SERVE_MAX_PENDING; default: 200000)",
+    )
+    serve.add_argument(
+        "--fair-share", type=float, default=None, metavar="FRAC",
+        help="fraction of the pending window one tenant may hold "
+        "($REPRO_SERVE_FAIR_SHARE; default: 0.5)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="EPS",
+        help="per-tenant token-bucket rate in edges/s "
+        "($REPRO_SERVE_RATE; default: 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None, metavar="EDGES",
+        help="per-tenant bucket capacity ($REPRO_SERVE_BURST)",
+    )
+    serve.add_argument(
+        "--max-delay", type=float, default=None, metavar="SECONDS",
+        help="rate-limit waits longer than this reject with retry_after "
+        "($REPRO_SERVE_MAX_DELAY; default: 5)",
+    )
+    serve.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint pipeline state into DIR while serving (and on "
+        "graceful drain)",
+    )
+    serve.add_argument(
+        "--every", type=int, default=50, metavar="N",
+        help="micro-batches between checkpoints (default: 50)",
+    )
+    serve.add_argument(
+        "--heartbeat", metavar="FILE",
+        help="atomically rewrite a live heartbeat JSON per micro-batch",
+    )
+    serve.add_argument(
+        "--prom", metavar="FILE",
+        help="refresh a Prometheus textfile every micro-batch",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a running `repro serve` with synthetic clients"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument(
+        "--clients", type=int, default=2,
+        help="concurrent ingest connections (default: 2)",
+    )
+    loadgen.add_argument(
+        "--edges", type=int, default=20_000,
+        help="edges per client (default: 20000)",
+    )
+    loadgen.add_argument(
+        "--submit-size", type=int, default=500,
+        help="edges per request (default: 500)",
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--query", choices=["pagerank_topk", "triangles", "degree"],
+        default=None,
+        help="also run a concurrent query client issuing this query",
+    )
+    loadgen.add_argument(
+        "--query-interval", type=float, default=0.05, metavar="SECONDS",
+    )
+    loadgen.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON (for scripts and benchmarks)",
+    )
+
     character = sub.add_parser("characterize", help="RO trade-off study (Fig. 3 row)")
     character.add_argument("dataset", choices=sorted(DATASETS))
     character.add_argument("--num-batches", type=int, default=8)
@@ -715,6 +1013,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "datasets": _cmd_datasets,
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
         "characterize": _cmd_characterize,
         "hau": _cmd_hau,
         "oca": _cmd_oca,

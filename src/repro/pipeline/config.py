@@ -219,6 +219,34 @@ class RunConfig:
         )
 
     @classmethod
+    def from_serve_args(cls, args) -> "RunConfig":
+        """Build the open-ended live-ingest config for ``repro serve``.
+
+        Serving has no pre-materialized workload: ``num_batches`` stays
+        None and the profile's stream generator is never consulted — the
+        service feeds externally built batches through
+        :meth:`~repro.pipeline.runner.StreamingPipeline.step`'s ``batch``
+        argument.  The dataset only contributes the vertex universe (and
+        the partition-policy stream sample for sharded serving).
+        """
+        return cls(
+            dataset=args.dataset,
+            batch_size=args.batch_size,
+            algorithm=args.algorithm,
+            mode=args.mode,
+            num_batches=None,
+            telemetry=getattr(args, "telemetry", None) or "basic",
+            num_shards=getattr(args, "shards", None) or 1,
+            adjacency=resolve_adjacency_format(
+                getattr(args, "adjacency", None)
+            ),
+            shard_transport=resolve_shard_transport(
+                getattr(args, "shard_transport", None)
+            ),
+            shard_policy=getattr(args, "shard_policy", None) or "mod",
+        )
+
+    @classmethod
     def from_cell_spec(cls, spec: "CellSpec") -> "RunConfig":
         """Lift a workload-matrix cell spec into a full run config."""
         return cls(

@@ -16,6 +16,9 @@ a :class:`BatchContext`.
 
 from __future__ import annotations
 
+import dataclasses
+import signal
+import threading
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -43,6 +46,42 @@ from ..update.result import UpdateResult
 from .metrics import BatchMetrics, RunMetrics
 
 __all__ = ["ALGORITHMS", "BatchContext", "StreamingPipeline"]
+
+
+class _GracefulInterrupt:
+    """Turn the first SIGINT during a run into a batch-boundary stop.
+
+    Installed around :meth:`StreamingPipeline.run`'s loop: the first
+    Ctrl-C sets a flag the loop checks between batches (so the graph is
+    never checkpointed mid-batch); a second Ctrl-C raises
+    ``KeyboardInterrupt`` immediately for a hard abort.  Outside the main
+    thread (where ``signal.signal`` is unavailable) this degrades to a
+    no-op and the interrupt propagates as before.
+    """
+
+    def __init__(self):
+        self.requested = False
+        self._previous = None
+        self._installed = False
+
+    def _handle(self, signum, frame):
+        if self.requested:
+            raise KeyboardInterrupt
+        self.requested = True
+
+    def __enter__(self) -> "_GracefulInterrupt":
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(signal.SIGINT, self._handle)
+                self._installed = True
+            except ValueError:  # pragma: no cover - exotic embedding
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._installed:
+            signal.signal(signal.SIGINT, self._previous)
+        return False
 
 
 @dataclass
@@ -307,12 +346,25 @@ class StreamingPipeline:
             )
 
     # -- public API -------------------------------------------------------------
-    def step(self, final: bool = False) -> BatchMetrics:
+    @property
+    def cursor(self) -> int:
+        """The stream position (batch id) the next :meth:`step` will use."""
+        return self._cursor
+
+    def step(self, final: bool = False, batch: Batch | None = None) -> BatchMetrics:
         """Process exactly one batch and return its metrics.
 
         External drivers call this in their own loop (the pipeline keeps the
         stream cursor and accumulates :attr:`metrics`); pass ``final=True``
         on the stream's last batch so OCA cannot defer its results forever.
+
+        Args:
+            final: this is the stream's last batch.
+            batch: externally supplied batch to process *instead of*
+                generating one from the profile's stream — the open-ended
+                live-ingest mode ``repro serve`` drives (the pipeline then
+                needs no pre-materialized workload; the batch id is
+                re-stamped to the cursor position if it disagrees).
 
         Returns:
             The batch's recorded :class:`~repro.pipeline.metrics.BatchMetrics`.
@@ -323,7 +375,13 @@ class StreamingPipeline:
         tel.set_batch(ctx.index)
         with tel.span("pipeline.batch"):
             with tel.span("stage.generate"):
-                self._stage_generate(ctx)
+                if batch is None:
+                    self._stage_generate(ctx)
+                else:
+                    if batch.batch_id != ctx.index:
+                        batch = dataclasses.replace(batch, batch_id=ctx.index)
+                    ctx.batch = batch
+                    self.compute.ensure(self.graph, ctx.batch)
             with tel.span("stage.update"):
                 self._stage_update(ctx)
             with tel.span("stage.observe"):
@@ -460,27 +518,38 @@ class StreamingPipeline:
             self._cursor = seed_offset
             self.metrics = self._new_metrics()
         since_checkpoint = 0
-        while self._cursor < end:
-            batch_id = self._cursor
-            started = time.perf_counter()
-            self.step(final=self._cursor == end - 1)
-            wall = time.perf_counter() - started
-            since_checkpoint += 1
-            if (
-                checkpoint_dir is not None
-                and checkpoint_every > 0
-                and since_checkpoint >= checkpoint_every
-                and self._cursor < end
-            ):
-                self.save_checkpoint(checkpoint_dir, keep=checkpoint_keep)
-                since_checkpoint = 0
+        with _GracefulInterrupt() as interrupt:
+            while self._cursor < end and not interrupt.requested:
+                batch_id = self._cursor
+                started = time.perf_counter()
+                self.step(final=self._cursor == end - 1)
+                wall = time.perf_counter() - started
+                since_checkpoint += 1
+                if (
+                    checkpoint_dir is not None
+                    and checkpoint_every > 0
+                    and since_checkpoint >= checkpoint_every
+                    and self._cursor < end
+                ):
+                    self.save_checkpoint(checkpoint_dir, keep=checkpoint_keep)
+                    since_checkpoint = 0
+                    if monitor is not None:
+                        monitor.note_checkpoint()
                 if monitor is not None:
-                    monitor.note_checkpoint()
-            if monitor is not None:
-                monitor.beat(
-                    self.telemetry,
-                    batch_id=batch_id,
-                    batch_edges=self.last_batch_edges,
-                    wall_seconds=wall,
-                )
+                    monitor.beat(
+                        self.telemetry,
+                        batch_id=batch_id,
+                        batch_edges=self.last_batch_edges,
+                        wall_seconds=wall,
+                    )
+            if interrupt.requested:
+                # Graceful Ctrl-C path: the loop stopped at a batch
+                # boundary, so the state is consistent — persist it (when
+                # checkpointing is on) before surfacing the interrupt, so
+                # `repro run --checkpoint` keeps the in-flight progress.
+                if checkpoint_dir is not None and since_checkpoint > 0:
+                    self.save_checkpoint(checkpoint_dir, keep=checkpoint_keep)
+                    if monitor is not None:
+                        monitor.note_checkpoint()
+                raise KeyboardInterrupt
         return self.metrics

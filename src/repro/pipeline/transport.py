@@ -163,7 +163,13 @@ class SocketChannel(Channel):
 
     def send(self, obj) -> None:
         data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        self._sock.sendall(_FRAME_HEADER.pack(len(data)) + data)
+        # Two sendall calls instead of concatenating: the header is 8
+        # bytes but `header + data` copies the whole payload, doubling
+        # the transient allocation for multi-megabyte shard batches.
+        # TCP_NODELAY costs nothing here — the kernel still coalesces
+        # back-to-back writes into full segments.
+        self._sock.sendall(_FRAME_HEADER.pack(len(data)))
+        self._sock.sendall(data)
         self.bytes_sent += _FRAME_HEADER.size + len(data)
 
     def _read_exact(self, count: int) -> bytes:

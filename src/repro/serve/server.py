@@ -1,0 +1,769 @@
+"""The ``repro serve`` asyncio TCP server and its pipeline driver thread.
+
+Architecture (one process, two execution domains):
+
+* **Event loop** (asyncio): accepts connections, speaks the line-JSON
+  protocol (one JSON object per line, one reply line per request), runs
+  admission control, appends admitted edges to the
+  :class:`~repro.serve.admission.MicroBatcher` and cuts micro-batches into
+  a bounded hand-off queue.  A full queue is backpressure: the cut waits,
+  the buffer absorbs new edges, and once the global pending window fills
+  the admission gate makes *clients* wait.
+
+* **Driver thread**: pulls cut batches off the queue and feeds them to the
+  existing :class:`~repro.pipeline.runner.StreamingPipeline` via
+  ``step(batch=...)`` — the same five-stage pipeline the batch CLI runs,
+  so everything (ABR/USC/OCA, telemetry, sharding, checkpoints) works
+  unchanged.  Between steps it answers queued queries against the latest
+  completed snapshot, writes periodic checkpoints, releases admission
+  window space, and beats the heartbeat monitor.
+
+Visibility is a watermark: every admitted edge gets a global sequence
+number; ``visible_seq`` advances to a batch's last edge when its step
+completes, and the ``(seq, admit-time)`` markers that fall below the
+watermark become ingest-to-visible latency samples (``stats`` reports
+their rolling p50/p95/p99 — the load generator's headline number).
+
+Graceful drain (SIGINT/SIGTERM or :meth:`ServeServer.drain`): admission
+starts rejecting with ``"draining"``, the partial buffer is flushed as a
+final batch, the driver finishes the queue, writes a final checkpoint,
+and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..pipeline.config import RunConfig
+from ..telemetry.heartbeat import _quantile
+from .admission import AdmissionController, MicroBatcher, PendingBatch
+
+__all__ = [
+    "ServeServer",
+    "ServeSettings",
+    "ServerHandle",
+    "start_server_thread",
+]
+
+#: Sentinel closing the driver's work queue.
+_STOP = object()
+
+#: Rolling window of ingest-to-visible latency samples.
+_LATENCY_WINDOW = 4096
+
+
+def _env(name: str, default, cast):
+    import os
+
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServeSettings:
+    """Service knobs, separate from the pipeline's :class:`RunConfig`.
+
+    Every field has a ``REPRO_SERVE_*`` environment override (applied by
+    :meth:`from_env`; explicit CLI flags win over the environment).
+
+    Attributes:
+        batch_target: micro-batch size cap (edges) — the throughput cut.
+        batch_min: smallest CAD early-cut batch (noise floor).
+        flush_interval: max seconds a buffered edge may linger.
+        adaptive: CAD-aware batch sizing (False = fixed-size cuts).
+        queue_depth: bounded hand-off queue length (batches).
+        max_pending: global admitted-but-not-visible edge cap.
+        fair_share: fraction of ``max_pending`` one tenant may hold.
+        rate: per-tenant token-bucket rate, edges/second (0 = unlimited).
+        burst: per-tenant bucket capacity (None = one second of rate).
+        max_delay: rate-limit waits longer than this reject instead.
+        checkpoint_dir / checkpoint_every / checkpoint_keep: durability
+            (``checkpoint_every`` counts micro-batches; 0 disables).
+        capture: record every admitted edge and batch boundary (the
+            offline-replay parity harness; costs memory, tests only).
+    """
+
+    batch_target: int = 10_000
+    batch_min: int = 512
+    flush_interval: float = 0.25
+    adaptive: bool = True
+    queue_depth: int = 8
+    max_pending: int = 200_000
+    fair_share: float = 0.5
+    rate: float = 0.0
+    burst: float | None = None
+    max_delay: float = 5.0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 3
+    capture: bool = False
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeSettings":
+        """Defaults ← ``REPRO_SERVE_*`` environment ← explicit overrides."""
+        values = {
+            "batch_target": _env("REPRO_SERVE_BATCH", cls.batch_target, int),
+            "batch_min": _env("REPRO_SERVE_BATCH_MIN", cls.batch_min, int),
+            "flush_interval": _env(
+                "REPRO_SERVE_FLUSH_MS", cls.flush_interval * 1000.0, float
+            ) / 1000.0,
+            "queue_depth": _env("REPRO_SERVE_QUEUE", cls.queue_depth, int),
+            "max_pending": _env(
+                "REPRO_SERVE_MAX_PENDING", cls.max_pending, int
+            ),
+            "fair_share": _env(
+                "REPRO_SERVE_FAIR_SHARE", cls.fair_share, float
+            ),
+            "rate": _env("REPRO_SERVE_RATE", cls.rate, float),
+            "burst": _env("REPRO_SERVE_BURST", cls.burst, float),
+            "max_delay": _env("REPRO_SERVE_MAX_DELAY", cls.max_delay, float),
+        }
+        values.update(
+            {k: v for k, v in overrides.items() if v is not None}
+        )
+        return cls(**values)
+
+
+@dataclass
+class _ServeState:
+    """Watermarks and service counters, shared across the two domains."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    admitted_seq: int = 0
+    visible_seq: int = 0
+    batches_done: int = 0
+    queries_served: int = 0
+    edges_rejected_requests: int = 0
+    latencies: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def latency_quantiles(self) -> dict[str, float]:
+        with self.lock:
+            window = list(self.latencies)
+        return {
+            "p50": _quantile(window, 0.50),
+            "p95": _quantile(window, 0.95),
+            "p99": _quantile(window, 0.99),
+            "samples": len(window),
+        }
+
+
+class _PipelineDriver(threading.Thread):
+    """Owns the pipeline: steps batches, answers queries, checkpoints."""
+
+    def __init__(self, server: "ServeServer"):
+        super().__init__(name="repro-serve-driver", daemon=True)
+        self._server = server
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # pragma: no cover - exercised via the server
+        try:
+            self._loop()
+        except BaseException as exc:
+            self.error = exc
+            self._server._driver_failed(exc)
+
+    def _loop(self) -> None:
+        server = self._server
+        while True:
+            self._answer_pending_queries()
+            try:
+                item = server._batch_queue.get(timeout=0.02)
+            except queue.Empty:
+                continue
+            if item is _STOP:
+                break
+            self._apply(item)
+        self._answer_pending_queries()
+        if (
+            server.settings.checkpoint_dir is not None
+            and server.state.batches_done > server._last_checkpoint_batch
+        ):
+            self._checkpoint()
+
+    def _apply(self, pending: PendingBatch) -> None:
+        server = self._server
+        pipeline = server.pipeline
+        started = time.perf_counter()
+        from ..datasets.stream import Batch
+
+        batch = Batch(
+            batch_id=pipeline.cursor,
+            src=pending.src,
+            dst=pending.dst,
+            weight=pending.weight,
+            is_delete=pending.is_delete,
+        )
+        pipeline.step(batch=batch)
+        wall = time.perf_counter() - started
+        now = time.monotonic()
+        state = server.state
+        with state.lock:
+            state.visible_seq = pending.seq_end
+            state.batches_done += 1
+            for __, t_admit in pending.markers:
+                state.latencies.append(max(0.0, now - t_admit))
+            del state.latencies[:-_LATENCY_WINDOW]
+            if server.settings.capture:
+                state.batch_sizes.append(pending.size)
+            batches_done = state.batches_done
+        server.admission.release(pending.tenant_counts)
+        tel = pipeline.telemetry
+        if tel.enabled:
+            tel.count("serve.batches")
+            tel.count("serve.edges", pending.size)
+            tel.count(f"serve.cut.{pending.cut_reason}")
+            tel.gauge("serve.queue_depth", server._batch_queue.qsize())
+            tel.gauge("serve.pending_edges", server.admission.pending_total)
+        settings = server.settings
+        if (
+            settings.checkpoint_dir is not None
+            and settings.checkpoint_every > 0
+            and batches_done - server._last_checkpoint_batch
+            >= settings.checkpoint_every
+        ):
+            self._checkpoint()
+        if server.monitor is not None:
+            server.monitor.beat(
+                tel,
+                batch_id=batch.batch_id,
+                batch_edges=pending.size,
+                wall_seconds=wall,
+                serve=server._serve_heartbeat_section(),
+            )
+
+    def _checkpoint(self) -> None:
+        server = self._server
+        server.pipeline.save_checkpoint(
+            server.settings.checkpoint_dir, keep=server.settings.checkpoint_keep
+        )
+        server._last_checkpoint_batch = server.state.batches_done
+        if server.monitor is not None:
+            server.monitor.note_checkpoint()
+
+    # -- queries --------------------------------------------------------------
+    def _answer_pending_queries(self) -> None:
+        server = self._server
+        while True:
+            try:
+                request, future = server._query_queue.get_nowait()
+            except queue.Empty:
+                return
+            if future.cancelled():
+                continue
+            try:
+                future.set_result(self._answer(request))
+            except Exception as exc:
+                future.set_result(
+                    {"ok": False, "error": "query_failed", "detail": str(exc)}
+                )
+
+    def _answer(self, request: dict) -> dict:
+        server = self._server
+        pipeline = server.pipeline
+        what = request.get("what")
+        reply: dict = {"ok": True, "what": what}
+        if what == "pagerank_topk":
+            if pipeline.algorithm != "pr":
+                return _query_error(
+                    f"pagerank_topk needs algorithm 'pr', serving "
+                    f"{pipeline.algorithm!r}"
+                )
+            engine = getattr(pipeline.compute, "engine", None)
+            if engine is None:
+                reply["ranks"] = []
+            else:
+                values = engine.as_array()
+                k = max(1, min(int(request.get("k", 10)), len(values)))
+                top = np.argpartition(-values, k - 1)[:k]
+                top = top[np.argsort(-values[top], kind="stable")]
+                reply["ranks"] = [
+                    [int(v), float(values[v])] for v in top
+                ]
+        elif what == "triangles":
+            if pipeline.algorithm != "triangles":
+                return _query_error(
+                    f"triangles needs algorithm 'triangles', serving "
+                    f"{pipeline.algorithm!r}"
+                )
+            count = getattr(pipeline.compute, "count", None)
+            reply["count"] = int(count) if count is not None else 0
+        elif what == "degree":
+            try:
+                vertex = int(request.get("vertex", -1))
+            except (TypeError, ValueError):
+                return _query_error("degree needs an integer 'vertex'")
+            if not 0 <= vertex < pipeline.graph.num_vertices:
+                return _query_error(
+                    f"vertex {vertex} outside [0, {pipeline.graph.num_vertices})"
+                )
+            out_adj, in_adj = pipeline.graph.adjacency_views()
+            empty: dict = {}
+            reply["vertex"] = vertex
+            reply["out_degree"] = len(out_adj.get(vertex, empty))
+            reply["in_degree"] = len(in_adj.get(vertex, empty))
+        else:
+            return _query_error(f"unknown query {what!r}")
+        state = server.state
+        with state.lock:
+            state.queries_served += 1
+            reply["watermark"] = {
+                "admitted_seq": state.admitted_seq,
+                "visible_seq": state.visible_seq,
+                "batches": state.batches_done,
+            }
+        tel = pipeline.telemetry
+        if tel.enabled:
+            tel.count("serve.queries")
+        return reply
+
+
+def _query_error(detail: str) -> dict:
+    return {"ok": False, "error": "bad_query", "detail": detail}
+
+
+class ServeServer:
+    """The live ingest service; see the module docstring for the shape.
+
+    Args:
+        config: the pipeline's run configuration (dataset supplies the
+            vertex universe; ``num_batches`` is ignored — serving is
+            open-ended).
+        settings: service knobs (:class:`ServeSettings`).
+        monitor: optional
+            :class:`~repro.telemetry.heartbeat.HeartbeatMonitor` beaten
+            after every applied micro-batch.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        settings: ServeSettings | None = None,
+        *,
+        monitor=None,
+    ):
+        self.config = config
+        self.settings = settings or ServeSettings()
+        self.monitor = monitor
+        self.pipeline = config.build_pipeline()
+        abr = config.abr
+        from ..update.abr import ABRConfig
+
+        abr = abr or ABRConfig()
+        self.batcher = MicroBatcher(
+            target_edges=self.settings.batch_target,
+            min_edges=min(self.settings.batch_min, self.settings.batch_target),
+            flush_interval=self.settings.flush_interval,
+            adaptive=self.settings.adaptive,
+            lam=abr.lam,
+            threshold=abr.threshold,
+        )
+        self.admission = AdmissionController(
+            max_pending=self.settings.max_pending,
+            fair_share=self.settings.fair_share,
+            rate=self.settings.rate,
+            burst=self.settings.burst,
+            max_delay=self.settings.max_delay,
+        )
+        self.state = _ServeState()
+        self._batch_queue: queue.Queue = queue.Queue(
+            maxsize=max(1, self.settings.queue_depth)
+        )
+        self._query_queue: queue.Queue = queue.Queue()
+        self._driver = _PipelineDriver(self)
+        self._server: asyncio.AbstractServer | None = None
+        self._flusher: asyncio.Task | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._last_checkpoint_batch = 0
+        self._clients = 0
+        #: Arrival-order record of every admitted edge (capture mode).
+        self.captured: dict[str, list] | None = (
+            {"src": [], "dst": [], "weight": [], "is_delete": []}
+            if self.settings.capture
+            else None
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind, start the driver thread and flusher; returns (host, port)."""
+        if self._server is not None:
+            raise ConfigurationError("server already started")
+        self._driver.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        self._flusher = asyncio.ensure_future(self._flush_loop())
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: reject new edges, flush, checkpoint, stop.
+
+        Idempotent; safe to call from a signal handler task.  On return
+        every admitted edge is visible, the final checkpoint (when
+        enabled) is on disk, and the driver thread has exited.
+        """
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.admission.start_drain()
+        if self._server is not None:
+            self._server.close()
+        if self._flusher is not None:
+            self._flusher.cancel()
+        if self.batcher.size > 0:
+            await self._enqueue(self.batcher.cut("drain"))
+        await self._put_queue_item(_STOP)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._driver.join)
+        if self._server is not None:
+            await self._server.wait_closed()
+        close = getattr(self.pipeline, "close", None)
+        if close is not None:  # sharded pipelines own worker processes
+            close()
+        self._drained.set()
+
+    def _driver_failed(self, exc: BaseException) -> None:
+        # Driver death must not hang clients: fail queued queries.
+        while True:
+            try:
+                __, future = self._query_queue.get_nowait()
+            except queue.Empty:
+                break
+            if not future.done():
+                future.set_result(
+                    {"ok": False, "error": "driver_failed", "detail": str(exc)}
+                )
+
+    # -- batching -------------------------------------------------------------
+    async def _put_queue_item(self, item) -> None:
+        """Bounded-queue put that never blocks the event loop.
+
+        The driver is the only consumer and the event loop the only
+        producer, so full → poll is race-free backpressure.
+        """
+        while True:
+            if self._driver.error is not None:
+                raise ConfigurationError(
+                    f"pipeline driver died: {self._driver.error!r}"
+                )
+            try:
+                self._batch_queue.put_nowait(item)
+                return
+            except queue.Full:
+                await asyncio.sleep(0.005)
+
+    async def _enqueue(self, pending: PendingBatch) -> None:
+        await self._put_queue_item(pending)
+
+    async def _maybe_cut(self) -> None:
+        reason = self.batcher.cut_due()
+        if reason is not None:
+            await self._enqueue(self.batcher.cut(reason))
+
+    async def _flush_loop(self) -> None:
+        """Time-based cuts for trickling streams (nothing else may fire)."""
+        interval = max(0.01, self.settings.flush_interval / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            if not self._draining:
+                await self._maybe_cut()
+
+    # -- protocol -------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        tenant = f"{peer[0]}:{peer[1]}" if peer else "anonymous"
+        self._clients += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except (ValueError, UnicodeDecodeError):
+                    await self._reply(
+                        writer, {"ok": False, "error": "bad_json"}
+                    )
+                    continue
+                op = request.get("op")
+                if op == "hello":
+                    tenant = str(request.get("tenant") or tenant)
+                    await self._reply(writer, {
+                        "ok": True,
+                        "server": "repro-serve",
+                        "dataset": self.config.dataset,
+                        "algorithm": self.config.algorithm,
+                        "mode": self.config.mode,
+                        "num_vertices": self.pipeline.graph.num_vertices,
+                        "tenant": tenant,
+                    })
+                elif op == "edges":
+                    await self._handle_edges(request, tenant, writer)
+                elif op == "query":
+                    await self._handle_query(request, writer)
+                elif op == "stats":
+                    await self._reply(writer, self._stats())
+                elif op == "flush":
+                    if self.batcher.size > 0 and not self._draining:
+                        await self._enqueue(self.batcher.cut("flush"))
+                    await self._reply(writer, {"ok": True})
+                else:
+                    await self._reply(
+                        writer, {"ok": False, "error": "unknown_op", "op": op}
+                    )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._clients -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+
+    async def _handle_edges(self, request: dict, tenant: str,
+                            writer: asyncio.StreamWriter) -> None:
+        edges = request.get("edges")
+        if not isinstance(edges, list) or not edges:
+            await self._reply(
+                writer, {"ok": False, "error": "bad_edges",
+                         "detail": "edges must be a non-empty list"}
+            )
+            return
+        try:
+            src = np.asarray([e[0] for e in edges], dtype=np.int64)
+            dst = np.asarray([e[1] for e in edges], dtype=np.int64)
+            weight = np.asarray(
+                [e[2] if len(e) > 2 else 1.0 for e in edges], dtype=np.float64
+            )
+            deletes = [bool(e[3]) if len(e) > 3 else False for e in edges]
+        except (TypeError, ValueError, IndexError):
+            await self._reply(
+                writer, {"ok": False, "error": "bad_edges",
+                         "detail": "each edge is [src, dst, weight?, delete?]"}
+            )
+            return
+        nv = self.pipeline.graph.num_vertices
+        lo = int(min(src.min(), dst.min()))
+        hi = int(max(src.max(), dst.max()))
+        if lo < 0 or hi >= nv:
+            await self._reply(
+                writer, {"ok": False, "error": "vertex_out_of_range",
+                         "detail": f"vertex ids must lie in [0, {nv})"}
+            )
+            return
+        n = len(edges)
+        while True:
+            decision = self.admission.admit(tenant, n)
+            if decision.admitted:
+                break
+            if decision.reject:
+                with self.state.lock:
+                    self.state.edges_rejected_requests += 1
+                await self._reply(writer, {
+                    "ok": False,
+                    "error": decision.reason,
+                    "retry_after": round(decision.delay, 4),
+                })
+                return
+            await asyncio.sleep(decision.delay)
+        # Admitted: append + sequence assignment happen synchronously on
+        # the event loop, so the arrival order is the admission order —
+        # the property the offline-replay parity invariant rests on.
+        is_delete = deletes if any(deletes) else None
+        seq_end = self.batcher.append(
+            tenant, src, dst, weight=weight, is_delete=is_delete
+        )
+        with self.state.lock:
+            self.state.admitted_seq = seq_end
+            visible = self.state.visible_seq
+        if self.captured is not None:
+            self.captured["src"].extend(src.tolist())
+            self.captured["dst"].extend(dst.tolist())
+            self.captured["weight"].extend(weight.tolist())
+            self.captured["is_delete"].extend(deletes)
+        await self._maybe_cut()
+        await self._reply(writer, {
+            "ok": True,
+            "accepted": n,
+            "seq": seq_end,
+            "watermark": visible,
+        })
+
+    async def _handle_query(self, request: dict,
+                            writer: asyncio.StreamWriter) -> None:
+        import concurrent.futures
+
+        if self._draining:
+            await self._reply(
+                writer, {"ok": False, "error": "draining"}
+            )
+            return
+        if self._driver.error is not None:
+            await self._reply(writer, {
+                "ok": False, "error": "driver_failed",
+                "detail": str(self._driver.error),
+            })
+            return
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self._query_queue.put((request, future))
+        reply = await asyncio.wrap_future(future)
+        await self._reply(writer, reply)
+
+    def _stats(self) -> dict:
+        state = self.state
+        with state.lock:
+            payload = {
+                "ok": True,
+                "admitted_seq": state.admitted_seq,
+                "visible_seq": state.visible_seq,
+                "lag_edges": state.admitted_seq - state.visible_seq,
+                "batches": state.batches_done,
+                "queries_served": state.queries_served,
+                "rejected_requests": state.edges_rejected_requests,
+                "clients": self._clients,
+                "draining": self._draining,
+            }
+        payload["queue_depth"] = self._batch_queue.qsize()
+        payload["buffer_edges"] = self.batcher.size
+        payload["buffer_cad"] = round(self.batcher.cad, 3)
+        payload["cut_reasons"] = dict(self.batcher.cut_reasons)
+        payload["ingest_to_visible_s"] = self.state.latency_quantiles()
+        payload["admission"] = self.admission.stats()
+        return payload
+
+    def _serve_heartbeat_section(self) -> dict:
+        """The ``serve`` block of the heartbeat payload."""
+        state = self.state
+        with state.lock:
+            section = {
+                "queue_depth": self._batch_queue.qsize(),
+                "pending_edges": self.admission.pending_total,
+                "admitted_seq": state.admitted_seq,
+                "visible_seq": state.visible_seq,
+                "queries_served": state.queries_served,
+                "clients": self._clients,
+            }
+        latency = self.state.latency_quantiles()
+        section["ingest_to_visible_p99"] = latency["p99"]
+        return section
+
+
+# -- in-thread harness (tests, benchmarks, loadgen-managed servers) -----------
+
+
+class ServerHandle:
+    """A server running on a dedicated event-loop thread.
+
+    Attributes:
+        server: the :class:`ServeServer` (its state is safe to *read*
+            after :meth:`stop`).
+        host / port: the bound address.
+    """
+
+    def __init__(self, server: ServeServer, host: str, port: int,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread,
+                 stop_event: asyncio.Event):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._loop = loop
+        self._thread = thread
+        self._stop_event = stop_event
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain gracefully and join the server thread (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog only
+            raise TimeoutError("serve thread did not drain in time")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+
+def start_server_thread(
+    config: RunConfig,
+    settings: ServeSettings | None = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    monitor=None,
+) -> ServerHandle:
+    """Run a :class:`ServeServer` on its own thread; returns its handle.
+
+    The thread owns an event loop running the server until
+    :meth:`ServerHandle.stop` (which drains gracefully).  Startup errors
+    re-raise here rather than being swallowed by the thread.
+    """
+    started = threading.Event()
+    holder: dict = {}
+
+    async def _main() -> None:
+        server = ServeServer(config, settings, monitor=monitor)
+        stop_event = asyncio.Event()
+        try:
+            bound = await server.start(host, port)
+        except BaseException as exc:  # surface bind/driver failures
+            holder["error"] = exc
+            started.set()
+            raise
+        holder.update(
+            server=server, host=bound[0], port=bound[1],
+            loop=asyncio.get_running_loop(), stop_event=stop_event,
+        )
+        started.set()
+        await stop_event.wait()
+        await server.drain()
+
+    def _thread_main() -> None:
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:  # pragma: no cover - surfaced via stop
+            holder.setdefault("error", exc)
+            started.set()
+
+    thread = threading.Thread(
+        target=_thread_main, name="repro-serve", daemon=True
+    )
+    thread.start()
+    started.wait(timeout=60.0)
+    if "error" in holder:
+        thread.join(timeout=5.0)
+        raise holder["error"]
+    if "server" not in holder:
+        raise TimeoutError("serve thread did not start in time")
+    return ServerHandle(
+        holder["server"], holder["host"], holder["port"],
+        holder["loop"], thread, holder["stop_event"],
+    )

@@ -92,11 +92,18 @@ class HeartbeatMonitor:
         self.beats = 0
         self._window: deque = deque(maxlen=max(2, window))
         self._last_checkpoint: float | None = None
+        self._last_checkpoint_mono: float | None = None
         self._last_stage_totals: dict[str, tuple[int, float]] = {}
 
     def note_checkpoint(self) -> None:
-        """Record that a checkpoint was just written (age resets to 0)."""
+        """Record that a checkpoint was just written (age resets to 0).
+
+        The wall-clock stamp is kept for display; the age arithmetic uses
+        the monotonic clock so an NTP step or DST change cannot produce a
+        negative or wildly wrong checkpoint age.
+        """
         self._last_checkpoint = time.time()
+        self._last_checkpoint_mono = time.monotonic()
 
     # -- the per-batch beat --------------------------------------------------
     def _stage_deltas(self, snapshot) -> dict[str, float]:
@@ -114,7 +121,7 @@ class HeartbeatMonitor:
         return deltas
 
     def beat(self, telemetry, *, batch_id: int, batch_edges: int,
-             wall_seconds: float) -> dict:
+             wall_seconds: float, serve: dict | None = None) -> dict:
         """Record one completed batch and rewrite the heartbeat file.
 
         Args:
@@ -124,11 +131,18 @@ class HeartbeatMonitor:
             batch_id: id of the batch that just completed.
             batch_edges: edge events applied by that batch.
             wall_seconds: wall-clock seconds the batch took end to end.
+            serve: optional live-ingest service section (``repro serve``:
+                queue depth, pending edges, watermarks) embedded verbatim.
 
         Returns the payload written (also returned when ``path`` is None,
         so callers can test/forward it).
+
+        The payload carries two clocks: ``ts`` (wall, for humans) and
+        ``mono`` (monotonic, for age arithmetic — same-host readers like
+        ``repro top`` compute staleness from it, immune to clock steps).
         """
         now = time.time()
+        mono = time.monotonic()
         snapshot = telemetry.snapshot() if telemetry.enabled else None
         stages = self._stage_deltas(snapshot)
         self._window.append((batch_edges, wall_seconds))
@@ -143,6 +157,7 @@ class HeartbeatMonitor:
             "label": self.label,
             "pid": os.getpid(),
             "ts": now,
+            "mono": mono,
             "batch_id": batch_id,
             "batches_done": self.beats,
             "total_batches": self.total_batches,
@@ -181,10 +196,12 @@ class HeartbeatMonitor:
             dropped = snapshot.counter("ledger.dropped")
             if dropped:
                 payload["ledger_dropped"] = dropped
+        if serve:
+            payload["serve"] = serve
         if self._last_checkpoint is not None:
             payload["checkpoint"] = {
                 "last_ts": self._last_checkpoint,
-                "age_s": max(0.0, now - self._last_checkpoint),
+                "age_s": max(0.0, mono - self._last_checkpoint_mono),
             }
 
         if self.path is not None:
@@ -206,15 +223,18 @@ class HeartbeatMonitor:
 def read_heartbeat(path) -> dict | None:
     """Load one heartbeat document (accepts the file or its directory).
 
-    Returns ``None`` when no heartbeat exists yet or the file is not
-    valid JSON (writes are atomic replaces, so the latter only happens
-    for files that were never heartbeats at all).
+    Returns ``None`` for anything unreadable: missing file, permission
+    problems, invalid or truncated JSON, undecodable bytes, or valid
+    JSON that is not an object.  The writer's replaces are atomic, so
+    these only arise from files that were never (whole) heartbeats — a
+    watching ``repro top`` must render "waiting", not crash.
     """
     try:
         with open(_resolve(path), encoding="utf-8") as handle:
-            return json.load(handle)
-    except (FileNotFoundError, IsADirectoryError, json.JSONDecodeError):
+            data = json.load(handle)
+    except (OSError, ValueError, UnicodeDecodeError):
         return None
+    return data if isinstance(data, dict) else None
 
 
 def _rate(value: float) -> str:
@@ -231,9 +251,19 @@ def render_heartbeat(data: dict, *, now: float | None = None,
     ``max_age`` flags the run as stalled when the heartbeat timestamp is
     older than that many seconds (the writer beats every batch, so a
     stale file means the run is stuck, killed, or finished).
+
+    Age arithmetic prefers the payload's monotonic stamp (``mono``) when
+    the caller does not supply ``now``: writer and reader run on the same
+    host, so monotonic differences are meaningful and immune to wall-clock
+    steps (NTP, DST) that would otherwise yield negative or inflated ages
+    and spurious STALLED flags.  An explicit ``now`` keeps wall-clock
+    semantics (tests, rendering archived heartbeats).
     """
-    now = time.time() if now is None else now
-    age = max(0.0, now - data.get("ts", now))
+    if now is None and "mono" in data:
+        age = max(0.0, time.monotonic() - data["mono"])
+    else:
+        now = time.time() if now is None else now
+        age = max(0.0, now - data.get("ts", now))
     stalled = max_age is not None and age > max_age
     lines = []
     title = data.get("label") or data.get("run_id") or "run"
@@ -275,6 +305,16 @@ def render_heartbeat(data: dict, *, now: float | None = None,
         parts = [f"{key}={_rate(float(value))}"
                  for key, value in sorted(transport.items())]
         lines.append(f"  transport: {'  '.join(parts)}")
+    serve = data.get("serve") or {}
+    if serve:
+        lag = serve.get("admitted_seq", 0) - serve.get("visible_seq", 0)
+        lines.append(
+            f"  serve: clients={serve.get('clients', 0)} "
+            f"queue={serve.get('queue_depth', 0)} "
+            f"pending={serve.get('pending_edges', 0)} lag={lag} "
+            f"queries={serve.get('queries_served', 0)} "
+            f"p99_visible={serve.get('ingest_to_visible_p99', 0.0):.4f}s"
+        )
     checkpoint = data.get("checkpoint")
     if checkpoint:
         lines.append(f"  checkpoint age: {checkpoint.get('age_s', 0.0):.1f}s")

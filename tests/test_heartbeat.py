@@ -112,6 +112,57 @@ def test_directory_path_resolves_to_heartbeat_json(tmp_path):
     assert read_heartbeat(tmp_path)["batch_id"] == 0
 
 
+def test_checkpoint_age_survives_wall_clock_step(tmp_path, monkeypatch):
+    """An NTP/DST step between checkpoint and beat must not corrupt the
+    reported checkpoint age: the arithmetic runs on the monotonic clock,
+    the wall stamp is display-only."""
+    import repro.telemetry.heartbeat as hb_mod
+
+    clock = {"wall": 1_000_000.0, "mono": 500.0}
+    monkeypatch.setattr(hb_mod.time, "time", lambda: clock["wall"])
+    monkeypatch.setattr(hb_mod.time, "monotonic", lambda: clock["mono"])
+    monitor = HeartbeatMonitor(tmp_path / "hb.json")
+    monitor.note_checkpoint()
+    # The wall clock steps back a whole hour while 5 real seconds pass.
+    clock["wall"] -= 3600.0
+    clock["mono"] += 5.0
+    payload = monitor.beat(
+        NULL_TELEMETRY, batch_id=0, batch_edges=10, wall_seconds=0.01
+    )
+    assert payload["checkpoint"]["age_s"] == pytest.approx(5.0)
+    assert payload["ts"] == clock["wall"]
+    assert payload["mono"] == clock["mono"]
+    # With a forward step the age still tracks real elapsed time.
+    clock["wall"] += 7200.0
+    clock["mono"] += 1.0
+    again = monitor.beat(
+        NULL_TELEMETRY, batch_id=1, batch_edges=10, wall_seconds=0.01
+    )
+    assert again["checkpoint"]["age_s"] == pytest.approx(6.0)
+
+
+def test_render_ages_from_monotonic_stamp(tmp_path, monkeypatch):
+    """`repro top` (no explicit now) ages the frame from the payload's
+    monotonic stamp, so a wall-clock step can't flag a live run STALLED."""
+    import repro.telemetry.heartbeat as hb_mod
+
+    clock = {"wall": 1_000_000.0, "mono": 500.0}
+    monkeypatch.setattr(hb_mod.time, "time", lambda: clock["wall"])
+    monkeypatch.setattr(hb_mod.time, "monotonic", lambda: clock["mono"])
+    monitor = HeartbeatMonitor(tmp_path / "hb.json")
+    monitor.beat(NULL_TELEMETRY, batch_id=0, batch_edges=10, wall_seconds=0.01)
+    data = read_heartbeat(tmp_path / "hb.json")
+    # Wall clock jumps an hour ahead; only 2 real seconds pass.
+    clock["wall"] += 3600.0
+    clock["mono"] += 2.0
+    frame = render_heartbeat(data, max_age=30.0)
+    assert "heartbeat 2.0s old" in frame
+    assert "STALLED" not in frame
+    # Explicit `now` keeps wall semantics for archived heartbeats.
+    archived = render_heartbeat(data, now=data["ts"] + 120.0, max_age=30.0)
+    assert "STALLED" in archived
+
+
 # -- reading + rendering -------------------------------------------------------
 
 def test_read_heartbeat_returns_none_when_absent_or_invalid(tmp_path):
@@ -119,6 +170,25 @@ def test_read_heartbeat_returns_none_when_absent_or_invalid(tmp_path):
     bad = tmp_path / "bad.json"
     bad.write_text("{not json")
     assert read_heartbeat(bad) is None
+
+
+def test_read_heartbeat_tolerates_garbage_and_non_objects(tmp_path):
+    binary = tmp_path / "binary.json"
+    binary.write_bytes(b"\xff\xfe\x00garbage\x00\x80")
+    assert read_heartbeat(binary) is None
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text('{"schema": 1, "ts": 123')
+    assert read_heartbeat(truncated) is None
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert read_heartbeat(empty) is None
+    # Valid JSON that isn't an object is just as unusable for a renderer.
+    scalar = tmp_path / "scalar.json"
+    scalar.write_text("42")
+    assert read_heartbeat(scalar) is None
+    listdoc = tmp_path / "list.json"
+    listdoc.write_text("[1, 2, 3]")
+    assert read_heartbeat(listdoc) is None
 
 
 def test_render_heartbeat_frame(tmp_path):
@@ -149,6 +219,33 @@ def test_top_once_via_cli(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "fb run" in out and "last batch id: 3" in out
     assert main(["top", str(tmp_path / "nope.json"), "--once"]) == 1
+
+
+def test_top_loop_waits_on_corrupt_heartbeat_and_restores_screen(
+    tmp_path, monkeypatch, capsys
+):
+    """The watch loop renders "waiting" (not a crash) over a torn or
+    corrupt heartbeat, and Ctrl-C leaves the terminal on the primary
+    screen buffer with exit 0."""
+    import time as time_mod
+
+    from repro.cli import main
+
+    torn = tmp_path / "hb.json"
+    torn.write_text('{"schema": 1, "ts":')
+    ticks = {"n": 0}
+
+    def interrupt_on_second_tick(_interval):
+        ticks["n"] += 1
+        if ticks["n"] >= 2:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(time_mod, "sleep", interrupt_on_second_tick)
+    assert main(["top", str(torn), "--interval", "0.01"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("\x1b[?1049h")   # alternate screen entered...
+    assert out.endswith("\x1b[?1049l")     # ...and restored on the way out
+    assert "waiting for heartbeat" in out
 
 
 # -- anomaly math --------------------------------------------------------------
@@ -229,3 +326,49 @@ def test_killed_run_leaves_readable_heartbeat_and_trace(tmp_path):
     doc = read_trace_document(trace)
     assert len(doc.events) >= 1  # whatever was flushed before the kill
     assert doc.summary is None  # close() never ran
+
+
+def test_sigint_sharded_run_checkpoints_and_exits_130(tmp_path):
+    """Ctrl-C on `repro run --shards N`: the run stops at a batch
+    boundary, writes a checkpoint (even though --every would not have
+    fired yet), closes the shard runtime, and exits with 130."""
+    hb = tmp_path / "hb.json"
+    ckpt = tmp_path / "ckpt"
+    env = dict(os.environ, PYTHONPATH="src")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "run", "fb",
+            "--batch-size", "200", "--num-batches", "500",
+            "--algorithm", "pr", "--shards", "2",
+            "--shard-transport", "inproc",
+            "--checkpoint", str(ckpt), "--every", "1000",
+            "--heartbeat", str(hb),
+        ],
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.time() + 60.0
+        while time.time() < deadline:
+            data = read_heartbeat(hb)
+            if data is not None and data["batches_done"] >= 2:
+                break
+            if proc.poll() is not None:
+                pytest.fail("run finished before it could be interrupted")
+            time.sleep(0.05)
+        else:
+            pytest.fail("no heartbeat appeared within 60s")
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    assert proc.returncode == 130
+    assert "interrupted" in stderr.decode()
+    assert "progress checkpointed" in stderr.decode()
+    # --every 1000 never fired on its own: only the interrupt path wrote.
+    written = sorted(ckpt.glob("ckpt-*.ckpt"))
+    assert len(written) >= 1

@@ -1,0 +1,444 @@
+"""``repro serve``: admission control, micro-batching, the live server,
+offline-replay parity, queries, and graceful drain.
+
+The units (token bucket, admission gates, batcher cuts) run with injected
+clocks; the end-to-end tests run a real :class:`ServeServer` on its own
+event-loop thread and speak the wire protocol through
+:class:`ServeClient`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.datasets.stream import Batch
+from repro.errors import ConfigurationError
+from repro.pipeline.config import RunConfig
+from repro.serve import (
+    AdmissionController,
+    MicroBatcher,
+    ServeClient,
+    ServeSettings,
+    TokenBucket,
+    start_server_thread,
+)
+
+
+# -- token bucket --------------------------------------------------------------
+
+def test_token_bucket_rate_burst_and_refill():
+    bucket = TokenBucket(rate=100.0, burst=50.0)
+    assert bucket.delay(50, now=0.0) == 0.0
+    bucket.take(50, now=0.0)
+    assert bucket.delay(10, now=0.0) == pytest.approx(0.1)
+    assert bucket.delay(10, now=0.2) == 0.0  # refilled 20 tokens
+    unlimited = TokenBucket(rate=0.0, burst=0.0)
+    assert unlimited.delay(10**9, now=0.0) == 0.0
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate=5.0, burst=0.0)
+
+
+# -- admission gates (injected clock) -----------------------------------------
+
+def test_admission_backpressure_waits_then_releases():
+    ctl = AdmissionController(max_pending=100, fair_share=1.0,
+                              clock=lambda: 0.0)
+    assert ctl.admit("a", 80).admitted
+    blocked = ctl.admit("a", 30)
+    assert not blocked.admitted and not blocked.reject
+    assert blocked.reason == "backpressure" and blocked.delay > 0.0
+    ctl.release({"a": 50})
+    assert ctl.admit("a", 30).admitted
+    assert ctl.pending_total == 60
+
+
+def test_admission_fairness_only_bites_under_contention():
+    ctl = AdmissionController(max_pending=100, fair_share=0.5,
+                              clock=lambda: 0.0)
+    # A lone tenant may exceed its fair share: nobody is starved.
+    assert ctl.admit("a", 70).admitted
+    assert ctl.admit("b", 20).admitted
+    blocked = ctl.admit("b", 40)  # would put b at 60 > the 50-edge cap
+    assert not blocked.admitted and blocked.reason == "fairness"
+    ctl.release({"a": 70})
+    assert ctl.admit("b", 25).admitted  # back under the cap
+
+
+def test_admission_rate_limit_waits_then_rejects_past_max_delay():
+    ctl = AdmissionController(max_pending=10_000, rate=100.0, burst=100.0,
+                              max_delay=1.0, clock=lambda: 0.0)
+    assert ctl.admit("a", 100).admitted  # drains the bucket
+    soon = ctl.admit("a", 50)
+    assert not soon.admitted and not soon.reject
+    assert soon.reason == "rate_limited"
+    assert soon.delay == pytest.approx(0.5)
+    far = ctl.admit("a", 500)
+    assert far.reject and far.reason == "rate_limited" and far.delay > 1.0
+
+
+def test_admission_oversize_drain_and_stats():
+    ctl = AdmissionController(max_pending=10, clock=lambda: 0.0)
+    with pytest.raises(ConfigurationError):
+        ctl.admit("a", 0)
+    big = ctl.admit("a", 11)
+    assert big.reject and big.reason == "too_large"
+    ctl.start_drain()
+    refused = ctl.admit("a", 1)
+    assert refused.reject and refused.reason == "draining"
+    stats = ctl.stats()
+    assert stats["draining"]
+    assert stats["tenants"]["a"]["rejected"] == 1
+
+
+# -- micro-batcher -------------------------------------------------------------
+
+def test_batcher_target_cut_sequences_and_tenant_counts():
+    mb = MicroBatcher(target_edges=10, min_edges=4, flush_interval=1.0,
+                      adaptive=False, clock=lambda: 0.0)
+    assert mb.append("a", [1, 2, 3], [4, 5, 6]) == 3
+    assert mb.cut_due() is None
+    mb.append("b", list(range(7)), list(range(7)))
+    assert mb.cut_due() == "target"
+    batch = mb.cut("target")
+    assert batch.size == 10 and batch.seq_end == 10
+    assert batch.tenant_counts == {"a": 3, "b": 7}
+    assert batch.is_delete is None and batch.cut_reason == "target"
+    assert [seq for seq, _ in batch.markers] == [3, 10]
+    assert mb.size == 0 and mb.cut_reasons == {"target": 1}
+
+
+def test_batcher_flush_cut_is_time_based():
+    clock = {"t": 0.0}
+    mb = MicroBatcher(target_edges=100, min_edges=4, flush_interval=0.5,
+                      clock=lambda: clock["t"])
+    mb.append("a", [1], [2])
+    assert mb.cut_due() is None
+    clock["t"] = 0.6
+    assert mb.cut_due() == "flush"
+
+
+def test_batcher_cad_early_cut_on_hub_concentration():
+    """A buffer whose edges pile onto one hub is already RO-friendly
+    (CAD >= TH), so the batcher cuts before reaching the size target."""
+    mb = MicroBatcher(target_edges=100_000, min_edges=64,
+                      flush_interval=100.0, clock=lambda: 0.0)
+    n = 4096
+    mb.append("a", list(range(n)), [0] * n)  # every edge hits vertex 0
+    assert mb.cad >= mb.threshold
+    assert mb.cut_due() == "cad"
+    flat = MicroBatcher(target_edges=100_000, min_edges=64,
+                        flush_interval=100.0, clock=lambda: 0.0)
+    flat.append("a", list(range(n)), list(range(1, n + 1)))
+    assert flat.cad < flat.threshold
+    assert flat.cut_due() is None
+
+
+def test_batcher_preserves_weights_and_deletes():
+    mb = MicroBatcher(target_edges=10, min_edges=1, adaptive=False,
+                      clock=lambda: 0.0)
+    mb.append("a", [1, 2], [3, 4], weight=[2.0, 3.0],
+              is_delete=[False, True])
+    batch = mb.cut("drain")
+    assert batch.weight.tolist() == [2.0, 3.0]
+    assert batch.is_delete.tolist() == [False, True]
+    with pytest.raises(ConfigurationError):
+        mb.cut("drain")  # buffer is empty again
+
+
+# -- settings ------------------------------------------------------------------
+
+def test_serve_settings_env_defaults_and_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_SERVE_BATCH", "123")
+    monkeypatch.setenv("REPRO_SERVE_RATE", "50")
+    monkeypatch.setenv("REPRO_SERVE_FLUSH_MS", "100")
+    monkeypatch.setenv("REPRO_SERVE_MAX_PENDING", "garbage")  # ignored
+    settings = ServeSettings.from_env(rate=None, queue_depth=4)
+    assert settings.batch_target == 123
+    assert settings.rate == 50.0
+    assert settings.flush_interval == pytest.approx(0.1)
+    assert settings.max_pending == ServeSettings.max_pending
+    assert settings.queue_depth == 4  # explicit override wins
+
+
+# -- live server helpers -------------------------------------------------------
+
+def _config(**overrides) -> RunConfig:
+    base = dict(dataset="fb", batch_size=1_000, algorithm="pr",
+                mode="abr_usc", telemetry="basic")
+    base.update(overrides)
+    return RunConfig(**base)
+
+
+async def _until_visible(client: ServeClient, min_batches: int = 1) -> dict:
+    for _ in range(500):
+        stats = await client.stats()
+        if stats["lag_edges"] == 0 and stats["batches"] >= min_batches:
+            return stats
+        await client.flush()
+        await asyncio.sleep(0.01)
+    raise AssertionError(f"edges never became visible: {stats}")
+
+
+# -- the tentpole invariant: live multi-client ingest == offline replay -------
+
+def test_multi_client_ingest_matches_offline_replay():
+    """N asyncio clients interleaving edges must leave the pipeline in a
+    state bit-identical to the same edges replayed as one offline stream
+    in arrival order with the same batch boundaries."""
+    config = _config()
+    settings = ServeSettings(batch_target=700, batch_min=64,
+                             flush_interval=0.05, capture=True)
+    handle = start_server_thread(config, settings)
+    try:
+        async def drive():
+            clients = [
+                await ServeClient.connect(handle.host, handle.port,
+                                          tenant=f"c{i}")
+                for i in range(3)
+            ]
+            nv = clients[0].hello_info["num_vertices"]
+            rng = np.random.default_rng(11)
+            for _ in range(6):
+                for i, client in enumerate(clients):
+                    n = 100 + 37 * i
+                    src = rng.integers(0, nv, size=n)
+                    dst = rng.integers(0, nv, size=n)
+                    reply = await client.send_edges(
+                        [[int(s), int(d)] for s, d in zip(src, dst)]
+                    )
+                    assert reply["ok"], reply
+            await _until_visible(clients[0])
+            for client in clients:
+                await client.close()
+
+        asyncio.run(drive())
+    finally:
+        handle.stop()
+
+    server = handle.server
+    captured = server.captured
+    sizes = server.state.batch_sizes
+    total = sum(sizes)
+    assert total == len(captured["src"]) == 3 * (100 + 137 + 174) * 2
+    assert server.state.visible_seq == total
+
+    offline = config.build_pipeline()
+    start = 0
+    for index, size in enumerate(sizes):
+        stop = start + size
+        deletes = captured["is_delete"][start:stop]
+        offline.step(batch=Batch(
+            batch_id=index,
+            src=np.asarray(captured["src"][start:stop], dtype=np.int64),
+            dst=np.asarray(captured["dst"][start:stop], dtype=np.int64),
+            weight=np.asarray(captured["weight"][start:stop],
+                              dtype=np.float64),
+            is_delete=np.asarray(deletes) if any(deletes) else None,
+        ))
+        start = stop
+
+    assert offline.metrics == server.pipeline.metrics
+    np.testing.assert_array_equal(
+        offline.compute.engine.as_array(),
+        server.pipeline.compute.engine.as_array(),
+    )
+    assert offline.graph.num_edges == server.pipeline.graph.num_edges
+
+
+# -- protocol: queries, watermark, errors -------------------------------------
+
+def test_queries_watermark_and_protocol_errors():
+    handle = start_server_thread(
+        _config(), ServeSettings(batch_target=1_000, flush_interval=0.02)
+    )
+    try:
+        async def drive():
+            client = await ServeClient.connect(handle.host, handle.port)
+            assert client.hello_info["dataset"] == "fb"
+            reply = await client.send_edges([[0, 1], [1, 2], [2, 0]])
+            assert reply["ok"] and reply["seq"] == 3
+            stats = await _until_visible(client)
+            assert stats["visible_seq"] == 3
+
+            topk = await client.query("pagerank_topk", k=2)
+            assert topk["ok"] and len(topk["ranks"]) == 2
+            assert topk["watermark"]["visible_seq"] == 3
+            ranks = dict((v, r) for v, r in topk["ranks"])
+            assert all(r > 0.0 for r in ranks.values())
+
+            degree = await client.query("degree", vertex=1)
+            assert degree["ok"]
+            assert degree["out_degree"] == 1 and degree["in_degree"] == 1
+
+            wrong = await client.query("triangles")
+            assert not wrong["ok"] and wrong["error"] == "bad_query"
+            assert not (await client.query("nope"))["ok"]
+            bad_vertex = await client.query("degree", vertex=-5)
+            assert not bad_vertex["ok"]
+
+            assert (await client.request({"op": "wat"}))["error"] == (
+                "unknown_op"
+            )
+            empty = await client.request({"op": "edges", "edges": []})
+            assert empty["error"] == "bad_edges"
+            mangled = await client.request(
+                {"op": "edges", "edges": [[0, "x"]]}
+            )
+            assert mangled["error"] == "bad_edges"
+            oob = await client.send_edges([[0, 10**9]])
+            assert oob["error"] == "vertex_out_of_range"
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            line = await client._reader.readline()
+            assert b"bad_json" in line
+            await client.close()
+
+        asyncio.run(drive())
+    finally:
+        handle.stop()
+
+
+def test_triangle_count_query_from_live_snapshot():
+    handle = start_server_thread(
+        _config(algorithm="triangles"),
+        ServeSettings(batch_target=1_000, flush_interval=0.02),
+    )
+    try:
+        async def drive():
+            client = await ServeClient.connect(handle.host, handle.port)
+            reply = await client.send_edges([[0, 1], [1, 2], [2, 0]])
+            assert reply["ok"]
+            await _until_visible(client)
+            count = await client.query("triangles")
+            assert count["ok"] and count["count"] >= 1
+            wrong = await client.query("pagerank_topk")
+            assert not wrong["ok"] and wrong["error"] == "bad_query"
+            await client.close()
+
+        asyncio.run(drive())
+    finally:
+        handle.stop()
+
+
+def test_rate_limited_submission_is_rejected_with_retry_hint():
+    handle = start_server_thread(
+        _config(),
+        ServeSettings(rate=10.0, burst=10.0, max_delay=0.0),
+    )
+    try:
+        async def drive():
+            client = await ServeClient.connect(handle.host, handle.port)
+            # 20 edges against a 10-token bucket needs a 1s wait, which
+            # exceeds max_delay=0: explicit rejection, not silent queuing.
+            reply = await client.send_edges(
+                [[0, v + 1] for v in range(20)]
+            )
+            assert not reply["ok"]
+            assert reply["error"] == "rate_limited"
+            assert reply["retry_after"] > 0.0
+            await client.close()
+
+        asyncio.run(drive())
+    finally:
+        handle.stop()
+
+
+# -- graceful drain ------------------------------------------------------------
+
+def test_drain_flushes_partial_buffer_and_stops_cleanly():
+    """stop() must make every admitted edge visible (a final 'drain' cut
+    flushes the partial buffer), then stop the driver thread."""
+    handle = start_server_thread(
+        _config(),
+        # Nothing would ever cut on its own: huge target, long flush.
+        ServeSettings(batch_target=1_000_000, batch_min=1_000_000,
+                      flush_interval=1_000.0),
+    )
+
+    async def drive():
+        client = await ServeClient.connect(handle.host, handle.port)
+        reply = await client.send_edges([[v, v + 1] for v in range(10)])
+        assert reply["ok"]
+        stats = await client.stats()
+        assert stats["buffer_edges"] == 10 and stats["batches"] == 0
+        await client.close()
+
+    asyncio.run(drive())
+    handle.stop()
+    server = handle.server
+    assert server.state.visible_seq == 10
+    assert server.state.batches_done == 1
+    assert server.batcher.cut_reasons.get("drain") == 1
+    assert server.admission.draining
+    assert not server._driver.is_alive()
+    assert server._driver.error is None
+    handle.stop()  # idempotent
+
+
+# -- heartbeat integration -----------------------------------------------------
+
+def test_serve_heartbeat_carries_service_section(tmp_path):
+    from repro.telemetry.heartbeat import HeartbeatMonitor, read_heartbeat
+
+    monitor = HeartbeatMonitor(tmp_path / "hb.json", label="serve fb")
+    handle = start_server_thread(
+        _config(), ServeSettings(batch_target=50, flush_interval=0.02),
+        monitor=monitor,
+    )
+    try:
+        async def drive():
+            client = await ServeClient.connect(handle.host, handle.port)
+            reply = await client.send_edges([[v, v + 1] for v in range(60)])
+            assert reply["ok"]
+            await _until_visible(client)
+            await client.close()
+
+        asyncio.run(drive())
+    finally:
+        handle.stop()
+    beat = read_heartbeat(tmp_path / "hb.json")
+    assert beat is not None and "mono" in beat
+    serve = beat["serve"]
+    assert serve["visible_seq"] >= 50
+    assert serve["ingest_to_visible_p99"] >= 0.0
+    from repro.telemetry.heartbeat import render_heartbeat
+
+    frame = render_heartbeat(beat, now=beat["ts"])
+    assert "serve:" in frame and "queries=" in frame
+
+
+# -- CLI surface ---------------------------------------------------------------
+
+def test_cli_parser_accepts_serve_and_loadgen():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "fb", "--serve-batch", "500", "--rate", "10",
+         "--checkpoint", "/tmp/ckpt", "--every", "7", "--fixed-batching"]
+    )
+    assert args.command == "serve"
+    assert args.serve_batch == 500 and args.rate == 10.0
+    assert args.every == 7 and args.fixed_batching
+    args = parser.parse_args(
+        ["loadgen", "--port", "1234", "--query", "triangles", "--json"]
+    )
+    assert args.command == "loadgen"
+    assert args.port == 1234 and args.query == "triangles" and args.json
+
+
+def test_run_config_from_serve_args_is_open_ended():
+    import argparse
+
+    args = argparse.Namespace(
+        dataset="fb", batch_size=500, algorithm="pr", mode="abr_usc",
+        telemetry=None, shards=None, adjacency=None, shard_transport=None,
+        shard_policy=None,
+    )
+    config = RunConfig.from_serve_args(args)
+    assert config.num_batches is None
+    assert config.telemetry == "basic"
+    assert config.dataset == "fb" and config.batch_size == 500

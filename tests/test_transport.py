@@ -218,6 +218,53 @@ def test_failed_restore_reaps_workers():
     broken.close()
 
 
+def test_socket_channel_meters_header_plus_payload_without_concat():
+    """SocketChannel.send writes header and payload as two sendall calls
+    (no `header + data` copy of the payload); the metering must still
+    count exactly header + payload bytes and the frame must survive the
+    round trip intact."""
+    import socket as socket_mod
+
+    from repro.pipeline.transport import _FRAME_HEADER, SocketChannel
+
+    import threading
+
+    a, b = socket_mod.socketpair()
+    left, right = SocketChannel(a), SocketChannel(b)
+
+    def roundtrip(sender, receiver, payload):
+        # The payload is bigger than a socketpair buffer, so the receive
+        # must run concurrently or sendall would block forever.
+        box = {}
+
+        def drain():
+            box["frame"] = receiver.recv()
+
+        thread = threading.Thread(target=drain)
+        thread.start()
+        sender.send(payload)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "recv never completed"
+        return box["frame"]
+
+    try:
+        payload = {"arrays": np.arange(50_000, dtype=np.int64), "tag": "x"}
+        expected = _FRAME_HEADER.size + len(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        received = roundtrip(left, right, payload)
+        assert received["tag"] == "x"
+        np.testing.assert_array_equal(received["arrays"], payload["arrays"])
+        assert left.bytes_sent == expected
+        assert right.bytes_received == expected
+        # Metering parity in the other direction too.
+        roundtrip(right, left, payload)
+        assert right.bytes_sent == left.bytes_received == expected
+    finally:
+        left.close()
+        right.close()
+
+
 # -- registry / resolution ----------------------------------------------------
 
 
