@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke timeline-smoke serve-smoke fidelity examples clean
+.PHONY: install test test-fast test-faults lint bench bench-full bench-smoke bench-shard bench-partition report-smoke timeline-smoke serve-smoke tune-smoke fidelity examples clean
 
 install:
 	pip install -e '.[test]'
@@ -21,7 +21,7 @@ lint:
 
 # Lint + parallel test run via pytest-xdist; falls back to serial when the
 # plugin isn't installed.
-test-fast: lint report-smoke timeline-smoke serve-smoke bench-shard test-faults
+test-fast: lint report-smoke timeline-smoke serve-smoke tune-smoke bench-shard test-faults
 	@python -c "import xdist" 2>/dev/null \
 		&& pytest tests/ -n auto \
 		|| { echo "pytest-xdist not installed; running serially"; pytest tests/; }
@@ -72,6 +72,14 @@ serve-smoke:
 	PYTHONPATH=src python -m repro.serve.smoke
 	REPRO_BENCH_ENFORCE=1 pytest benchmarks/test_perf_serve.py \
 		--benchmark-only
+
+# Auto-tuning smoke: a 4-trial `repro tune` random search is killed right
+# after trial 2 hits the journal, then rerun — the resumed search must
+# finish with exactly 4 journaled trials (nothing re-evaluated, nothing
+# skipped) and a best_config.json that round-trips through RunConfig and
+# scores at least the baseline trial.
+tune-smoke:
+	PYTHONPATH=src python -m repro.tune.smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only

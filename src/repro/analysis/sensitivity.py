@@ -5,11 +5,20 @@ qualitative conclusions do not hinge on the exact constants.  This module
 re-runs the RO characterization of representative cells while scaling one
 cost parameter across a grid, and reports whether the reorder-friendly /
 reorder-adverse classification survives.
+
+Sweep cells are independent, so :func:`sweep_parameter` fans them out
+through the fault-isolating executor (``pipeline.executor.map_cells``):
+``jobs > 1`` runs cells in worker processes, and a cell that crashes (a
+worker death, a pathological parameter combination) yields a
+:class:`SensitivityPoint` carrying its :attr:`~SensitivityPoint.error`
+instead of killing the whole Fig. 18-style sweep.  Results are identical to
+the serial path at any job count (each cell is self-contained and seeded).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 
 from ..costs import CostParameters
@@ -22,13 +31,24 @@ __all__ = ["SensitivityPoint", "sweep_parameter", "classification_robustness"]
 
 @dataclass(frozen=True)
 class SensitivityPoint:
-    """One (parameter scale, cell) measurement."""
+    """One (parameter scale, cell) measurement.
+
+    Attributes:
+        error: None for a measured point; otherwise a short
+            ``"ExceptionType: message"`` string describing why this cell
+            failed (its ``ro_speedup`` is NaN in that case).
+    """
 
     parameter: str
     scale: float
     dataset: str
     batch_size: int
     ro_speedup: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def friendly(self) -> bool:
@@ -45,35 +65,64 @@ def _scaled_costs(parameter: str, scale: float) -> CostParameters:
     return dataclasses.replace(base, **{parameter: value})
 
 
+def _sweep_cell(spec) -> SensitivityPoint:
+    """Measure one sweep cell (module-level: runs inside worker processes)."""
+    parameter, scale, profile, batch_size, num_batches = spec
+    cell = characterize_cell(
+        profile, batch_size, num_batches, costs=_scaled_costs(parameter, scale)
+    )
+    return SensitivityPoint(
+        parameter=parameter,
+        scale=scale,
+        dataset=profile.name,
+        batch_size=batch_size,
+        ro_speedup=cell.ro_speedup,
+    )
+
+
 def sweep_parameter(
     parameter: str,
     scales: tuple[float, ...],
     cells: list[tuple[DatasetProfile, int, int]],
+    jobs: int = 1,
 ) -> list[SensitivityPoint]:
     """Characterize ``cells`` under scaled values of one cost parameter.
+
+    Cells run through the fault-isolating executor: with ``jobs > 1`` they
+    execute in worker processes, and any cell that fails is surfaced as an
+    error point (see :attr:`SensitivityPoint.error`) while every other
+    cell's measurement is returned normally.  Point order and values are
+    identical to the serial path regardless of ``jobs``.
 
     Args:
         parameter: a :class:`~repro.costs.CostParameters` field name.
         scales: multiplicative factors applied to the default value.
         cells: (profile, batch_size, num_batches) triples.
+        jobs: worker processes (1 = serial in-process, 0 = all cores).
     """
-    points = []
-    for scale in scales:
-        costs = _scaled_costs(parameter, scale)
-        for profile, batch_size, num_batches in cells:
-            cell = characterize_cell(
-                profile, batch_size, num_batches, costs=costs
-            )
-            points.append(
-                SensitivityPoint(
-                    parameter=parameter,
-                    scale=scale,
-                    dataset=profile.name,
-                    batch_size=batch_size,
-                    ro_speedup=cell.ro_speedup,
-                )
-            )
-    return points
+    from ..pipeline.executor import map_cells
+
+    # Validate the parameter before fanning anything out, so a typo raises
+    # immediately instead of surfacing as N identical per-cell errors.
+    _scaled_costs(parameter, 1.0)
+    specs = [
+        (parameter, scale, profile, batch_size, num_batches)
+        for scale in scales
+        for profile, batch_size, num_batches in cells
+    ]
+
+    def error_point(spec, exc: BaseException) -> SensitivityPoint:
+        _, scale, profile, batch_size, _ = spec
+        return SensitivityPoint(
+            parameter=parameter,
+            scale=scale,
+            dataset=profile.name,
+            batch_size=batch_size,
+            ro_speedup=math.nan,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    return map_cells(_sweep_cell, specs, jobs=jobs, on_error=error_point)
 
 
 def classification_robustness(
@@ -83,11 +132,20 @@ def classification_robustness(
     """Fraction of sweep points whose classification matches expectation.
 
     Args:
-        points: sweep output.
+        points: sweep output (must contain no failed points — a sweep with
+            errors cannot support a robustness claim, so failures raise).
         expected: (dataset, batch_size) -> paper-expected friendliness.
     """
     if not points:
         raise AnalysisError("no sensitivity points supplied")
+    failed = [p for p in points if not p.ok]
+    if failed:
+        cells = ", ".join(
+            f"{p.dataset}@{p.batch_size}x{p.scale:g} ({p.error})" for p in failed
+        )
+        raise AnalysisError(
+            f"{len(failed)} sweep cell(s) failed, robustness is undefined: {cells}"
+        )
     correct = sum(
         point.friendly == expected[(point.dataset, point.batch_size)]
         for point in points

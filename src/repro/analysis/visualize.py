@@ -11,7 +11,7 @@ from collections.abc import Sequence
 
 from ..errors import AnalysisError
 
-__all__ = ["bar_chart", "grouped_bar_chart"]
+__all__ = ["bar_chart", "grouped_bar_chart", "trajectory_chart"]
 
 _FULL = "#"
 
@@ -62,6 +62,49 @@ def bar_chart(
             bar = "".join(padded).rstrip()
         annotation = value_format.format(value)
         lines.append(f"{label.rjust(label_width)}  {bar} {annotation}")
+    return "\n".join(lines)
+
+
+def trajectory_chart(
+    scores: Sequence[float | None],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = "{:.4g}",
+) -> str:
+    """Render an optimization trajectory (one row per trial).
+
+    Scores are min-max normalized into the bar width so objectives of any
+    sign/magnitude render sensibly; a ``None`` score marks a failed trial
+    (``x`` row) and a trial achieving a new best is flagged with ``*``.
+
+    Args:
+        scores: per-trial objective values in trial order (None = failed).
+        title: optional heading.
+        width: character budget for the best trial's bar.
+        value_format: numeric annotation format.
+    """
+    if not scores:
+        raise AnalysisError("nothing to chart")
+    finite = [s for s in scores if s is not None]
+    if not finite:
+        raise AnalysisError("every trial failed; nothing to chart")
+    low, high = min(finite), max(finite)
+    span = high - low
+    label_width = len(str(len(scores) - 1))
+    lines = [title] if title else []
+    best: float | None = None
+    for trial, score in enumerate(scores):
+        label = str(trial).rjust(label_width)
+        if score is None:
+            lines.append(f"{label}  x (failed)")
+            continue
+        fraction = 1.0 if span == 0 else (score - low) / span
+        bar = _FULL * max(1, int(round(fraction * width)))
+        marker = ""
+        if best is None or score > best:
+            best = score
+            marker = " *"
+        lines.append(f"{label}  {bar} {value_format.format(score)}{marker}")
     return "\n".join(lines)
 
 

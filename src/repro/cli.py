@@ -20,6 +20,10 @@ Commands:
   traces; ``--timeline OUT`` re-exports the trace's flight-recorder
   timeline as Chrome trace-event JSON (viewable in Perfetto).
 * ``top`` — live view of an in-flight run via its ``--heartbeat`` file.
+* ``tune`` — auto-tune policy knobs (ABR TH/lambda/n, OCA threshold,
+  batch size, adjacency, ...) over a declared search space with a
+  pluggable optimizer; trials are journaled so a killed search resumes
+  (docs/TUNING.md).
 * ``serve`` — long-running live edge-ingest service: TCP line-JSON
   clients stream edges through multi-tenant admission into CAD-sized
   micro-batches; queries are answered from the latest snapshot
@@ -652,19 +656,29 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         (get_dataset("lj"), 100_000, args.num_batches),
         (get_dataset("wiki"), 100_000, args.num_batches),
     ]
-    points = sweep_parameter(args.parameter, (0.5, 0.75, 1.0, 1.5, 2.0), cells)
+    points = sweep_parameter(
+        args.parameter, (0.5, 0.75, 1.0, 1.5, 2.0), cells, jobs=args.jobs
+    )
     print(
         render_table(
             ["scale", "dataset", "RO speedup", "classification"],
             [
                 [p.scale, p.dataset, p.ro_speedup,
                  "friendly" if p.friendly else "adverse"]
+                if p.ok
+                else [p.scale, p.dataset, "-", f"FAILED: {p.error}"]
                 for p in points
             ],
             title=f"Sensitivity of the RO trade-off to '{args.parameter}'",
         )
     )
-    return 0
+    failed = [p for p in points if not p.ok]
+    if failed:
+        print(
+            f"{len(failed)}/{len(points)} sweep cell(s) failed",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 def _cmd_fidelity(args: argparse.Namespace) -> int:
@@ -691,6 +705,94 @@ def _cmd_fidelity(args: argparse.Namespace) -> int:
     )
     out_of_band = sum(row["status"] == "out-of-band" for row in rows)
     return 1 if out_of_band else 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.visualize import trajectory_chart
+    from .errors import TuneError
+    from .tune import TuneDriver, load_space
+
+    base = RunConfig(
+        dataset=args.dataset,
+        batch_size=args.batch_size,
+        algorithm=args.algorithm,
+        mode=args.mode,
+        use_oca=args.oca,
+        num_batches=args.num_batches,
+    )
+    try:
+        space = load_space(args.space)
+        driver = TuneDriver(
+            space,
+            base,
+            out_dir=args.out,
+            objective=args.objective,
+            optimizer=args.optimizer,
+            trials=args.trials,
+            jobs=args.jobs,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+        )
+        result = driver.run()
+    except TuneError as exc:
+        print(f"tune: {exc}", file=sys.stderr)
+        return 2
+    print(
+        render_table(
+            ["trial", "status", args.objective, "assignment"],
+            [
+                [
+                    t.trial_id,
+                    "ok" if t.ok else "FAILED",
+                    f"{t.score:.6g}" if t.score is not None else "-",
+                    json.dumps(t.assignment, sort_keys=True)
+                    if t.ok
+                    else t.error,
+                ]
+                for t in result.trials
+            ],
+            title=f"tune: {space.name} space, {args.optimizer} search, "
+            f"{args.dataset} @ batch {args.batch_size}",
+        )
+    )
+    print()
+    print(
+        trajectory_chart(
+            [t.score for t in result.trials],
+            title=f"objective trajectory ({result.objective})",
+        )
+    )
+    print()
+    baseline = result.trials[0]
+    details = {
+        "best trial": result.best.trial_id,
+        "best score": result.best.score,
+        "baseline score": baseline.score,
+        "best config": str(driver.best_path),
+        "trajectory": str(driver.trajectory_path),
+        "journal": str(driver.journal_path),
+    }
+    if (
+        baseline.score is not None
+        and result.best.score is not None
+        and baseline.score > 0
+    ):
+        details["improvement over default"] = (
+            f"{result.best.score / baseline.score:.3f}x"
+        )
+    if result.resumed:
+        details["resumed trials"] = result.resumed
+    print(render_kv("search outcome", details))
+    failed = sum(1 for t in result.trials if not t.ok)
+    if failed:
+        print(
+            f"{failed}/{len(result.trials)} trial(s) failed "
+            f"(see {driver.journal_path})",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -957,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sensitivity.add_argument("parameter")
     sensitivity.add_argument("--num-batches", type=int, default=4)
+    sensitivity.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, one per sweep cell (0 = all cores); a "
+        "crashing cell is reported per-cell instead of killing the sweep",
+    )
 
     fidelity = sub.add_parser(
         "fidelity", help="paper-reported vs measured summary"
@@ -999,6 +1106,58 @@ def build_parser() -> argparse.ArgumentParser:
         "this (default: 30)",
     )
 
+    tune = sub.add_parser(
+        "tune", help="auto-tune policy knobs over a declared search space"
+    )
+    tune.add_argument("dataset", choices=sorted(DATASETS))
+    tune.add_argument(
+        "--space", default="demo",
+        help="built-in space name (abr, demo, full) or a JSON space file "
+        "(default: demo)",
+    )
+    tune.add_argument(
+        "--optimizer", default="random",
+        help="search strategy: random, grid, or tpe (default: random)",
+    )
+    tune.add_argument(
+        "--trials", type=int, default=8,
+        help="total trial budget, including the baseline trial 0 "
+        "(default: 8)",
+    )
+    tune.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes evaluating trials (0 = all cores); a "
+        "crashing trial is journaled as failed instead of killing the "
+        "search",
+    )
+    tune.add_argument(
+        "--objective", default="ingest_throughput",
+        help="scoring objective: ingest_throughput, update_time, or "
+        "ro_speedup (default: ingest_throughput)",
+    )
+    tune.add_argument("--batch-size", type=int, default=1_000)
+    tune.add_argument("--num-batches", type=int, default=4)
+    tune.add_argument("--algorithm", choices=ALGORITHMS, default="pr")
+    tune.add_argument("--mode", choices=sorted(MODES), default="abr_usc")
+    tune.add_argument(
+        "--oca", action="store_true", help="enable compute aggregation"
+    )
+    tune.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed (proposal randomness; trial streams keep the "
+        "run seed)",
+    )
+    tune.add_argument(
+        "--out", default="tune-out",
+        help="output directory: journal.jsonl (the resumable trial log), "
+        "trajectory.csv, best_config.json (default: tune-out)",
+    )
+    tune.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint each trial's pipeline every N batches into a "
+        "per-trial subdirectory of OUT/checkpoints (0 = off)",
+    )
+
     cache = sub.add_parser("cache", help="inspect or clear the stream cache")
     cache.add_argument(
         "--clear", action="store_true", help="delete all cached streams"
@@ -1023,6 +1182,7 @@ def main(argv: list[str] | None = None) -> int:
         "fidelity": _cmd_fidelity,
         "report": _cmd_report,
         "top": _cmd_top,
+        "tune": _cmd_tune,
         "cache": _cmd_cache,
     }
     return handlers[args.command](args)

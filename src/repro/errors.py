@@ -66,3 +66,13 @@ class SimulationError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis routine received inputs it cannot interpret."""
+
+
+class TuneError(ReproError):
+    """An auto-tuning search could not be configured, run, or resumed.
+
+    Covers malformed search-space files, dimensions that do not map onto
+    :class:`~repro.pipeline.config.RunConfig`, unknown optimizer or
+    objective names, and trial journals that do not match the search being
+    resumed (different space, optimizer, seed, or trial budget).
+    """

@@ -52,6 +52,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "PipelineCheckpoint",
     "checkpoint_path",
+    "checkpoint_cursor",
     "latest_checkpoint",
 ]
 
@@ -107,6 +108,33 @@ def _check_shard_placement(current_graph, restored_graph) -> None:
 def checkpoint_path(directory: str | Path, cursor: int) -> Path:
     """Canonical file name for a checkpoint taken at stream ``cursor``."""
     return Path(directory) / f"ckpt-{cursor:08d}.ckpt"
+
+
+def checkpoint_cursor(path: str | Path) -> int | None:
+    """The stream cursor encoded in a canonical checkpoint file name.
+
+    Returns None for names that do not carry a decimal cursor.  Recency
+    ordering must use this parsed value, never the raw file name: the
+    canonical name pads cursors to 8 digits, so a cursor >= 10**8 produces
+    a 9-digit name that sorts lexicographically *before* older 8-digit
+    ones (``"1..." < "9..."``) — a purely textual sort would resume from a
+    stale checkpoint and prune the newest.
+    """
+    stem = Path(path).name
+    if not (stem.startswith("ckpt-") and stem.endswith(".ckpt")):
+        return None
+    digits = stem[len("ckpt-"):-len(".ckpt")]
+    return int(digits) if digits.isdigit() else None
+
+
+def _by_cursor(directory: Path) -> list[Path]:
+    """``ckpt-*.ckpt`` entries ordered oldest-cursor-first (numeric)."""
+    entries = [
+        (cursor, path)
+        for path in directory.glob("ckpt-*.ckpt")
+        if (cursor := checkpoint_cursor(path)) is not None
+    ]
+    return [path for _, path in sorted(entries, key=lambda e: (e[0], e[1].name))]
 
 
 @dataclass(frozen=True)
@@ -263,7 +291,11 @@ class PipelineCheckpoint:
         """
         path = self.save(checkpoint_path(directory, self.cursor))
         if keep > 0:
-            entries = sorted(Path(directory).glob("ckpt-*.ckpt"))
+            # Numeric cursor order, not file-name order: past the 8-digit
+            # padding boundary the newest checkpoint sorts first textually,
+            # and pruning "oldest" entries would delete it.  Files without a
+            # parseable cursor are never pruned (they are not ours to age).
+            entries = _by_cursor(Path(directory))
             for stale in entries[:-keep]:
                 try:
                     stale.unlink()
@@ -328,7 +360,18 @@ def latest_checkpoint(
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    for path in sorted(directory.glob("ckpt-*.ckpt"), reverse=True):
+    candidates = list(reversed(_by_cursor(directory)))
+    # Non-canonical names (no parseable cursor) are still attempted, after
+    # every cursor-ordered file, so a hand-saved checkpoint remains usable.
+    candidates += sorted(
+        (
+            path
+            for path in directory.glob("ckpt-*.ckpt")
+            if checkpoint_cursor(path) is None
+        ),
+        reverse=True,
+    )
+    for path in candidates:
         try:
             return PipelineCheckpoint.load(path), path
         except CheckpointError:

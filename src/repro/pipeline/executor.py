@@ -194,15 +194,51 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _run_cell(config) -> CellResult:
+@dataclass(frozen=True)
+class _CellJob:
+    """One cell plus its private checkpoint namespace (picklable).
+
+    ``run_matrix`` wraps configs in jobs when ``checkpoint_root`` is set:
+    every cell checkpoints into (and auto-resumes from) its *own*
+    subdirectory.  Cells sharing one directory would be corrupted by
+    ``save_to_dir``'s keep-pruning — trial A's retention pass would count
+    trial B's checkpoints as "old" and delete B's newest live state.
+    """
+
+    config: object
+    checkpoint_dir: str
+    checkpoint_every: int
+    checkpoint_keep: int
+
+
+def _run_cell(item) -> CellResult:
     """Execute one configured run start to finish (inside a worker process).
 
-    Workers receive a pickled :class:`~repro.pipeline.config.RunConfig` and
-    construct their pipeline through its factory, so the worker-side build
-    is exactly the serial one.
+    Workers receive a pickled :class:`~repro.pipeline.config.RunConfig`
+    (or a :class:`_CellJob` carrying one plus a private checkpoint
+    namespace) and construct their pipeline through its factory, so the
+    worker-side build is exactly the serial one.
     """
+    run_kwargs = {}
+    if isinstance(item, _CellJob):
+        from .checkpoint import latest_checkpoint
+
+        config = item.config
+        found = latest_checkpoint(item.checkpoint_dir)
+        if found is not None:
+            run_kwargs["resume_from"] = found[0]
+        run_kwargs["checkpoint_dir"] = item.checkpoint_dir
+        run_kwargs["checkpoint_every"] = item.checkpoint_every
+        run_kwargs["checkpoint_keep"] = item.checkpoint_keep
+    else:
+        config = item
     pipeline = config.build_pipeline()
-    metrics = pipeline.run(config.num_batches)
+    metrics = pipeline.run(config.num_batches, **run_kwargs)
+    if isinstance(item, _CellJob):
+        # The runner only checkpoints *between* batches (crash recovery);
+        # a finished cell additionally persists its final state so a matrix
+        # rerun over the same root restores it without recomputing batches.
+        pipeline.save_checkpoint(item.checkpoint_dir, keep=item.checkpoint_keep)
     timelines = tuple(pipeline.timeline_snapshots())
     close = getattr(pipeline, "close", None)
     if close is not None:
@@ -534,6 +570,10 @@ def run_matrix(
     *,
     timeout: float | None = None,
     stats: dict | None = None,
+    checkpoint_root: str | None = None,
+    checkpoint_every: int = 5,
+    checkpoint_keep: int = 3,
+    checkpoint_names: Sequence[str] | None = None,
 ) -> list[CellResult]:
     """Run workload cells, ``jobs`` at a time; results in spec order.
 
@@ -548,6 +588,21 @@ def run_matrix(
     :attr:`CellResult.error`) while every other cell's result is returned
     normally.  Pass ``stats`` to collect the executor's retry/timeout
     counters (see :func:`executor_telemetry`).
+
+    Args:
+        checkpoint_root: when set, every cell checkpoints its pipeline
+            state every ``checkpoint_every`` batches into its **own**
+            subdirectory of this root — ``checkpoint_names[i]`` when given,
+            else ``cell-<i>`` — and auto-resumes from the newest checkpoint
+            found there.  The per-cell namespace is load-bearing for
+            correctness, not just hygiene: concurrent cells sharing one
+            directory would have ``save_to_dir``'s keep-pruning delete each
+            other's newest live checkpoints.
+        checkpoint_every: batches between checkpoints (with
+            ``checkpoint_root``).
+        checkpoint_keep: newest checkpoints retained per cell.
+        checkpoint_names: per-cell subdirectory names (must match ``specs``
+            in length); names must be unique.
     """
     from .config import RunConfig
 
@@ -555,15 +610,39 @@ def run_matrix(
         spec if isinstance(spec, RunConfig) else RunConfig.from_cell_spec(spec)
         for spec in specs
     ]
+    items: list = configs
+    if checkpoint_root is not None:
+        if checkpoint_names is None:
+            checkpoint_names = [f"cell-{i:04d}" for i in range(len(configs))]
+        if len(checkpoint_names) != len(configs):
+            raise ConfigurationError(
+                f"checkpoint_names has {len(checkpoint_names)} entries for "
+                f"{len(configs)} cells"
+            )
+        if len(set(checkpoint_names)) != len(checkpoint_names):
+            raise ConfigurationError(
+                "checkpoint_names must be unique: two cells writing into "
+                "one directory would keep-prune each other's checkpoints"
+            )
+        items = [
+            _CellJob(
+                config=config,
+                checkpoint_dir=os.path.join(checkpoint_root, name),
+                checkpoint_every=checkpoint_every,
+                checkpoint_keep=checkpoint_keep,
+            )
+            for config, name in zip(configs, checkpoint_names)
+        ]
 
-    def cell_error(config, exc: BaseException) -> CellResult:
+    def cell_error(item, exc: BaseException) -> CellResult:
+        config = item.config if isinstance(item, _CellJob) else item
         return CellResult.failed(
             config.to_cell_spec(), f"{type(exc).__name__}: {exc}"
         )
 
     return map_cells(
         _run_cell,
-        configs,
+        items,
         jobs=jobs,
         timeout=timeout,
         on_error=cell_error,

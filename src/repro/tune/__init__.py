@@ -1,0 +1,45 @@
+"""Auto-tuning of the streaming-pipeline policy space.
+
+The paper fixes its design parameters (ABR's TH/lambda/n, OCA's overlap
+threshold, USC's hash structure) by hand per Section 6.2.3; this package
+searches them automatically.  A :class:`~repro.tune.space.SearchSpace`
+declares the tunable region over :class:`~repro.pipeline.config.RunConfig`,
+a registered optimizer (:mod:`~repro.tune.optimizers`) proposes trials, and
+the fault-tolerant :class:`~repro.tune.driver.TuneDriver` evaluates them
+through the parallel executor, journaling every trial so a killed search
+resumes where it left off.  Exposed on the CLI as ``repro tune``.
+"""
+
+from .driver import TrialRecord, TuneDriver, TuneResult
+from .objectives import OBJECTIVES, Objective, get_objective, register_objective
+from .optimizers import (
+    OPTIMIZERS,
+    GridSearch,
+    Optimizer,
+    RandomSearch,
+    TPELite,
+    make_optimizer,
+    register_optimizer,
+)
+from .space import BUILTIN_SPACES, Dimension, SearchSpace, load_space
+
+__all__ = [
+    "Dimension",
+    "SearchSpace",
+    "BUILTIN_SPACES",
+    "load_space",
+    "Optimizer",
+    "RandomSearch",
+    "GridSearch",
+    "TPELite",
+    "OPTIMIZERS",
+    "register_optimizer",
+    "make_optimizer",
+    "Objective",
+    "OBJECTIVES",
+    "register_objective",
+    "get_objective",
+    "TrialRecord",
+    "TuneResult",
+    "TuneDriver",
+]

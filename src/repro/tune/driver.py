@@ -1,0 +1,431 @@
+"""Fault-tolerant auto-tuning over the run-config policy space.
+
+:class:`TuneDriver` searches a :class:`~repro.tune.space.SearchSpace` for
+the config maximizing a registered objective, evaluating trials through the
+fault-isolating executor (:func:`~repro.pipeline.executor.run_matrix`):
+
+* **per-trial crash attribution** — a trial whose worker raises, dies, or
+  times out is recorded as a failed trial with its error string; every
+  other trial's result is kept and the search continues;
+* **determinism** — proposals come from per-trial RNGs keyed on
+  ``(seed, trial_id)`` and trial streams reuse the base config's seed, so
+  two searches over the same space/seed evaluate identical configs and
+  scores at any ``jobs`` count;
+* **resume** — every finished trial is appended to ``journal.jsonl``
+  (fsynced, torn-tail tolerant).  Re-running the same search over the same
+  output directory replays the journal (optimizers re-observe past scores)
+  and evaluates only the remaining trial ids, so a killed search continues
+  exactly where it stopped;
+* **fairness** — trial 0 always evaluates the unmodified base config (the
+  incumbent), so the reported best is never worse than the default; when a
+  trial moves ``batch_size``, its ``num_batches`` is recomputed to hold
+  the total edge budget constant, keeping per-edge objectives comparable.
+
+Outputs (under ``out_dir``): ``journal.jsonl`` (append-only trial log),
+``trajectory.csv`` (score and best-so-far per trial), and
+``best_config.json`` (the winning config; round-trips through
+``RunConfig.from_dict``).
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import TuneError
+from ..pipeline.config import RunConfig
+from ..pipeline.executor import run_matrix
+from ..telemetry.core import make_telemetry
+from .objectives import get_objective
+from .optimizers import make_optimizer
+from .space import SearchSpace
+
+__all__ = ["TrialRecord", "TuneResult", "TuneDriver"]
+
+_JOURNAL_VERSION = 1
+
+#: Fault-injection hook for the resume smoke test: when set to N, the
+#: driver hard-exits (``os._exit``) immediately after the N-th trial line
+#: exists in the journal — mid-search, before any summary output — so a
+#: rerun must recover purely from the journal.
+_KILL_ENV = "REPRO_TUNE_KILL_AFTER"
+_KILL_EXIT_CODE = 73
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One evaluated (or failed) trial, as journaled.
+
+    Attributes:
+        trial_id: position in the search (0 = the baseline incumbent).
+        assignment: the searched values (empty for the baseline trial).
+        score: objective value (None when the trial failed).
+        error: failure description (None when the trial succeeded).
+        config: the full evaluated ``RunConfig`` as a dict (round-trips
+            through ``RunConfig.from_dict``).
+    """
+
+    trial_id: int
+    assignment: dict
+    score: float | None
+    error: str | None
+    update_time: float
+    compute_time: float
+    num_batches: int
+    config: dict
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_journal_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["type"] = "trial"
+        return out
+
+    @classmethod
+    def from_journal_dict(cls, data: dict) -> "TrialRecord":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one search.
+
+    Attributes:
+        trials: every trial in id order (journaled + fresh).
+        best: the highest-scoring successful trial.
+        best_config: ``best``'s config, lifted back into ``RunConfig``.
+        resumed: trials recovered from a pre-existing journal.
+        telemetry: the driver's ``tune.*`` counters, when instrumented.
+    """
+
+    trials: tuple[TrialRecord, ...]
+    best: TrialRecord
+    best_config: RunConfig
+    objective: str
+    resumed: int
+    telemetry: object | None = None
+
+
+class TuneDriver:
+    """Run one auto-tuning search end to end.
+
+    Args:
+        space: the search space.
+        base: the incumbent config trials derive from (also trial 0).
+        out_dir: journal/trajectory/best-config directory (created).
+        objective: registered objective name (higher is better).
+        optimizer: registered optimizer name.
+        trials: total trial budget, including the baseline trial.
+        jobs: worker processes for trial evaluation (1 = serial).
+        seed: search seed (proposal randomness only — trial runs keep the
+            base config's stream seed so every trial sees the same edges).
+        telemetry: driver instrumentation level for ``tune.*`` counters.
+        checkpoint_every: when > 0, each trial run checkpoints its pipeline
+            every that many batches into a per-trial subdirectory of
+            ``out_dir/checkpoints`` (namespaced per trial id — see
+            ``run_matrix(checkpoint_root=...)``) and auto-resumes from it.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        base: RunConfig,
+        *,
+        out_dir: str | Path,
+        objective: str = "ingest_throughput",
+        optimizer: str = "random",
+        trials: int = 8,
+        jobs: int = 1,
+        seed: int = 0,
+        telemetry: str = "basic",
+        checkpoint_every: int = 0,
+    ):
+        if trials < 1:
+            raise TuneError(f"trials must be >= 1, got {trials}")
+        if base.num_batches is None:
+            raise TuneError(
+                "tuning needs a bounded workload: set base.num_batches"
+            )
+        self.space = space
+        self.base = base
+        self.out_dir = Path(out_dir)
+        self.objective = get_objective(objective)
+        self.optimizer_name = optimizer
+        self.trials = trials
+        self.jobs = jobs
+        self.seed = seed
+        self.checkpoint_every = checkpoint_every
+        self.telemetry = make_telemetry(telemetry)
+        self.journal_path = self.out_dir / "journal.jsonl"
+        self.trajectory_path = self.out_dir / "trajectory.csv"
+        self.best_path = self.out_dir / "best_config.json"
+
+    # -- journal --------------------------------------------------------------
+    def _meta(self) -> dict:
+        """The search identity a journal must match to be resumable.
+
+        The trial budget is deliberately excluded: re-running with a higher
+        ``--trials`` extends a finished search instead of invalidating it.
+        """
+        return {
+            "type": "meta",
+            "version": _JOURNAL_VERSION,
+            "space": self.space.to_dict(),
+            "base": self.base.to_dict(),
+            "objective": self.objective.name,
+            "optimizer": self.optimizer_name,
+            "seed": self.seed,
+        }
+
+    def _load_journal(self) -> dict[int, TrialRecord]:
+        """Parse an existing journal; {} when none exists.
+
+        The final line may be torn (the writer was killed mid-append) and
+        is then ignored; corruption anywhere else — or a meta line naming a
+        different search — raises :class:`TuneError` rather than silently
+        mixing two searches' trials.
+        """
+        if not self.journal_path.exists():
+            return {}
+        lines = self.journal_path.read_text().splitlines()
+        records: dict[int, TrialRecord] = {}
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail from a mid-append kill
+                raise TuneError(
+                    f"corrupt tune journal {self.journal_path} "
+                    f"(line {index + 1}): {exc}"
+                ) from exc
+            if data.get("type") == "meta":
+                expected = self._meta()
+                if data != expected:
+                    raise TuneError(
+                        f"journal {self.journal_path} records a different "
+                        f"search (space/base/objective/optimizer/seed "
+                        f"mismatch); point --out at a fresh directory"
+                    )
+                continue
+            if data.get("type") == "trial":
+                record = TrialRecord.from_journal_dict(data)
+                records[record.trial_id] = record
+        return records
+
+    def _append_journal(self, payload: dict) -> None:
+        with open(self.journal_path, "a") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _maybe_die(self, recorded_trials: int) -> None:
+        kill_after = int(os.environ.get(_KILL_ENV, "0") or "0")
+        if kill_after > 0 and recorded_trials >= kill_after:
+            os._exit(_KILL_EXIT_CODE)
+
+    # -- trial construction ---------------------------------------------------
+    def _trial_config(self, assignment: dict) -> RunConfig:
+        """Materialize one trial's config with fairness normalizations.
+
+        * **edge budget** — when the assignment moves ``batch_size``, the
+          trial's ``num_batches`` is recomputed so every trial ingests (as
+          close as integer arithmetic allows) the same total edges as the
+          base run, keeping per-edge objectives comparable;
+        * **instrumentation** — uninstrumented bases are bumped to
+          ``basic`` telemetry so objectives can read exact edge counts and
+          the ``update.alt.*`` counterfactual counters.
+        """
+        config = self.space.apply(self.base, assignment)
+        updates: dict = {}
+        if config.batch_size != self.base.batch_size:
+            edge_budget = self.base.batch_size * self.base.num_batches
+            updates["num_batches"] = max(
+                1, round(edge_budget / config.batch_size)
+            )
+        if config.telemetry == "off":
+            updates["telemetry"] = "basic"
+        return dataclasses.replace(config, **updates) if updates else config
+
+    # -- the search loop ------------------------------------------------------
+    def run(self) -> TuneResult:
+        tel = self.telemetry
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        records = self._load_journal()
+        resumed = len(records)
+        if not self.journal_path.exists() or not resumed:
+            # (Re)state the search identity at the head of a fresh journal.
+            self.journal_path.write_text("")
+            self._append_journal(self._meta())
+        optimizer = make_optimizer(
+            self.optimizer_name, self.space,
+            seed=self.seed, trials=self.trials,
+        )
+        for trial_id in sorted(records):
+            record = records[trial_id]
+            optimizer.tell(trial_id, record.assignment, record.score)
+        if tel.enabled and resumed:
+            tel.count("tune.trials.resumed", resumed)
+
+        wave_size = max(1, self.jobs) if self.jobs else os.cpu_count() or 1
+        next_id = 0
+        exhausted = False
+        while next_id < self.trials and not exhausted:
+            wave: list[tuple[int, dict, RunConfig]] = []
+            while len(wave) < wave_size and next_id < self.trials:
+                trial_id = next_id
+                next_id += 1
+                if trial_id in records:
+                    continue
+                if trial_id == 0:
+                    assignment: dict | None = {}
+                else:
+                    assignment = optimizer.ask(trial_id)
+                    if assignment is None:
+                        exhausted = True
+                        if tel.enabled:
+                            tel.count("tune.exhausted")
+                        break
+                try:
+                    config = self._trial_config(assignment)
+                except TuneError:
+                    raise
+                except Exception as exc:  # invalid proposal → failed trial
+                    record = TrialRecord(
+                        trial_id=trial_id,
+                        assignment=assignment,
+                        score=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                        update_time=0.0,
+                        compute_time=0.0,
+                        num_batches=0,
+                        config={},
+                    )
+                    self._record(records, optimizer, record, tel)
+                    continue
+                wave.append((trial_id, assignment, config))
+            if not wave:
+                continue
+            checkpoint_kwargs = {}
+            if self.checkpoint_every > 0:
+                checkpoint_kwargs = {
+                    "checkpoint_root": str(self.out_dir / "checkpoints"),
+                    "checkpoint_every": self.checkpoint_every,
+                    "checkpoint_names": [
+                        f"trial-{trial_id:06d}" for trial_id, _, _ in wave
+                    ],
+                }
+            results = run_matrix(
+                [config for _, _, config in wave],
+                jobs=self.jobs,
+                **checkpoint_kwargs,
+            )
+            for (trial_id, assignment, config), result in zip(wave, results):
+                record = self._score_trial(trial_id, assignment, config, result)
+                self._record(records, optimizer, record, tel)
+
+        trials = tuple(records[i] for i in sorted(records))
+        successes = [t for t in trials if t.ok and t.score is not None]
+        if not successes:
+            raise TuneError(
+                f"all {len(trials)} trials failed; see {self.journal_path}"
+            )
+        best = max(successes, key=lambda t: t.score)
+        best_config = RunConfig.from_dict(best.config)
+        if tel.enabled:
+            tel.gauge("tune.best_score", best.score)
+            tel.gauge("tune.best_trial", best.trial_id)
+        self._write_trajectory(trials)
+        self._write_best(best)
+        return TuneResult(
+            trials=trials,
+            best=best,
+            best_config=best_config,
+            objective=self.objective.name,
+            resumed=resumed,
+            telemetry=tel.snapshot() if tel.enabled else None,
+        )
+
+    def _score_trial(self, trial_id: int, assignment: dict,
+                     config: RunConfig, result) -> TrialRecord:
+        if result is None or not result.ok:
+            error = result.error if result is not None else "trial lost"
+        else:
+            try:
+                score = self.objective.score(result, config)
+                if not math.isfinite(score):
+                    raise TuneError(f"objective returned {score}")
+                return TrialRecord(
+                    trial_id=trial_id,
+                    assignment=assignment,
+                    score=score,
+                    error=None,
+                    update_time=result.update_time,
+                    compute_time=result.compute_time,
+                    num_batches=result.num_batches,
+                    config=config.to_dict(),
+                )
+            except TuneError as exc:
+                error = str(exc)
+        return TrialRecord(
+            trial_id=trial_id,
+            assignment=assignment,
+            score=None,
+            error=error,
+            update_time=0.0,
+            compute_time=0.0,
+            num_batches=0,
+            config=config.to_dict(),
+        )
+
+    def _record(self, records: dict, optimizer, record: TrialRecord,
+                tel) -> None:
+        records[record.trial_id] = record
+        self._append_journal(record.to_journal_dict())
+        optimizer.tell(record.trial_id, record.assignment, record.score)
+        if tel.enabled:
+            tel.count("tune.trials")
+            if not record.ok:
+                tel.count("tune.trials.failed")
+        self._maybe_die(len(records))
+
+    # -- outputs --------------------------------------------------------------
+    def _write_trajectory(self, trials: tuple[TrialRecord, ...]) -> None:
+        best_so_far = -math.inf
+        with open(self.trajectory_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["trial_id", "ok", "score", "best_so_far", "assignment"]
+            )
+            for trial in trials:
+                if trial.ok and trial.score is not None:
+                    best_so_far = max(best_so_far, trial.score)
+                writer.writerow([
+                    trial.trial_id,
+                    int(trial.ok),
+                    "" if trial.score is None else repr(trial.score),
+                    "" if best_so_far == -math.inf else repr(best_so_far),
+                    json.dumps(trial.assignment, sort_keys=True),
+                ])
+
+    def _write_best(self, best: TrialRecord) -> None:
+        # Round-trip before writing: the artifact must rebuild the run.
+        RunConfig.from_dict(best.config)
+        payload = {
+            "objective": self.objective.name,
+            "score": best.score,
+            "trial_id": best.trial_id,
+            "assignment": best.assignment,
+            "config": best.config,
+        }
+        self.best_path.write_text(json.dumps(payload, indent=2, sort_keys=True))

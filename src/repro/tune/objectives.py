@@ -1,0 +1,133 @@
+"""Trial-scoring objectives: higher is always better.
+
+An objective turns one evaluated trial — the worker's
+:class:`~repro.pipeline.executor.CellResult` plus the exact
+:class:`~repro.pipeline.config.RunConfig` it ran — into a single float the
+optimizer maximizes.  All scores are per-edge or ratio quantities so trials
+with different batch sizes stay comparable (the driver additionally holds
+the total edge budget constant across trials; see
+``TuneDriver._trial_config``).
+
+Built-ins:
+
+* ``ingest_throughput`` — edges ingested per modeled time unit over the
+  whole run (update + compute);
+* ``update_time`` — negated modeled update time per edge (maximizing it
+  minimizes the paper's headline update-phase cost);
+* ``ro_speedup`` — the run's speedup over the always-baseline
+  counterfactual, computed from the engine's ``update.alt.baseline``
+  telemetry counter (requires an instrumented run; the driver bumps
+  trial telemetry to ``basic`` automatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import TuneError
+
+__all__ = ["Objective", "OBJECTIVES", "register_objective", "get_objective"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A named scoring function with its metadata.
+
+    Attributes:
+        name: registry key (``--objective`` value).
+        fn: ``(result, config) -> float`` — higher is better.
+        requires_telemetry: True if scoring reads the trial's telemetry
+            snapshot (the driver then instruments trial runs).
+        description: one-line summary for ``repro tune`` help output.
+    """
+
+    name: str
+    fn: Callable
+    requires_telemetry: bool
+    description: str
+
+    def score(self, result, config) -> float:
+        return self.fn(result, config)
+
+
+OBJECTIVES: dict[str, Objective] = {}
+
+
+def register_objective(name: str, *, requires_telemetry: bool = False,
+                       description: str = ""):
+    """Function decorator adding a scoring function to the registry."""
+
+    def decorate(fn):
+        OBJECTIVES[name] = Objective(
+            name=name,
+            fn=fn,
+            requires_telemetry=requires_telemetry,
+            description=description or (fn.__doc__ or "").strip(),
+        )
+        return fn
+
+    return decorate
+
+
+def get_objective(name: str) -> Objective:
+    if name not in OBJECTIVES:
+        raise TuneError(
+            f"unknown objective {name!r}; registered: {sorted(OBJECTIVES)}"
+        )
+    return OBJECTIVES[name]
+
+
+def _edges(result, config) -> float:
+    """Edges the trial actually ingested (telemetry-exact when available)."""
+    snapshot = result.telemetry
+    if snapshot is not None:
+        counted = snapshot.counter("update.edges")
+        if counted > 0:
+            return counted
+    return float(config.batch_size * result.num_batches)
+
+
+@register_objective(
+    "ingest_throughput",
+    description="edges ingested per modeled time unit (update + compute)",
+)
+def ingest_throughput(result, config) -> float:
+    total = result.total_time
+    if total <= 0:
+        raise TuneError(
+            f"trial reported non-positive total time ({total}); cannot score"
+        )
+    return _edges(result, config) / total
+
+
+@register_objective(
+    "update_time",
+    description="negated modeled update time per edge (maximize = minimize)",
+)
+def update_time(result, config) -> float:
+    edges = _edges(result, config)
+    if edges <= 0:
+        raise TuneError("trial ingested no edges; cannot score update_time")
+    return -result.update_time / edges
+
+
+@register_objective(
+    "ro_speedup",
+    requires_telemetry=True,
+    description="update speedup over the always-baseline counterfactual",
+)
+def ro_speedup(result, config) -> float:
+    snapshot = result.telemetry
+    if snapshot is None:
+        raise TuneError(
+            "ro_speedup needs an instrumented trial (telemetry >= basic) — "
+            "the update.alt.baseline counter is missing"
+        )
+    baseline = snapshot.counter("update.alt.baseline")
+    if baseline <= 0 or result.update_time <= 0:
+        raise TuneError(
+            "ro_speedup is undefined: baseline counterfactual "
+            f"{baseline} / actual update time {result.update_time}"
+        )
+    return baseline / result.update_time

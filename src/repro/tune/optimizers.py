@@ -1,0 +1,235 @@
+"""Pluggable search strategies for the auto-tuning driver.
+
+Optimizers follow a minimal ask/tell protocol: the driver calls
+:meth:`Optimizer.ask` with a trial id to get the next assignment (or None
+when the strategy is exhausted) and :meth:`Optimizer.tell` with each
+finished trial's score.  Strategies register by name via
+:func:`register_optimizer`, so external code can add its own without
+touching the driver.
+
+Every strategy is deterministic given ``(seed, history)``: proposal
+randomness comes from a per-trial RNG keyed on ``(seed, trial_id)``, never
+from global state, so a resumed search — the driver replays the journal
+through :meth:`tell` and asks for the remaining trial ids — proposes
+exactly what the uninterrupted search would have.
+
+Built-ins:
+
+* ``random`` — independent uniform draws from the space;
+* ``grid`` — full-factorial sweep sized to the trial budget;
+* ``tpe`` — a dependency-free TPE-style model-guided strategy: splits
+  observed trials into good/bad by score quantile, samples candidates near
+  good assignments, and keeps the candidate whose per-dimension Parzen
+  likelihood ratio (good vs bad) is highest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..errors import TuneError
+from .space import SearchSpace
+
+__all__ = [
+    "Optimizer",
+    "OPTIMIZERS",
+    "register_optimizer",
+    "make_optimizer",
+    "RandomSearch",
+    "GridSearch",
+    "TPELite",
+]
+
+OPTIMIZERS: dict[str, type] = {}
+
+
+def register_optimizer(name: str):
+    """Class decorator adding an optimizer to the registry under ``name``."""
+
+    def decorate(cls):
+        cls.name = name
+        OPTIMIZERS[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_optimizer(name: str, space: SearchSpace, *, seed: int = 0,
+                   trials: int = 16) -> "Optimizer":
+    """Instantiate a registered optimizer by name."""
+    if name not in OPTIMIZERS:
+        raise TuneError(
+            f"unknown optimizer {name!r}; registered: {sorted(OPTIMIZERS)}"
+        )
+    return OPTIMIZERS[name](space, seed=seed, trials=trials)
+
+
+class Optimizer:
+    """Base ask/tell strategy over one :class:`SearchSpace`.
+
+    Args:
+        space: the space proposals are drawn from.
+        seed: search seed — all proposal randomness derives from it.
+        trials: the search's total trial budget (including the driver's
+            baseline trial 0), letting budget-aware strategies size
+            themselves.
+    """
+
+    name = "base"
+
+    def __init__(self, space: SearchSpace, *, seed: int = 0, trials: int = 16):
+        self.space = space
+        self.seed = seed
+        self.trials = trials
+        #: (trial_id, assignment, score) triples in tell order; score is
+        #: None for failed trials.
+        self.history: list[tuple[int, dict, float | None]] = []
+
+    def _rng(self, trial_id: int) -> random.Random:
+        """Per-trial RNG: resume-safe because it never depends on call order."""
+        return random.Random(f"repro-tune:{self.seed}:{trial_id}")
+
+    def ask(self, trial_id: int) -> dict | None:
+        """Propose the assignment for ``trial_id`` (None = exhausted).
+
+        Trial ids start at 1 — the driver reserves trial 0 for the
+        unmodified base config (the incumbent every search must beat).
+        """
+        raise NotImplementedError
+
+    def tell(self, trial_id: int, assignment: dict,
+             score: float | None) -> None:
+        """Record one finished trial (``score`` None when it failed)."""
+        self.history.append((trial_id, assignment, score))
+
+    def _scored_history(self) -> list[tuple[dict, float]]:
+        return [
+            (assignment, score)
+            for _, assignment, score in self.history
+            if score is not None and math.isfinite(score)
+        ]
+
+
+@register_optimizer("random")
+class RandomSearch(Optimizer):
+    """Independent uniform samples; the canonical cheap baseline."""
+
+    def ask(self, trial_id: int) -> dict | None:
+        return self.space.sample(self._rng(trial_id))
+
+
+@register_optimizer("grid")
+class GridSearch(Optimizer):
+    """Full-factorial sweep sized to the trial budget, then exhausted.
+
+    The grid is fixed at construction (the smallest factorial covering
+    ``trials - 1`` proposals), so a resumed search walks the identical
+    sequence.  ``ask`` returns None past the last grid point.
+    """
+
+    def __init__(self, space: SearchSpace, *, seed: int = 0, trials: int = 16):
+        super().__init__(space, seed=seed, trials=trials)
+        self._assignments = space.grid_assignments(max(1, trials - 1))
+
+    def ask(self, trial_id: int) -> dict | None:
+        index = trial_id - 1  # trial 0 is the driver's baseline
+        if index < 0 or index >= len(self._assignments):
+            return None
+        return self._assignments[index]
+
+
+@register_optimizer("tpe")
+class TPELite(Optimizer):
+    """Dependency-free tree-of-Parzen-estimators-style guided search.
+
+    Until ``startup`` scored trials exist it behaves like random search.
+    After that, each ask: (1) split history into the top ``gamma`` fraction
+    (good) and the rest (bad); (2) draw ``candidates`` assignments by
+    perturbing randomly chosen good assignments (gaussian in the
+    dimension's search coordinates, bandwidth = range/8; categorical keeps
+    the good value with probability 0.75); (3) return the candidate
+    maximizing the summed per-dimension log likelihood ratio
+    ``l_good / l_bad`` under gaussian/counting Parzen estimators.
+    """
+
+    startup = 4
+    gamma = 0.35
+    candidates = 24
+
+    # -- search-coordinate helpers (log dims optimize in ln space) -----------
+    @staticmethod
+    def _coord(dimension, value) -> float:
+        return math.log(value) if dimension.log else float(value)
+
+    @staticmethod
+    def _uncoord(dimension, x: float):
+        value = math.exp(x) if dimension.log else x
+        return dimension.clip(value)
+
+    @classmethod
+    def _bandwidth(cls, dimension) -> float:
+        lo = cls._coord(dimension, dimension.low)
+        hi = cls._coord(dimension, dimension.high)
+        return (hi - lo) / 8.0
+
+    def _likelihood(self, dimension, value, observed: list) -> float:
+        """Parzen density of ``value`` under a set of observed values."""
+        if dimension.kind == "categorical":
+            hits = sum(1 for v in observed if v == value)
+            return (hits + 1.0) / (len(observed) + len(dimension.choices))
+        x = self._coord(dimension, value)
+        h = self._bandwidth(dimension)
+        total = sum(
+            math.exp(-0.5 * ((x - self._coord(dimension, v)) / h) ** 2)
+            for v in observed
+        )
+        return total / len(observed) + 1e-12
+
+    def _perturb(self, dimension, value, rng: random.Random):
+        if dimension.kind == "categorical":
+            if rng.random() < 0.75:
+                return value
+            return dimension.choices[rng.randrange(len(dimension.choices))]
+        x = self._coord(dimension, value)
+        x += rng.gauss(0.0, self._bandwidth(dimension))
+        return self._uncoord(dimension, x)
+
+    def ask(self, trial_id: int) -> dict | None:
+        rng = self._rng(trial_id)
+        # Model only complete assignments — the driver's baseline trial 0
+        # carries an empty one (it runs the base config verbatim).
+        scored = [
+            (assignment, score)
+            for assignment, score in self._scored_history()
+            if all(d.name in assignment for d in self.space.dimensions)
+        ]
+        if len(scored) < self.startup:
+            return self.space.sample(rng)
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        n_good = max(1, math.ceil(self.gamma * len(scored)))
+        good = [assignment for assignment, _ in scored[:n_good]]
+        bad = [assignment for assignment, _ in scored[n_good:]] or good
+        best, best_ratio = None, -math.inf
+        for _ in range(self.candidates):
+            anchor = good[rng.randrange(len(good))]
+            candidate = {
+                d.name: self._perturb(d, anchor[d.name], rng)
+                for d in self.space.dimensions
+            }
+            ratio = sum(
+                math.log(
+                    self._likelihood(
+                        d, candidate[d.name], [a[d.name] for a in good]
+                    )
+                )
+                - math.log(
+                    self._likelihood(
+                        d, candidate[d.name], [a[d.name] for a in bad]
+                    )
+                )
+                for d in self.space.dimensions
+            )
+            if ratio > best_ratio:
+                best, best_ratio = candidate, ratio
+        return best

@@ -1,0 +1,119 @@
+"""End-to-end tune smoke: ``python -m repro.tune.smoke`` (make tune-smoke).
+
+Runs a real ``repro tune`` subprocess twice over one output directory:
+
+1. a 4-trial random search with ``REPRO_TUNE_KILL_AFTER=2`` — the driver
+   hard-exits right after the second trial is journaled, mid-search;
+2. the identical command without the kill hook — it must resume from the
+   journal and finish the remaining trials.
+
+Asserts the resume contract: the journal holds **exactly 4** trial lines
+(ids 0..3 — nothing re-evaluated, nothing skipped), the killed run's two
+trials carry the scores the resumed run reports, ``best_config.json``
+round-trips through :class:`~repro.pipeline.config.RunConfig` and scores at
+least the baseline trial, and ``trajectory.csv`` has one row per trial.
+This is the CI gate for the auto-tuning path — spaces, optimizers, the
+fault-tolerant driver, the journal, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from ..pipeline.config import RunConfig
+from .driver import _KILL_EXIT_CODE
+
+TRIALS = 4
+KILL_AFTER = 2
+
+
+def _tune_command(out_dir: Path) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "tune", "fb",
+        "--batch-size", "500",
+        "--num-batches", "3",
+        "--trials", str(TRIALS),
+        "--optimizer", "random",
+        "--seed", "3",
+        "--out", str(out_dir),
+    ]
+
+
+def _journal_trials(out_dir: Path) -> list[dict]:
+    lines = (out_dir / "journal.jsonl").read_text().splitlines()
+    rows = [json.loads(line) for line in lines if line.strip()]
+    return [row for row in rows if row.get("type") == "trial"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-tune-smoke-") as tmp:
+        out_dir = Path(tmp) / "search"
+        command = _tune_command(out_dir)
+
+        env = dict(os.environ, REPRO_TUNE_KILL_AFTER=str(KILL_AFTER))
+        killed = subprocess.run(command, env=env, capture_output=True, text=True)
+        assert killed.returncode == _KILL_EXIT_CODE, (
+            f"expected the kill hook to exit {_KILL_EXIT_CODE}, got "
+            f"{killed.returncode}\nstderr: {killed.stderr}"
+        )
+        after_kill = _journal_trials(out_dir)
+        assert len(after_kill) == KILL_AFTER, (
+            f"journal should hold {KILL_AFTER} trials after the kill, "
+            f"found {len(after_kill)}"
+        )
+        print(f"PASS kill: search died after trial {KILL_AFTER - 1} "
+              f"with {len(after_kill)} journaled trials")
+
+        env = {k: v for k, v in os.environ.items()
+               if k != "REPRO_TUNE_KILL_AFTER"}
+        resumed = subprocess.run(command, env=env, capture_output=True,
+                                 text=True)
+        assert resumed.returncode == 0, (
+            f"resumed search failed ({resumed.returncode}):\n{resumed.stderr}"
+        )
+
+        trials = _journal_trials(out_dir)
+        assert len(trials) == TRIALS, (
+            f"expected exactly {TRIALS} journaled trials after resume "
+            f"(no re-evaluation, no skips), found {len(trials)}"
+        )
+        assert [t["trial_id"] for t in trials] == list(range(TRIALS)), (
+            f"trial ids out of order: {[t['trial_id'] for t in trials]}"
+        )
+        for early, late in zip(after_kill, trials):
+            assert early == late, (
+                f"resume rewrote trial {early['trial_id']}: "
+                f"{early} != {late}"
+            )
+        print(f"PASS resume: exactly {TRIALS} trials, "
+              f"pre-kill records untouched")
+
+        best = json.loads((out_dir / "best_config.json").read_text())
+        RunConfig.from_dict(best["config"])  # must round-trip
+        baseline = next(t for t in trials if t["trial_id"] == 0)
+        assert baseline["score"] is not None, "baseline trial failed"
+        assert best["score"] >= baseline["score"], (
+            f"best {best['score']} below the default config's "
+            f"{baseline['score']}"
+        )
+        print(f"PASS best: score {best['score']:.6g} >= baseline "
+              f"{baseline['score']:.6g}, config round-trips")
+
+        with open(out_dir / "trajectory.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == TRIALS, (
+            f"trajectory.csv has {len(rows)} rows for {TRIALS} trials"
+        )
+        print("PASS trajectory: one CSV row per trial")
+    print("tune smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -153,7 +153,7 @@ class UpdateEngine:
             ),
         }
 
-    def _record_telemetry(self, stats, strategy, decision) -> None:
+    def _record_telemetry(self, stats, strategy, decision, timings) -> None:
         """Counters and ledger entries for one ingested batch.
 
         Purely observational: reads the already-computed stats/decision and
@@ -166,6 +166,13 @@ class UpdateEngine:
         tel.count("update.batches")
         tel.count("update.edges", stats.batch_size)
         tel.count(f"update.strategy.{strategy}")
+        # Cumulative modeled makespan of every *software* strategy on every
+        # batch, chosen or not.  ``update.alt.baseline`` is what the run
+        # would have cost under always-baseline, which lets consumers (e.g.
+        # the tune objectives) compute an RO/policy speedup from a single
+        # run's snapshot instead of re-running the counterfactual.
+        for label, timing in timings.items():
+            tel.count(f"update.alt.{label}", timing.makespan)
         cad_value = decision.cad.value if decision and decision.cad else None
         if strategy in (STRATEGY_RO, STRATEGY_RO_USC):
             clusters = reorder_cluster_counts(stats)
@@ -230,7 +237,7 @@ class UpdateEngine:
             timing = hau_result.timing
         else:
             timing = timings[strategy]
-        self._record_telemetry(stats, strategy, decision)
+        self._record_telemetry(stats, strategy, decision, timings)
         instrumentation = decision.instrumentation if decision else 0.0
         # Structure maintenance (e.g. edge-log archiving) is paid by the
         # batch no matter which update strategy executed.

@@ -53,6 +53,46 @@ def test_robustness_requires_points():
         classification_robustness([], {})
 
 
+def test_sweep_parallel_identical_to_serial(flat_profile, skewed_profile):
+    """The executor-routed sweep must be bit-identical to the serial path:
+    same points, same order, at any job count."""
+    cells = [(flat_profile, 500, 2), (skewed_profile, 5_000, 2)]
+    serial = sweep_parameter("lock_base", (0.5, 1.0, 2.0), cells, jobs=1)
+    parallel = sweep_parameter("lock_base", (0.5, 1.0, 2.0), cells, jobs=2)
+    assert parallel == serial
+
+
+def test_sweep_isolates_crashing_cell(flat_profile, monkeypatch):
+    """One cell failing yields an error point; the others still measure."""
+    import repro.analysis.sensitivity as sensitivity_mod
+
+    real = sensitivity_mod.characterize_cell
+
+    def explode_on_double_scale(profile, batch_size, num_batches, **kwargs):
+        if kwargs["costs"].lock_base > 30.0:  # the scale=2.0 cell
+            raise RuntimeError("injected cell crash")
+        return real(profile, batch_size, num_batches, **kwargs)
+
+    monkeypatch.setattr(
+        sensitivity_mod, "characterize_cell", explode_on_double_scale
+    )
+    points = sweep_parameter(
+        "lock_base", (1.0, 2.0), [(flat_profile, 500, 2)], jobs=1
+    )
+    assert len(points) == 2
+    assert points[0].ok and points[0].ro_speedup > 0
+    assert not points[1].ok
+    assert "injected cell crash" in points[1].error
+    with pytest.raises(AnalysisError, match="sweep cell"):
+        classification_robustness(points, {(flat_profile.name, 500): False})
+
+
+def test_sweep_unknown_parameter_raises_before_fanout(flat_profile):
+    """A typo'd parameter raises once, up front — not N per-cell errors."""
+    with pytest.raises(AnalysisError, match="unknown cost parameter"):
+        sweep_parameter("warp_factor", (1.0,), [(flat_profile, 500, 2)], jobs=2)
+
+
 # -- experiment store --------------------------------------------------------
 
 

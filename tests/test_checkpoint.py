@@ -119,6 +119,57 @@ def test_retention_prunes_old_checkpoints(tmp_path):
     assert names == ["ckpt-00000006.ckpt", "ckpt-00000008.ckpt"]
 
 
+def _checkpoint_at_cursor(cursor):
+    """A valid checkpoint object whose header claims stream ``cursor``."""
+    pipeline = CONFIG.build_pipeline()
+    pipeline.run(2)
+    base = PipelineCheckpoint.capture(pipeline)
+    return dataclasses.replace(base, cursor=cursor)
+
+
+def test_latest_checkpoint_numeric_past_padding_boundary(tmp_path):
+    """Cursor ordering is numeric: a 9-digit cursor sorts lexicographically
+    *before* 8-digit ones (``"1..." < "9..."``), which used to make resume
+    pick the stale checkpoint once a stream crossed 10**8 edges."""
+    old = _checkpoint_at_cursor(99_999_999)
+    new = dataclasses.replace(old, cursor=100_000_000)
+    old.save_to_dir(tmp_path)
+    new.save_to_dir(tmp_path)
+    found = latest_checkpoint(tmp_path)
+    assert found is not None
+    checkpoint, path = found
+    assert checkpoint.cursor == 100_000_000
+    assert path.name == "ckpt-100000000.ckpt"
+
+
+def test_retention_past_padding_boundary_keeps_newest(tmp_path):
+    """keep-pruning must never delete the numerically newest checkpoint,
+    even when its longer name sorts first textually."""
+    base = _checkpoint_at_cursor(99_999_998)
+    for cursor in (99_999_998, 99_999_999, 100_000_000):
+        dataclasses.replace(base, cursor=cursor).save_to_dir(tmp_path, keep=2)
+    names = sorted(p.name for p in tmp_path.glob("ckpt-*.ckpt"))
+    assert names == ["ckpt-100000000.ckpt", "ckpt-99999999.ckpt"]
+
+
+def test_retention_never_prunes_non_canonical_names(tmp_path):
+    """Files matching the glob but without a parseable cursor are not ours
+    to age out; they also stay loadable (after all canonical candidates)."""
+    base = _checkpoint_at_cursor(4)
+    foreign = tmp_path / "ckpt-manual.ckpt"
+    base.save(foreign)
+    for cursor in (5, 6, 7):
+        dataclasses.replace(base, cursor=cursor).save_to_dir(tmp_path, keep=1)
+    names = sorted(p.name for p in tmp_path.glob("ckpt-*.ckpt"))
+    assert names == ["ckpt-00000007.ckpt", "ckpt-manual.ckpt"]
+    checkpoint, path = latest_checkpoint(tmp_path)
+    assert path.name == "ckpt-00000007.ckpt"
+    for canonical in tmp_path.glob("ckpt-0*.ckpt"):
+        canonical.unlink()
+    checkpoint, path = latest_checkpoint(tmp_path)
+    assert path == foreign and checkpoint.cursor == 4
+
+
 # -- validation -------------------------------------------------------------
 def test_config_mismatch_rejected(tmp_path):
     pipeline = CONFIG.build_pipeline()
@@ -210,6 +261,91 @@ def test_kill_and_resume_bit_identical(tmp_path, adjacency):
     metrics = resumed.run(config.num_batches, resume_from=checkpoint)
     assert metrics == expected
     assert metrics.batches == expected.batches  # per-batch rows, exact
+
+
+# -- per-cell checkpoint namespacing in run_matrix --------------------------
+def test_run_matrix_namespaces_checkpoints_per_cell(tmp_path):
+    """Every matrix cell checkpoints into its own subdirectory; results
+    match the checkpoint-free run exactly, and no cell's retention pass
+    can see (let alone prune) another cell's files."""
+    from repro.pipeline.executor import run_matrix
+
+    configs = [
+        dataclasses.replace(CONFIG, num_batches=6),
+        dataclasses.replace(CONFIG, batch_size=300, num_batches=6),
+    ]
+    plain = run_matrix(configs, jobs=1)
+    root = tmp_path / "trials"
+    checkpointed = run_matrix(
+        configs,
+        jobs=1,
+        checkpoint_root=str(root),
+        checkpoint_every=2,
+        checkpoint_names=["trial-000000", "trial-000001"],
+    )
+    assert checkpointed == plain
+    for name in ("trial-000000", "trial-000001"):
+        found = latest_checkpoint(root / name)
+        assert found is not None
+        assert found[0].cursor == 6
+
+
+def test_run_matrix_two_concurrent_writers_keep_pruning(tmp_path):
+    """Two cells checkpointing concurrently (jobs=2, keep=1, every batch)
+    under one root each end with their *own* newest checkpoint alive —
+    the failure mode of a shared directory is one writer's keep-pruning
+    deleting the other's live checkpoint."""
+    from repro.pipeline.executor import run_matrix
+
+    configs = [
+        dataclasses.replace(CONFIG, num_batches=8),
+        dataclasses.replace(CONFIG, seed=11, num_batches=8),
+    ]
+    root = tmp_path / "shared-root"
+    results = run_matrix(
+        configs,
+        jobs=2,
+        checkpoint_root=str(root),
+        checkpoint_every=1,
+        checkpoint_keep=1,
+    )
+    assert all(r.ok for r in results)
+    for index in range(2):
+        directory = root / f"cell-{index:04d}"
+        files = sorted(directory.glob("ckpt-*.ckpt"))
+        assert len(files) == 1  # keep=1 honoured within the namespace
+        checkpoint, _ = latest_checkpoint(directory)
+        assert checkpoint.cursor == 8  # the newest state survived
+
+
+def test_run_matrix_auto_resumes_from_namespace(tmp_path):
+    """A rerun over an already-checkpointed root restores each cell's
+    final state instead of recomputing, and returns identical results."""
+    from repro.pipeline.executor import run_matrix
+
+    configs = [dataclasses.replace(CONFIG, num_batches=6)]
+    root = tmp_path / "resume-root"
+    first = run_matrix(
+        configs, jobs=1, checkpoint_root=str(root), checkpoint_every=2
+    )
+    # The rerun resumes from cursor 6 == num_batches: zero batches execute,
+    # and the restored metrics reproduce the first run bit-identically.
+    again = run_matrix(
+        configs, jobs=1, checkpoint_root=str(root), checkpoint_every=2
+    )
+    assert again == first
+
+
+def test_run_matrix_rejects_duplicate_checkpoint_names(tmp_path):
+    from repro.errors import ConfigurationError
+    from repro.pipeline.executor import run_matrix
+
+    with pytest.raises(ConfigurationError, match="unique"):
+        run_matrix(
+            [CONFIG, CONFIG],
+            checkpoint_root=str(tmp_path),
+            checkpoint_names=["same", "same"],
+        )
 
 
 def test_cli_checkpoint_resume(tmp_path, capsys):

@@ -1,0 +1,137 @@
+"""Stream-cache concurrency: parallel processes sharing one cache directory.
+
+The cache's write path is mkstemp + ``os.replace`` (atomic on POSIX), so N
+processes racing to populate the same entry must each observe either a
+fully formed ``.npz`` or a miss they repair themselves — never a torn read,
+never a corrupted entry.  These tests run *real* worker processes (the
+executor's ``mp_context``) against one shared ``REPRO_CACHE_DIR`` and
+assert the streams every worker saw are bit-identical to the generator's.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import get_dataset
+from repro.datasets.stream_cache import cached_batches
+from repro.pipeline.executor import map_cells
+
+pytestmark = pytest.mark.faults
+
+PROFILE_NAME = "fb"
+BATCH_SIZE = 400
+NUM_BATCHES = 5
+SEED = 11
+
+
+def _batch_fingerprints(batches) -> list[tuple]:
+    """Hashable content digest of every batch (order-sensitive)."""
+    out = []
+    for batch in batches:
+        out.append((
+            batch.batch_id,
+            batch.size,
+            int(np.asarray(batch.src, dtype=np.int64).sum()),
+            int(np.asarray(batch.dst, dtype=np.int64).sum()),
+            float(np.asarray(batch.weight, dtype=np.float64).sum()),
+            None if batch.is_delete is None else int(batch.is_delete.sum()),
+        ))
+    return out
+
+
+def _read_stream_through_cache(spec) -> list[tuple]:
+    """Worker: point the cache at the shared dir, read the stream, digest it.
+
+    ``cache_dir()`` consults ``REPRO_CACHE_DIR`` at call time, so setting
+    it in the worker works under fork and spawn alike.
+    """
+    cache_root, worker_seed = spec
+    os.environ["REPRO_CACHE_DIR"] = cache_root
+    os.environ["REPRO_STREAM_CACHE"] = "1"
+    profile = get_dataset(PROFILE_NAME)
+    batches = list(
+        cached_batches(profile, BATCH_SIZE, NUM_BATCHES, seed=worker_seed)
+    )
+    return _batch_fingerprints(batches)
+
+
+def test_parallel_populate_same_entry_is_torn_free(tmp_path, monkeypatch):
+    """Eight processes race to materialize the *same* stream entry."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_STREAM_CACHE", "1")
+    specs = [(str(tmp_path), SEED)] * 8
+    results = map_cells(_read_stream_through_cache, specs, jobs=4)
+
+    # Every worker — whether it generated, raced the rename, or read the
+    # winner's file — saw the exact generator stream.
+    profile = get_dataset(PROFILE_NAME)
+    expected = _batch_fingerprints(
+        list(profile.generator(seed=SEED).batches(BATCH_SIZE, NUM_BATCHES))
+    )
+    for result in results:
+        assert result == expected
+
+    # The race settles into exactly one well-formed entry: no duplicate
+    # entries, no leaked mkstemp temporaries, and the survivor replays.
+    entries = list((tmp_path / "streams").glob("*.npz"))
+    assert len(entries) == 1
+    assert not list((tmp_path / "streams").glob("*.tmp"))
+    replay = list(
+        cached_batches(profile, BATCH_SIZE, NUM_BATCHES, seed=SEED)
+    )
+    assert _batch_fingerprints(replay) == expected
+
+
+def test_parallel_distinct_entries_do_not_collide(tmp_path, monkeypatch):
+    """Workers writing *different* entries under one dir stay independent."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_STREAM_CACHE", "1")
+    seeds = [20, 21, 22, 23]
+    specs = [(str(tmp_path), seed) for seed in seeds]
+    results = map_cells(_read_stream_through_cache, specs, jobs=4)
+
+    profile = get_dataset(PROFILE_NAME)
+    for seed, result in zip(seeds, results):
+        expected = _batch_fingerprints(
+            list(profile.generator(seed=seed).batches(BATCH_SIZE, NUM_BATCHES))
+        )
+        assert result == expected
+    entries = list((tmp_path / "streams").glob("*.npz"))
+    assert len(entries) == len(seeds)
+    assert not list((tmp_path / "streams").glob("*.tmp"))
+
+
+def test_cache_hit_after_parallel_populate_serves_from_disk(
+    tmp_path, monkeypatch
+):
+    """A later in-process read hits the entry the worker race produced."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_STREAM_CACHE", "1")
+    map_cells(
+        _read_stream_through_cache, [(str(tmp_path), SEED)] * 2, jobs=2
+    )
+    entry = list((tmp_path / "streams").glob("*.npz"))
+    assert len(entry) == 1
+    written = entry[0].stat().st_mtime_ns
+    profile = get_dataset(PROFILE_NAME)
+    again = list(cached_batches(profile, BATCH_SIZE, NUM_BATCHES, seed=SEED))
+    assert len(again) == NUM_BATCHES
+    # Served from disk: the entry was not regenerated/rewritten.
+    assert entry[0].stat().st_mtime_ns == written
+
+
+def test_shorter_prefix_is_served_without_rewrite(tmp_path, monkeypatch):
+    """Prefix reads across processes reuse the longer cached run."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_STREAM_CACHE", "1")
+    map_cells(_read_stream_through_cache, [(str(tmp_path), SEED)], jobs=1)
+    [entry] = list((tmp_path / "streams").glob("*.npz"))
+    written = entry.stat().st_mtime_ns
+    profile = get_dataset(PROFILE_NAME)
+    prefix = list(cached_batches(profile, BATCH_SIZE, 2, seed=SEED))
+    expected = _batch_fingerprints(
+        list(profile.generator(seed=SEED).batches(BATCH_SIZE, 2))
+    )
+    assert _batch_fingerprints(prefix) == expected
+    assert entry.stat().st_mtime_ns == written
